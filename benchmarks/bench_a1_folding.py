@@ -1,0 +1,45 @@
+"""A1 — ablation: construction-time folding on/off (design decision 1).
+
+The world normally folds and simplifies while the frontend constructs
+the graph.  With folding disabled (value numbering stays on), the same
+programs produce more primops and the pipeline inherits the slack.
+Reported: primop counts and construction-time GVN/fold statistics for
+both configurations; the timed quantity is unoptimized construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.eval import collect_world_stats
+from repro.programs import ALL_PROGRAMS
+
+SUBSET = [p for p in ALL_PROGRAMS
+          if p.name in ("fannkuch", "nbody", "mandelbrot", "sieve",
+                        "matmul", "dot_generic", "compose")]
+
+_initialized = False
+
+
+@pytest.mark.parametrize("folding", [True, False], ids=["fold", "nofold"])
+@pytest.mark.parametrize("program", SUBSET, ids=lambda p: p.name)
+def test_a1_construction_folding(program, folding, report, benchmark):
+    table = report("A1_folding")
+    global _initialized
+    if not _initialized:
+        table.columns("program", "folding", "primops", "gvn_hits",
+                      "folds_fired")
+        table.note("construction only (optimize=False); folding off means "
+                   "every simplification the factories perform for free "
+                   "is deferred to later passes.")
+        _initialized = True
+
+    world = benchmark.pedantic(
+        compile_source, args=(program.source,),
+        kwargs={"optimize": False, "folding": folding},
+        rounds=3, iterations=1,
+    )
+    stats = collect_world_stats(world)
+    table.row(program.name, "on" if folding else "off", stats.primops,
+              world.stats.gvn_hits, world.stats.folds)

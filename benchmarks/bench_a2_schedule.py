@@ -1,0 +1,75 @@
+"""A2 — ablation: schedule placement policy (design decision 5).
+
+Because primops float freely (memory threaded through ``mem`` tokens),
+*placement* is the scheduler's choice at code-generation time:
+schedule-early, schedule-late, or the loop-aware "smart" policy.  The
+same optimized world is lowered with each policy and run on the VM;
+retired instructions show what loop-aware placement buys (implicit
+loop-invariant code motion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.backend import bytecode as bc
+from repro.backend.codegen import compile_world
+from repro.core import fold
+from repro.core import types as ct
+from repro.core.schedule import Placement
+from repro.programs import by_name
+
+PROGRAMS = ["matmul", "spectral_norm", "mandelbrot", "sieve"]
+POLICIES = [Placement.EARLY, Placement.LATE, Placement.SMART]
+
+_counts: dict[str, dict[str, int]] = {}
+_initialized = False
+
+
+@pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+@pytest.mark.parametrize("name", PROGRAMS)
+def test_a2_schedule_policy(name, policy, report, benchmark):
+    table = report("A2_schedule")
+    global _initialized
+    if not _initialized:
+        table.columns("program", "policy", "vm_instructions", "result")
+        table.note("same optimized world, different primop placement; "
+                   "late recomputes loop-invariant values inside loops, "
+                   "smart hoists them (implicit LICM).")
+        _initialized = True
+
+    program = by_name(name)
+    world = compile_source(program.source)
+    compiled = compile_world(world, placement=policy)
+    args = program.bench_args
+
+    param_types, _ = compiled.fn_types[program.entry]
+    vm_args = [fold.canonicalize(t.kind, a) if isinstance(t, ct.PrimType) else a
+               for a, t in zip(args, param_types)]
+    vm = bc.VM(compiled.program)
+    result = vm.call(compiled.program, program.entry, *vm_args)
+    instructions = vm.executed
+
+    benchmark.pedantic(compiled.call, args=(program.entry, *args),
+                       rounds=3, iterations=1)
+    benchmark.extra_info["vm_instructions"] = instructions
+    table.row(name, policy.value, instructions, compiled.call(
+        program.entry, *args))
+    _counts.setdefault(name, {})[policy.value] = instructions
+
+
+def test_a2_shape(report, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = report("A2_schedule")
+    better = 0
+    total = 0
+    for name, counts in _counts.items():
+        if {"smart", "late"} <= counts.keys():
+            total += 1
+            if counts["smart"] <= counts["late"]:
+                better += 1
+            table.note(f"{name}: smart/late instruction ratio "
+                       f"{counts['smart'] / counts['late']:.3f}")
+    if total:
+        assert better == total, "smart placement regressed against late"

@@ -1,0 +1,103 @@
+"""F1 — run time: Thorin pipeline vs. unoptimized vs. classical SSA.
+
+All three variants execute on the *same* register-bytecode VM, so the
+comparison is between the code the compilers emit.  Reported per
+program: wall-clock (via pytest-benchmark) and retired VM instructions
+(the architecture-neutral "cycles").
+
+Expected shape (paper): the CPS/graph pipeline matches the classical
+SSA pipeline on imperative code (parity within noise), and both beat
+unoptimized code clearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.backend import bytecode as bc
+from repro.backend.codegen import compile_world
+from repro.baselines.ssa import CompiledSSA, compile_source_ssa
+from repro.programs import by_tag
+
+PROGRAMS = by_tag("imperative")
+
+_rows: dict[str, dict] = {}
+_initialized = False
+
+
+def _variants(program):
+    return {
+        "thorin-O1": lambda: compile_world(compile_source(program.source)),
+        "thorin-O0": lambda: compile_world(
+            compile_source(program.source, optimize=False)
+        ),
+        "ssa-O1": lambda: CompiledSSA(compile_source_ssa(program.source)),
+    }
+
+
+def _bench_args(program):
+    return program.bench_args
+
+
+@pytest.mark.parametrize("variant", ["thorin-O1", "thorin-O0", "ssa-O1"])
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+def test_f1_runtime(program, variant, report, benchmark):
+    table = report("F1_runtime")
+    global _initialized
+    if not _initialized:
+        table.columns("program", "variant", "vm_instructions", "result")
+        table.note(
+            "wall-clock per variant lives in the pytest-benchmark table; "
+            "vm_instructions is deterministic.  Shape check: thorin-O1 "
+            "~ ssa-O1 < thorin-O0."
+        )
+        _initialized = True
+
+    compiled = _variants(program)[variant]()
+    args = _bench_args(program)
+
+    # Deterministic instruction count on a fresh VM.
+    fresh_vm = bc.VM(compiled.program)
+    result = fresh_vm.call(compiled.program, *_vm_call_args(compiled, program, args))
+    instructions = fresh_vm.executed
+
+    benchmark.pedantic(compiled.call, args=(program.entry, *args),
+                       rounds=3, iterations=1)
+    benchmark.extra_info["vm_instructions"] = instructions
+    table.row(program.name, variant, instructions,
+              compiled.call(program.entry, *args))
+
+    # Record for the cross-variant shape assertion.
+    _rows.setdefault(program.name, {})[variant] = instructions
+
+
+def _vm_call_args(compiled, program, args):
+    """(name, canonicalized args) for a raw VM call on either pipeline."""
+    from repro.core import fold
+    from repro.core import types as ct
+
+    if hasattr(compiled, "fn_types"):  # CompiledWorld
+        param_types, _ = compiled.fn_types[program.entry]
+    else:  # CompiledSSA
+        param_types = compiled._sigs[program.entry][0]
+    vm_args = [fold.canonicalize(t.kind, a) if isinstance(t, ct.PrimType) else a
+               for a, t in zip(args, param_types)]
+    return [program.entry, *vm_args]
+
+
+def test_f1_shape(report, benchmark):
+    """After all variants ran: optimized beats unoptimized everywhere."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = report("F1_runtime")
+    wins = 0
+    total = 0
+    for name, counts in _rows.items():
+        if {"thorin-O1", "thorin-O0"} <= counts.keys():
+            total += 1
+            if counts["thorin-O1"] <= counts["thorin-O0"]:
+                wins += 1
+    if total:
+        table.note(f"thorin-O1 <= thorin-O0 instructions on {wins}/{total} "
+                   f"programs")
+        assert wins >= total - 1  # allow one noisy outlier

@@ -1,0 +1,70 @@
+"""F3 — compile-time scaling.
+
+A generated program family (N arithmetic-heavy functions in a call
+chain, each with loops) is pushed through the full pipeline at
+increasing N.  Reported: wall-clock per size plus IR node counts;
+shape check: close-to-linear growth (ratio of per-function cost across
+sizes stays bounded).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.eval import collect_world_stats
+
+SIZES = [4, 8, 16, 32]
+
+_times: dict[int, float] = {}
+_initialized = False
+
+
+def generate_program(n_functions: int) -> str:
+    parts = []
+    for i in range(n_functions):
+        callee = f"f{i - 1}(acc, {i})" if i > 0 else "acc + seed"
+        parts.append(f"""
+fn f{i}(seed: i64, salt: i64) -> i64 {{
+    let mut acc = seed * {i + 3} + salt;
+    for k in 0..8 {{
+        acc = (acc * 31 + k) % 1000003;
+        if acc % 2 == 0 {{ acc += {i}; }} else {{ acc -= 1; }}
+    }}
+    {callee}
+}}
+""")
+    parts.append(f"fn main(x: i64) -> i64 {{ f{n_functions - 1}(x, 1) }}")
+    return "\n".join(parts)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_f3_compile_time(size, report, benchmark):
+    table = report("F3_compile_time")
+    global _initialized
+    if not _initialized:
+        table.columns("functions", "loc", "continuations", "primops",
+                      "mean_compile_s", "s_per_function")
+        table.note("near-linear scaling expected: s_per_function roughly "
+                   "flat across sizes.")
+        _initialized = True
+
+    source = generate_program(size)
+    world = benchmark.pedantic(compile_source, args=(source,),
+                               rounds=3, iterations=1)
+    stats = collect_world_stats(world)
+    mean = benchmark.stats.stats.mean
+    _times[size] = mean
+    table.row(size, len(source.splitlines()), stats.continuations,
+              stats.primops, mean, mean / size)
+
+
+def test_f3_shape(report, benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = report("F3_compile_time")
+    if len(_times) >= 2:
+        sizes = sorted(_times)
+        per_fn = [_times[s] / s for s in sizes]
+        ratio = max(per_fn) / max(min(per_fn), 1e-9)
+        table.note(f"per-function cost spread across sizes: {ratio:.2f}x")
+        assert ratio < 8, "compile time grows far superlinearly"

@@ -1,0 +1,58 @@
+"""T1 — benchmark suite & IR statistics (the evaluation's overview table).
+
+For every suite program: source LoC, number of continuations and
+primops after construction vs. after the optimization pipeline, the
+higher-order metrics closure elimination must drive to zero, and
+whether control-flow form was reached.  The timed quantity is the full
+optimizing compilation (frontend + pipeline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.eval import collect_world_stats, source_loc
+from repro.programs import ALL_PROGRAMS
+
+_reporter_initialized = False
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+def test_t1_ir_stats(program, report, benchmark):
+    table = report("T1_ir_stats")
+    global _reporter_initialized
+    if not _reporter_initialized:
+        table.columns(
+            "program", "loc",
+            "conts_in", "primops_in", "ho_params_in", "closures_in",
+            "conts_opt", "primops_opt", "ho_params_opt", "closures_opt",
+            "cff",
+        )
+        table.note(
+            "conts/primops = reachable continuations/primops; "
+            "ho_params = fn-typed non-return parameters; closures = "
+            "top-level scopes with free parameters; cff = control-flow "
+            "form reached after the pipeline (paper: yes for the whole "
+            "suite)."
+        )
+        _reporter_initialized = True
+
+    unopt = compile_source(program.source, optimize=False)
+    before = collect_world_stats(unopt)
+
+    world = benchmark.pedantic(compile_source, args=(program.source,),
+                               rounds=3, iterations=1)
+    after = collect_world_stats(world)
+
+    assert after.cff_violations == 0, (
+        f"{program.name} did not reach CFF: {after.cff_violations} violations"
+    )
+    table.row(
+        program.name, source_loc(program.source),
+        before.continuations, before.primops,
+        before.higher_order_params, before.closure_continuations,
+        after.continuations, after.primops,
+        after.higher_order_params, after.closure_continuations,
+        "yes" if after.cff_violations == 0 else "NO",
+    )

@@ -1,0 +1,75 @@
+"""T2 — closure elimination effectiveness.
+
+For every higher-order program: how many closure-requiring constructs
+exist after construction, and how many survive the pipeline (paper:
+zero — all suite programs reach control-flow form).  The timed quantity
+is the closure-elimination pass itself on the freshly constructed
+world.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.core.verify import cff_violations
+from repro.eval import collect_world_stats
+from repro.programs import by_tag
+from repro.transform.cleanup import cleanup
+from repro.transform.closure_elim import eliminate_closures
+from repro.transform.partial_eval import partial_eval
+
+HO_PROGRAMS = by_tag("higher-order")
+
+_initialized = False
+
+
+def _init(table):
+    global _initialized
+    if not _initialized:
+        table.columns(
+            "program",
+            "ho_params_in", "first_class_in", "closures_in",
+            "ho_params_out", "first_class_out", "closures_out",
+            "residual_cff_violations",
+        )
+        table.note(
+            "in = after IR construction; out = after the pipeline. "
+            "The paper's claim: closure elimination by lambda mangling "
+            "residualizes zero closures on the suite."
+        )
+        _initialized = True
+
+
+@pytest.mark.parametrize("program", HO_PROGRAMS, ids=lambda p: p.name)
+def test_t2_closure_elimination(program, report, benchmark):
+    table = report("T2_closures")
+    _init(table)
+
+    unopt = compile_source(program.source, optimize=False)
+    before = collect_world_stats(unopt)
+
+    def eliminate():
+        world = compile_source(program.source, optimize=False)
+        partial_eval(world)
+        cleanup(world)
+        for _ in range(4):
+            if not eliminate_closures(world).get("mangled"):
+                break
+            cleanup(world)
+        return world
+
+    benchmark.pedantic(eliminate, rounds=3, iterations=1)
+
+    world = compile_source(program.source)  # the full pipeline
+    after = collect_world_stats(world)
+    residual = len(cff_violations(world))
+    assert residual == 0, f"{program.name}: {residual} CFF violations remain"
+    table.row(
+        program.name,
+        before.higher_order_params, before.first_class_continuations,
+        before.closure_continuations,
+        after.higher_order_params, after.first_class_continuations,
+        after.closure_continuations,
+        residual,
+    )

@@ -1,0 +1,84 @@
+"""Shared infrastructure for the experiment harness.
+
+Every ``bench_*`` module regenerates one table or figure of the
+(reconstructed) evaluation — see DESIGN.md §4 and EXPERIMENTS.md.  Each
+test contributes rows to a session-wide report; at session end the
+tables are printed and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_tables: dict[str, dict] = defaultdict(
+    lambda: {"columns": None, "rows": [], "notes": []}
+)
+
+
+class Reporter:
+    """Accumulates rows for one experiment's table."""
+
+    def __init__(self, experiment: str):
+        self.experiment = experiment
+
+    def columns(self, *names: str) -> None:
+        _tables[self.experiment]["columns"] = list(names)
+
+    def row(self, *values) -> None:
+        _tables[self.experiment]["rows"].append(
+            [_format(v) for v in values]
+        )
+
+    def note(self, text: str) -> None:
+        _tables[self.experiment]["notes"].append(text)
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Factory: ``report("T1")`` returns the T1 table reporter."""
+    return Reporter
+
+
+def _render(experiment: str, table: dict) -> str:
+    lines = [f"== {experiment} =="]
+    columns = table["columns"]
+    rows = table["rows"]
+    if columns:
+        widths = [max(len(str(c)), *(len(r[i]) for r in rows))
+                  if rows else len(str(c))
+                  for i, c in enumerate(columns)]
+        lines.append("  ".join(str(c).ljust(w)
+                               for c, w in zip(columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    for note in table["notes"]:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def pytest_sessionfinish(session):
+    if not _tables:
+        return
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    for experiment in sorted(_tables):
+        text = _render(experiment, _tables[experiment])
+        path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        if reporter is not None:
+            reporter.write_line("")
+            for line in text.splitlines():
+                reporter.write_line(line)

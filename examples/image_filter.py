@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Domain example: generic stencils specialized per kernel.
+
+The motivating domain of the paper's follow-up work (AnyDSL/Impala):
+write ONE generic filter over an abstract kernel (a higher-order
+function), instantiate it with concrete kernels, and let closure
+elimination + partial evaluation produce straight-line first-order
+code per instance — no closures, no indirect calls, kernel weights
+folded into the code.
+
+This script compiles a generic separable blur and a sharpen filter
+from the same generic `convolve1d`, proves both reach control-flow
+form, runs them on the bytecode VM, and shows the specialization
+payoff in retired VM instructions.
+"""
+
+from repro import compile_source
+from repro.backend import bytecode as bc
+from repro.backend.codegen import compile_world
+from repro.core.verify import cff_violations
+from repro.eval import collect_world_stats
+
+SOURCE = """
+// One generic 1D convolution: kernel abstracted as fn(i64) -> f64.
+fn convolve1d(src: &[f64], dst: &[f64], n: i64, radius: i64,
+              weight: fn(i64) -> f64) -> () {
+    for i in 0..n {
+        let mut acc = 0.0;
+        for k in (0 - radius)..(radius + 1) {
+            let mut idx = i + k;
+            if idx < 0 { idx = 0; }
+            if idx >= n { idx = n - 1; }
+            acc += src[idx] * weight(k);
+        }
+        dst[i] = acc;
+    }
+}
+
+fn fill(buf: &[f64], n: i64) -> () {
+    for i in 0..n {
+        buf[i] = (((i * 37 + 11) % 256) as f64) / 255.0;
+    }
+}
+
+fn checksum(buf: &[f64], n: i64) -> f64 {
+    let mut s = 0.0;
+    for i in 0..n { s += buf[i] * (((i % 7) + 1) as f64); }
+    s
+}
+
+extern fn blur(n: i64) -> f64 {
+    let src = new_buf_f64(n);
+    let dst = new_buf_f64(n);
+    fill(src, n);
+    // binomial 5-tap kernel: 1 4 6 4 1 (normalized)
+    let w = |k: i64| -> f64 {
+        if k == 0 { 0.375 }
+        else if k == 1 || k == 0 - 1 { 0.25 }
+        else { 0.0625 }
+    };
+    @convolve1d(src, dst, n, 2, w);
+    checksum(dst, n)
+}
+
+extern fn sharpen(n: i64) -> f64 {
+    let src = new_buf_f64(n);
+    let dst = new_buf_f64(n);
+    fill(src, n);
+    // 3-tap sharpen: -1 3 -1
+    let w = |k: i64| -> f64 { if k == 0 { 3.0 } else { 0.0 - 1.0 } };
+    @convolve1d(src, dst, n, 1, w);
+    checksum(dst, n)
+}
+
+fn main(n: i64) -> f64 { blur(n) + sharpen(n) }
+"""
+
+
+def main() -> None:
+    world = compile_source(SOURCE)
+
+    violations = cff_violations(world)
+    stats = collect_world_stats(world)
+    print("generic filter instantiated twice from one definition")
+    print(f"  closures remaining:        {stats.closure_continuations}")
+    print(f"  higher-order params left:  {stats.higher_order_params}")
+    print(f"  CFF violations:            {len(violations)}")
+    assert not violations, violations
+
+    compiled = compile_world(world)
+    n = 512
+    print(f"\nrunning on the bytecode VM (n = {n}):")
+    print(f"  blur({n})    = {compiled.call('blur', n):.6f}")
+    print(f"  sharpen({n}) = {compiled.call('sharpen', n):.6f}")
+
+    # Show what specialization bought: the kernel lambdas are gone, the
+    # weights are immediates in the loop body.
+    vm = bc.VM(compiled.program)
+    vm.call(compiled.program, "blur", n)
+    specialized = vm.executed
+
+    dynamic_world = compile_source(SOURCE.replace("@", ""))
+    dyn = compile_world(dynamic_world)
+    vm2 = bc.VM(dyn.program)
+    vm2.call(dyn.program, "blur", n)
+    print(f"\nretired VM instructions for blur({n}):")
+    print(f"  with @specialization:    {specialized}")
+    print(f"  without markers:         {vm2.executed}")
+    print("  (identical here: closure elimination alone already burns the")
+    print("   kernel into the filter — the paper's point that reaching")
+    print("   first-order code does not *depend* on annotations; @ pays")
+    print("   off when static scalars drive recursion, cf. examples/")
+    print("   partial_evaluation.py)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: compile, inspect, optimize and run a program.
+
+Three levels of the API in one tour:
+
+1. the one-liner: source → optimized world → result;
+2. looking inside: print the graph IR, check control-flow form;
+3. building IR *by hand* with the World API and specializing it with
+   the mangler (the paper's lambda mangling).
+"""
+
+from repro import compile_source, run_function
+from repro.core import types as ct
+from repro.core.printer import print_world
+from repro.core.scope import Scope
+from repro.core.verify import is_cff
+from repro.core.world import World
+from repro.backend.interp import Interpreter
+from repro.transform.mangle import drop
+
+
+def part1_compile_and_run() -> None:
+    print("== 1. compile & run =========================================")
+    source = """
+fn gcd(a: i64, b: i64) -> i64 {
+    let mut x = a;
+    let mut y = b;
+    while y != 0 {
+        let t = y;
+        y = x % y;
+        x = t;
+    }
+    x
+}
+fn main(a: i64, b: i64) -> i64 { gcd(a, b) }
+"""
+    world = compile_source(source)
+    print("gcd(252, 105) =", run_function(world, "main", 252, 105))
+    print("gcd(981, 1234) =", run_function(world, "main", 981, 1234))
+
+
+def part2_inspect_the_graph() -> None:
+    print("\n== 2. the graph IR =========================================")
+    source = """
+fn main(n: i64) -> i64 {
+    let mut acc = 1;
+    for i in 1..(n + 1) { acc *= i; }
+    acc
+}
+"""
+    world = compile_source(source)
+    print(print_world(world))
+    print("control-flow form reached:", is_cff(world))
+    print("factorial(10) =", run_function(world, "main", 10))
+
+
+def part3_worlds_and_mangling() -> None:
+    print("\n== 3. hand-built IR + lambda mangling ======================")
+    world = World("demo")
+
+    # fn power(mem, x, n, ret):  ret(mem, x^n)  — built directly.
+    ret_t = ct.fn_type((ct.MEM, ct.I64))
+    power = world.continuation(
+        ct.fn_type((ct.MEM, ct.I64, ct.I64, ret_t)), "power"
+    )
+    world.make_external(power)
+    mem, x, n, ret = power.params
+
+    base = world.basic_block((ct.MEM,), "base")
+    recur = world.basic_block((ct.MEM,), "recur")
+    world.jump(power, world.branch(),
+               (mem, world.eq(n, world.zero(ct.I64)), base, recur))
+    world.jump(base, ret, (base.params[0], world.one(ct.I64)))
+    k = world.continuation(ret_t, "k")
+    world.jump(recur, power,
+               (recur.params[0], x, world.sub(n, world.one(ct.I64)), k))
+    world.jump(k, ret, (k.params[0], world.mul(x, k.params[1])))
+
+    print("power(2, 10) =", Interpreter(world).call("power", 2, 10))
+
+    # Specialize the exponent away: drop n := 8.  Folding re-fires in
+    # the copy and the branch on n == 0 disappears level by level.
+    power8 = drop(Scope(power), {n: world.literal(ct.I64, 8)})
+    power8.name = "power8"
+    world.make_external(power8)
+    print("specialized signature:", [str(p.type) for p in power8.params])
+    print("power8(3) =", Interpreter(world).call("power8", 3))
+
+
+if __name__ == "__main__":
+    part1_compile_and_run()
+    part2_inspect_the_graph()
+    part3_worlds_and_mangling()

@@ -1,0 +1,4 @@
+"""Backends: the reference graph interpreter, the bytecode VM, and the
+C-like emitter.  The VM is the shared "machine" both the Thorin pipeline
+and the SSA baseline lower to, making run-time comparisons apples to
+apples."""

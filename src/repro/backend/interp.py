@@ -1,0 +1,611 @@
+"""Reference interpreter for Thorin graphs.
+
+Executes any well-formed world directly on the graph — no scheduling,
+no control-flow form required, higher-order values and closures
+included.  It is deliberately simple and is the semantic oracle of the
+test suite: every transformation must preserve behaviour under this
+interpreter, and the bytecode VM must agree with it.
+
+Execution model (CPS): a machine state is a continuation plus an
+environment binding the parameters currently in dynamic scope.  A step
+evaluates the body's callee and arguments under the environment and
+jumps.  First-class continuations evaluate to closures capturing the
+environment.  Scalar arithmetic delegates to :mod:`repro.core.fold`, so
+the interpreter and the constant folder cannot disagree.
+
+Memory: a store of *cells*; a pointer is a cell address plus an access
+path (``lea`` extends the path), so aggregates need no byte layout.
+``mem`` tokens are just ordering artifacts — the store itself is global
+and updated in place when a ``store``/``alloc`` primop is *evaluated*
+(each at most once per activation thanks to per-activation memoization).
+"""
+
+from __future__ import annotations
+
+from ..core import fold
+from ..core.defs import Continuation, Def, Intrinsic, Param
+from ..core.primops import (
+    Alloc,
+    ArithOp,
+    ArrayVal,
+    Bitcast,
+    Bottom,
+    Cast,
+    Cmp,
+    Enter,
+    EvalOp,
+    Extract,
+    Global,
+    Insert,
+    Lea,
+    Literal,
+    Load,
+    PrimOp,
+    Select,
+    Slot,
+    Store,
+    StructVal,
+    TupleVal,
+)
+from ..core.types import (
+    DefiniteArrayType,
+    FnType,
+    PrimType,
+    PtrType,
+    StructType,
+    TupleType,
+    Type,
+)
+from ..core.world import World
+
+
+class InterpError(Exception):
+    """Raised on traps (division by zero, branch on undef, bad pointer)."""
+
+
+class Undef:
+    """The runtime image of ``bottom``: using it for control traps."""
+
+    _instance: "Undef | None" = None
+
+    def __new__(cls) -> "Undef":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<undef>"
+
+
+UNDEF = Undef()
+
+
+class MemToken:
+    """A *dynamic instance* of the ``mem`` state.
+
+    Every effectful evaluation produces a fresh token.  Tokens have
+    identity only; pairing a primop with the identity of its input token
+    pins down the dynamic instance of an effect, which is how the
+    interpreter guarantees each effect executes exactly once even when a
+    later block re-traverses an older part of the mem chain (blocks may
+    reference the chain directly instead of receiving it as a
+    parameter — sealed-block SSA construction produces exactly that).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<mem#{id(self):x}>"
+
+
+class Closure:
+    """A continuation paired with its captured environment."""
+
+    __slots__ = ("cont", "env")
+
+    def __init__(self, cont: Continuation, env: dict[Param, object]):
+        self.cont = cont
+        self.env = env
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<closure {self.cont.unique_name()}>"
+
+
+class Pointer:
+    """A cell address plus an access path into the cell's aggregate."""
+
+    __slots__ = ("addr", "path")
+
+    def __init__(self, addr: int, path: tuple[int, ...] = ()):
+        self.addr = addr
+        self.path = path
+
+    def extended(self, index: int) -> "Pointer":
+        return Pointer(self.addr, self.path + (index,))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Pointer) and other.addr == self.addr
+                and other.path == self.path)
+
+    def __hash__(self) -> int:
+        return hash((self.addr, self.path))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ptr {self.addr}{list(self.path)}>"
+
+
+class FrameValue:
+    """Runtime image of a ``frame``; slots allocate cells lazily per activation."""
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots: dict[int, int] = {}  # slot_id -> cell address
+
+
+class _ReturnSentinel:
+    """The driver's final continuation: jumping to it ends execution."""
+
+    def __init__(self) -> None:
+        self.values: tuple | None = None
+
+
+def default_value(t: Type) -> object:
+    """The zero-initialized value of a type (for fresh cells)."""
+    if isinstance(t, PrimType):
+        if t.is_bool:
+            return False
+        if t.is_float:
+            return 0.0
+        return 0
+    if isinstance(t, TupleType):
+        return tuple(default_value(e) for e in t.elem_types)
+    if isinstance(t, StructType):
+        return tuple(default_value(e) for e in t.field_types)
+    if isinstance(t, DefiniteArrayType):
+        return [default_value(t.elem_type) for _ in range(t.length)]
+    return UNDEF
+
+
+class Interpreter:
+    """Evaluate external functions of a world on the graph directly."""
+
+    def __init__(self, world: World, *, max_steps: int = 50_000_000):
+        self.world = world
+        self.max_steps = max_steps
+        self.store: dict[int, object] = {}
+        self._next_addr = 1
+        self._globals: dict[int, Pointer] = {}
+        # (primop gid, input mem/frame token) -> result of the one and
+        # only execution of that dynamic effect instance.  Keys hold the
+        # token object itself so its identity stays unique while the
+        # entry is alive.
+        self._effects: dict[tuple[int, object], object] = {}
+        self.output: list[str] = []
+        self.steps = 0          # jumps taken
+        self.primop_evals = 0   # primop evaluations performed
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def call(self, name: str, *args):
+        """Call external *name* with Python arguments; returns its result.
+
+        The function must follow the standard convention
+        ``fn(mem, T..., fn(mem, R...))``; results are returned as Python
+        values (one value, a tuple, or None for unit results).
+        """
+        cont = self.world.find_external(name)
+        fn = cont.fn_type
+        ret_type = fn.ret_type()
+        assert ret_type is not None, f"{name} has no return continuation"
+        value_params = [t for t in fn.param_types
+                        if not _is_mem(t) and t is not ret_type]
+        # The return continuation is the *last* fn-typed param by convention.
+        ret_index = len(fn.param_types) - 1
+        assert fn.param_types[ret_index] is ret_type
+        assert len(args) == len(value_params), (
+            f"{name} expects {len(value_params)} arguments, got {len(args)}"
+        )
+        call_args: list[object] = []
+        arg_iter = iter(args)
+        sentinel = _ReturnSentinel()
+        init_mem = MemToken()
+        for index, t in enumerate(fn.param_types):
+            if _is_mem(t):
+                call_args.append(init_mem)
+            elif index == ret_index:
+                call_args.append(sentinel)
+            else:
+                call_args.append(self._from_python(next(arg_iter), t))
+        self._trampoline(Closure(cont, {}), call_args, sentinel)
+        assert sentinel.values is not None
+        results = [self._to_python(v, t) for v, t in
+                   zip(sentinel.values, ret_type.param_types) if not _is_mem(t)]
+        if not results:
+            return None
+        if len(results) == 1:
+            return results[0]
+        return tuple(results)
+
+    def output_text(self) -> str:
+        return "".join(self.output)
+
+    # ------------------------------------------------------------------
+    # the CPS trampoline
+    # ------------------------------------------------------------------
+
+    def _trampoline(self, target: object, args: list[object],
+                    sentinel: _ReturnSentinel) -> None:
+        while True:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise InterpError(f"step budget exceeded ({self.max_steps})")
+            if isinstance(target, _ReturnSentinel):
+                target.values = tuple(args)
+                if target is sentinel:
+                    return
+                raise InterpError("jump to a foreign return sentinel")
+            if not isinstance(target, Closure):
+                raise InterpError(f"jump to non-continuation value {target!r}")
+            cont = target.cont
+            if cont.intrinsic is not None:
+                target, args = self._run_intrinsic(cont, args)
+                continue
+            if not cont.has_body():
+                raise InterpError(
+                    f"jump to bodiless continuation {cont.unique_name()}"
+                )
+            env = dict(target.env)
+            assert len(args) == cont.num_params, (
+                f"arity mismatch calling {cont.unique_name()}"
+            )
+            for param, value in zip(cont.params, args):
+                env[param] = value
+            cache: dict[int, object] = {}
+            callee = self._eval(cont.callee, env, cache)
+            args = [self._eval(a, env, cache) for a in cont.args]
+            target = callee
+
+    def _run_intrinsic(self, cont: Continuation, args: list[object]):
+        kind = cont.intrinsic
+        if kind == Intrinsic.BRANCH:
+            mem, cond, then_t, else_t = args
+            if isinstance(cond, Undef):
+                raise InterpError("branch on undef")
+            return (then_t if cond else else_t), [mem]
+        if kind == Intrinsic.MATCH:
+            mem, value = args[0], args[1]
+            default = args[2]
+            for arm in args[3:]:
+                lit, tgt = arm
+                if lit == value:
+                    return tgt, [mem]
+            return default, [mem]
+        if kind == Intrinsic.PRINT_I64:
+            mem, value, ret = args
+            self.output.append(str(fold.to_signed(value, 64)))
+            return ret, [mem]
+        if kind == Intrinsic.PRINT_F64:
+            mem, value, ret = args
+            self.output.append(repr(value))
+            return ret, [mem]
+        if kind == Intrinsic.PRINT_CHAR:
+            mem, value, ret = args
+            self.output.append(chr(value))
+            return ret, [mem]
+        if kind == Intrinsic.PE_INFO:
+            mem, _value, ret = args
+            return ret, [mem]
+        raise InterpError(f"unknown intrinsic {kind}")
+
+    # ------------------------------------------------------------------
+    # primop evaluation
+    # ------------------------------------------------------------------
+
+    def _eval(self, root: Def, env: dict[Param, object],
+              cache: dict[int, object]) -> object:
+        """Iterative post-order evaluation with per-activation memoization."""
+        result = self._try_leaf(root, env, cache)
+        if result is not _PENDING:
+            return result
+        stack: list[Def] = [root]
+        while stack:
+            d = stack[-1]
+            if d.gid in cache:
+                stack.pop()
+                continue
+            missing = [op for op in d.ops
+                       if self._try_leaf(op, env, cache) is _PENDING
+                       and op.gid not in cache]
+            if missing:
+                stack.extend(missing)
+                continue
+            stack.pop()
+            assert isinstance(d, PrimOp)
+            operands = [self._operand_value(op, env, cache) for op in d.ops]
+            cache[d.gid] = self._apply(d, operands)
+            self.primop_evals += 1
+        return cache[root.gid]
+
+    def _try_leaf(self, d: Def, env: dict[Param, object],
+                  cache: dict[int, object]):
+        """Evaluate leaves (params, literals, continuations) immediately."""
+        if isinstance(d, Param):
+            try:
+                return env[d]
+            except KeyError:
+                raise InterpError(
+                    f"unbound parameter {d.unique_name()} (scope violation)"
+                ) from None
+        if isinstance(d, Literal):
+            return d.value
+        if isinstance(d, Bottom):
+            return UNDEF
+        if isinstance(d, Continuation):
+            return Closure(d, dict(env))
+        return _PENDING
+
+    def _operand_value(self, op: Def, env: dict[Param, object],
+                       cache: dict[int, object]) -> object:
+        leaf = self._try_leaf(op, env, cache)
+        if leaf is not _PENDING:
+            return leaf
+        return cache[op.gid]
+
+    def _apply(self, d: PrimOp, v: list[object]) -> object:
+        if isinstance(d, ArithOp):
+            prim = d.type
+            assert isinstance(prim, PrimType)
+            if isinstance(v[0], Undef) or isinstance(v[1], Undef):
+                return UNDEF
+            try:
+                return fold.arith(d.kind, prim, v[0], v[1])
+            except fold.EvalError as exc:
+                raise InterpError(str(exc)) from None
+        if isinstance(d, Cmp):
+            prim = d.lhs.type
+            assert isinstance(prim, PrimType)
+            if isinstance(v[0], Undef) or isinstance(v[1], Undef):
+                return UNDEF
+            return fold.compare(d.rel, prim, v[0], v[1])
+        from ..core.primops import MathOp
+
+        if isinstance(d, MathOp):
+            prim = d.type
+            assert isinstance(prim, PrimType)
+            if isinstance(v[0], Undef):
+                return UNDEF
+            return fold.math_op(d.kind, prim, v[0])
+        if isinstance(d, Cast):
+            if isinstance(v[0], Undef):
+                return UNDEF
+            to, frm = d.type, d.value.type
+            assert isinstance(to, PrimType) and isinstance(frm, PrimType)
+            return fold.cast(to, frm, v[0])
+        if isinstance(d, Bitcast):
+            if isinstance(v[0], Undef):
+                return UNDEF
+            to, frm = d.type, d.value.type
+            assert isinstance(to, PrimType) and isinstance(frm, PrimType)
+            return fold.bitcast(to, frm, v[0])
+        if isinstance(d, Select):
+            if isinstance(v[0], Undef):
+                return UNDEF
+            return v[1] if v[0] else v[2]
+        if isinstance(d, (TupleVal, StructVal)):
+            return tuple(v)
+        if isinstance(d, ArrayVal):
+            return list(v)
+        if isinstance(d, Extract):
+            return self._extract(v[0], v[1])
+        if isinstance(d, Insert):
+            return self._insert(v[0], v[1], v[2])
+        if isinstance(d, EvalOp):
+            return v[0]
+        if isinstance(d, Enter):
+            key = (d.gid, v[0])
+            hit = self._effects.get(key)
+            if hit is None:
+                hit = (MemToken(), FrameValue())
+                self._effects[key] = hit
+            return hit
+        if isinstance(d, Slot):
+            frame = v[0]
+            assert isinstance(frame, FrameValue)
+            addr = frame.slots.get(d.slot_id)
+            if addr is None:
+                ptr_t = d.type
+                assert isinstance(ptr_t, PtrType)
+                addr = self._alloc_cell(default_value(ptr_t.pointee))
+                frame.slots[d.slot_id] = addr
+            return Pointer(addr)
+        if isinstance(d, Alloc):
+            key = (d.gid, v[0], v[1] if not isinstance(v[1], Undef) else None)
+            hit = self._effects.get(key)
+            if hit is None:
+                pair_t = d.type
+                assert isinstance(pair_t, TupleType)
+                ptr_t = pair_t.elem_types[1]
+                assert isinstance(ptr_t, PtrType)
+                pointee = ptr_t.pointee
+                from ..core.types import IndefiniteArrayType
+
+                if isinstance(pointee, IndefiniteArrayType):
+                    count = v[1]
+                    if isinstance(count, Undef):
+                        raise InterpError("alloc with undef size")
+                    cell: object = [default_value(pointee.elem_type)
+                                    for _ in range(count)]
+                else:
+                    cell = default_value(pointee)
+                hit = (MemToken(), Pointer(self._alloc_cell(cell)))
+                self._effects[key] = hit
+            return hit
+        if isinstance(d, Load):
+            # The dynamic instance of a load is (node, state, pointer):
+            # the same load node may execute many times with an
+            # unchanged token when only the pointer varies (a read loop
+            # over untouched memory).
+            key = (d.gid, v[0], v[1])
+            hit = self._effects.get(key)
+            if hit is None:
+                # Loads pass the token through: they do not advance state.
+                hit = (v[0], self._read(v[1]))
+                self._effects[key] = hit
+            return hit
+        if isinstance(d, Store):
+            key = (d.gid, v[0], v[1])
+            hit = self._effects.get(key)
+            if hit is None:
+                self._write(v[1], v[2])
+                hit = MemToken()
+                self._effects[key] = hit
+            return hit
+        if isinstance(d, Lea):
+            ptr, index = v[0], v[1]
+            if isinstance(ptr, Undef) or isinstance(index, Undef):
+                raise InterpError("lea on undef")
+            assert isinstance(ptr, Pointer)
+            return ptr.extended(index)
+        if isinstance(d, Global):
+            addr_ptr = self._globals.get(d.global_id if d.is_mutable else -d.gid)
+            if addr_ptr is None:
+                init = self._const_value(d.init)
+                addr_ptr = Pointer(self._alloc_cell(init))
+                self._globals[d.global_id if d.is_mutable else -d.gid] = addr_ptr
+            return addr_ptr
+        raise InterpError(f"cannot evaluate primop {d!r}")
+
+    # ------------------------------------------------------------------
+    # store helpers
+    # ------------------------------------------------------------------
+
+    def _alloc_cell(self, value: object) -> int:
+        addr = self._next_addr
+        self._next_addr += 1
+        self.store[addr] = value
+        return addr
+
+    def _read(self, ptr: object) -> object:
+        if not isinstance(ptr, Pointer):
+            raise InterpError(f"load through non-pointer {ptr!r}")
+        try:
+            cell = self.store[ptr.addr]
+        except KeyError:
+            raise InterpError("load through dangling pointer") from None
+        for index in ptr.path:
+            cell = self._index_cell(cell, index)
+        return cell
+
+    def _write(self, ptr: object, value: object) -> None:
+        if not isinstance(ptr, Pointer):
+            raise InterpError(f"store through non-pointer {ptr!r}")
+        if ptr.addr not in self.store:
+            raise InterpError("store through dangling pointer")
+        if not ptr.path:
+            self.store[ptr.addr] = value
+            return
+        cell = self.store[ptr.addr]
+        cell = self._written_cell(cell, ptr.path, value)
+        self.store[ptr.addr] = cell
+
+    def _written_cell(self, cell: object, path: tuple[int, ...],
+                      value: object) -> object:
+        index = path[0]
+        if isinstance(cell, list):
+            self._check_bounds(cell, index)
+            if len(path) == 1:
+                cell[index] = value
+            else:
+                cell[index] = self._written_cell(cell[index], path[1:], value)
+            return cell
+        if isinstance(cell, tuple):
+            self._check_bounds(cell, index)
+            items = list(cell)
+            if len(path) == 1:
+                items[index] = value
+            else:
+                items[index] = self._written_cell(items[index], path[1:], value)
+            return tuple(items)
+        raise InterpError(f"store path into non-aggregate {cell!r}")
+
+    def _index_cell(self, cell: object, index: int) -> object:
+        if not isinstance(cell, (list, tuple)):
+            raise InterpError(f"indexing into non-aggregate {cell!r}")
+        self._check_bounds(cell, index)
+        return cell[index]
+
+    @staticmethod
+    def _check_bounds(cell, index) -> None:
+        if isinstance(index, Undef):
+            raise InterpError("aggregate index is undef")
+        if not 0 <= index < len(cell):
+            raise InterpError(
+                f"out-of-bounds access: index {index} into length {len(cell)}"
+            )
+
+    def _extract(self, agg: object, index: object) -> object:
+        if isinstance(agg, Undef):
+            return UNDEF
+        return self._index_cell(agg, index)
+
+    def _insert(self, agg: object, index: object, value: object) -> object:
+        if isinstance(agg, Undef):
+            return UNDEF
+        if isinstance(agg, list):
+            self._check_bounds(agg, index)
+            copy = list(agg)
+            copy[index] = value
+            return copy
+        if isinstance(agg, tuple):
+            self._check_bounds(agg, index)
+            items = list(agg)
+            items[index] = value
+            return tuple(items)
+        raise InterpError(f"insert into non-aggregate {agg!r}")
+
+    def _const_value(self, d: Def) -> object:
+        """Evaluate a parameter-free def (global initializers)."""
+        return self._eval(d, {}, {})
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+
+    def _from_python(self, value, t: Type) -> object:
+        if isinstance(t, PrimType):
+            return fold.canonicalize(t.kind, value)
+        if isinstance(t, TupleType):
+            return tuple(self._from_python(v, e)
+                         for v, e in zip(value, t.elem_types))
+        if isinstance(t, DefiniteArrayType):
+            return [self._from_python(v, t.elem_type) for v in value]
+        raise InterpError(f"cannot pass a Python value as {t}")
+
+    def _to_python(self, value, t: Type):
+        if isinstance(value, Undef):
+            return None
+        if isinstance(t, PrimType):
+            return fold.public_value(t.kind, value)
+        if isinstance(t, TupleType):
+            return tuple(self._to_python(v, e)
+                         for v, e in zip(value, t.elem_types))
+        if isinstance(t, DefiniteArrayType):
+            return [self._to_python(v, t.elem_type) for v in value]
+        return value
+
+
+class _Pending:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<pending>"
+
+
+_PENDING = _Pending()
+
+
+def _is_mem(t: Type) -> bool:
+    from ..core.types import MemType
+
+    return isinstance(t, MemType)

@@ -1,0 +1,11 @@
+"""Baseline IRs the paper compares against.
+
+* :mod:`repro.baselines.ssa` — a classical CFG+SSA compiler ("LLVM
+  lite"): basic blocks, explicit phi instructions, and the standard
+  pass repertoire (constant propagation, DCE, SimplifyCFG with jump
+  threading, inlining).  Phi repair and block surgery are *counted* —
+  that bookkeeping is exactly what the graph IR makes vanish (T3).
+* :mod:`repro.baselines.nested_cps` — a conventional nested CPS term
+  language with explicit binders: inlining is substitution with
+  alpha-renaming, and the renaming work is counted.
+"""

@@ -1,0 +1,44 @@
+"""A conventional *nested* CPS term language with explicit binders.
+
+The second comparison point of experiment T3: in a tree-structured CPS
+IR (the classic functional-compiler IR the paper positions Thorin
+against), every transformation must respect lexical nesting —
+inlining is substitution with capture-avoiding *alpha-renaming*, and
+moving code between scopes means rebuilding binder spines.  We count
+that work and hold it against the graph IR's zero.
+"""
+
+from .terms import (
+    App,
+    Halt,
+    If,
+    LetCont,
+    LetFun,
+    LetPrim,
+    Term,
+    Var,
+    count_nodes,
+    free_vars,
+    pretty,
+)
+from .convert import cps_convert_expr
+from .transform import InlineStats, inline_function
+from .interp import evaluate
+
+__all__ = [
+    "App",
+    "Halt",
+    "If",
+    "InlineStats",
+    "LetCont",
+    "LetFun",
+    "LetPrim",
+    "Term",
+    "Var",
+    "count_nodes",
+    "cps_convert_expr",
+    "evaluate",
+    "free_vars",
+    "inline_function",
+    "pretty",
+]

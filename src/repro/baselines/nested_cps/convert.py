@@ -1,0 +1,102 @@
+"""A tiny direct-style → nested-CPS converter for the T3 workloads.
+
+Input is a micro expression language (S-expression-ish Python tuples)::
+
+    e ::= int | str (variable)
+        | ("+", e, e) | ("-", e, e) | ("*", e, e) | ("/", e, e)
+        | ("<", e, e) | ("==", e, e)
+        | ("if", e, e, e)
+        | ("call", fname, e...)
+        | ("letfun", fname, [params], body_e, in_e)
+
+Just enough to express fib/pow/ackermann-style programs for the
+bookkeeping comparison; the converter is the standard higher-order
+one-pass CPS transform with named continuations.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ...core.primops import ArithKind, CmpRel
+from .terms import App, Halt, If, LetCont, LetFun, LetPrim, Term, Var
+
+_OPS = {
+    "+": ArithKind.ADD, "-": ArithKind.SUB, "*": ArithKind.MUL,
+    "/": ArithKind.DIV, "%": ArithKind.REM,
+}
+_CMPS = {
+    "<": CmpRel.LT, "<=": CmpRel.LE, "==": CmpRel.EQ, "!=": CmpRel.NE,
+    ">": CmpRel.GT, ">=": CmpRel.GE,
+}
+
+_counter = itertools.count()
+
+
+def _gen(base: str) -> str:
+    return f"{base}{next(_counter)}"
+
+
+def cps_convert_expr(expr) -> Term:
+    """Convert a whole program expression; the result halts with its value."""
+    return _convert(expr, lambda v: Halt(v))
+
+
+def _convert(expr, k) -> Term:
+    if isinstance(expr, int):
+        name = _gen("c")
+        return LetPrim(name, ("const", expr), [], k(Var(name)))
+    if isinstance(expr, str):
+        return k(Var(expr))
+    head = expr[0]
+    if head in _OPS or head in _CMPS:
+        op = _OPS.get(head) or _CMPS.get(head)
+
+        def with_lhs(lv):
+            def with_rhs(rv):
+                name = _gen("t")
+                return LetPrim(name, op, [lv, rv], k(Var(name)))
+
+            return _convert(expr[2], with_rhs)
+
+        return _convert(expr[1], with_lhs)
+    if head == "if":
+        join = _gen("j")
+        joined_param = _gen("x")
+        then_k = _gen("kt")
+        else_k = _gen("ke")
+
+        def branch(target: str):
+            return lambda v: App(Var(target), [v])
+
+        def with_cond(cv):
+            then_term = _convert(expr[2], lambda v: App(Var(join), [v]))
+            else_term = _convert(expr[3], lambda v: App(Var(join), [v]))
+            return LetCont(
+                join, [joined_param], k(Var(joined_param)),
+                LetCont(then_k, [], then_term,
+                        LetCont(else_k, [], else_term,
+                                If(cv, Var(then_k), Var(else_k)))),
+            )
+
+        return _convert(expr[1], with_cond)
+    if head == "call":
+        fname = expr[1]
+        args = list(expr[2:])
+
+        def gather(acc, remaining):
+            if not remaining:
+                ret = _gen("r")
+                param = _gen("v")
+                return LetCont(ret, [param], k(Var(param)),
+                               App(Var(fname), acc + [Var(ret)]))
+            return _convert(remaining[0],
+                            lambda v: gather(acc + [v], remaining[1:]))
+
+        return gather([], args)
+    if head == "letfun":
+        _, fname, params, body, rest = expr
+        ret = _gen("k")
+        fun_body = _convert(body, lambda v: App(Var(ret), [v]))
+        return LetFun(fname, list(params), ret, fun_body, _convert(rest, k))
+    raise AssertionError(f"bad expression {expr!r}")

@@ -1,0 +1,101 @@
+"""Evaluator for nested CPS terms (correctness oracle for the baseline)."""
+
+from __future__ import annotations
+
+from ...core import fold
+from ...core import types as ct
+from ...core.primops import ArithKind, CmpRel
+from .terms import App, Halt, If, LetCont, LetFun, LetPrim, Term, Var
+
+
+class CPSRuntimeError(Exception):
+    pass
+
+
+class _Closure:
+    __slots__ = ("params", "body", "env", "recursive_name")
+
+    def __init__(self, params, body, env, recursive_name=None):
+        self.params = params
+        self.body = body
+        self.env = env
+        self.recursive_name = recursive_name
+
+
+def evaluate(term: Term, env: dict | None = None, *,
+             max_steps: int = 10_000_000) -> int:
+    """Run a term to ``halt``; values are i64 (canonical unsigned)."""
+    env = dict(env or {})
+    steps = 0
+    while True:
+        steps += 1
+        if steps > max_steps:
+            raise CPSRuntimeError("step budget exceeded")
+        if isinstance(term, Halt):
+            return _value(term.value, env)
+        if isinstance(term, LetPrim):
+            env = dict(env)
+            env[term.name] = _apply_prim(term.op,
+                                         [_value(a, env) for a in term.args])
+            term = term.body
+            continue
+        if isinstance(term, LetCont):
+            env = dict(env)
+            closure = _Closure(term.params, term.cont_body, env, term.name)
+            env[term.name] = closure
+            closure.env = env
+            term = term.body
+            continue
+        if isinstance(term, LetFun):
+            env = dict(env)
+            closure = _Closure(term.params + [term.ret], term.fun_body, env,
+                               term.name)
+            env[term.name] = closure
+            closure.env = env
+            term = term.body
+            continue
+        if isinstance(term, If):
+            chosen = (env[term.then_cont.name] if env[term.cond.name]
+                      else env[term.else_cont.name])
+            if not isinstance(chosen, _Closure):
+                raise CPSRuntimeError("if target is not a continuation")
+            env = dict(chosen.env)
+            term = chosen.body
+            continue
+        if isinstance(term, App):
+            closure = env.get(term.callee.name)
+            if not isinstance(closure, _Closure):
+                raise CPSRuntimeError(f"calling non-closure {term.callee.name}")
+            args = [_value(a, env) for a in term.args]
+            if len(args) != len(closure.params):
+                raise CPSRuntimeError(
+                    f"arity mismatch calling {term.callee.name}"
+                )
+            env = dict(closure.env)
+            for param, arg in zip(closure.params, args):
+                env[param] = arg
+            term = closure.body
+            continue
+        raise AssertionError(term)
+
+
+def _value(v, env):
+    if isinstance(v, Var):
+        try:
+            return env[v.name]
+        except KeyError:
+            raise CPSRuntimeError(f"unbound variable {v.name}") from None
+    return v
+
+
+def _apply_prim(op, args):
+    if isinstance(op, tuple) and op[0] == "const":
+        return fold.canonical_int(op[1], 64)
+    if isinstance(op, ArithKind):
+        try:
+            return fold.arith(op, ct.I64, args[0], args[1])
+        except fold.EvalError as exc:
+            raise CPSRuntimeError(str(exc)) from None
+    if isinstance(op, CmpRel):
+        return fold.compare(op, ct.I64, args[0], args[1])
+    raise AssertionError(op)

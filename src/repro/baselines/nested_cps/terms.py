@@ -1,0 +1,165 @@
+"""Term language: classic nested CPS with named binders.
+
+Grammar (compare Kennedy, "Compiling with Continuations, Continued")::
+
+    t ::= letval x = prim(op, args) in t     (LetPrim)
+        | letcont k(params...) = t in t      (LetCont)
+        | letfun  f(params..., k) = t in t   (LetFun; k = return cont)
+        | if x then k1() else k2()           (If; conts are variables)
+        | apply f(args..., k)                (App; f, k variables or names)
+        | halt x                             (Halt)
+
+Variables are *names* (strings): shadowing, capture and alpha-renaming
+are real concerns — that is the point of this baseline.
+"""
+
+from __future__ import annotations
+
+from ...core.primops import ArithKind, CmpRel
+
+
+class Term:
+    __slots__ = ()
+
+
+class Var:
+    """An occurrence of a variable (by name)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.name
+
+
+class LetPrim(Term):
+    __slots__ = ("name", "op", "args", "body")
+
+    def __init__(self, name: str, op, args: list, body: Term):
+        self.name = name
+        self.op = op  # ArithKind | CmpRel | ("const", value)
+        self.args = args  # list[Var | const]
+        self.body = body
+
+
+class LetCont(Term):
+    __slots__ = ("name", "params", "cont_body", "body")
+
+    def __init__(self, name: str, params: list[str], cont_body: Term,
+                 body: Term):
+        self.name = name
+        self.params = params
+        self.cont_body = cont_body
+        self.body = body
+
+
+class LetFun(Term):
+    __slots__ = ("name", "params", "ret", "fun_body", "body")
+
+    def __init__(self, name: str, params: list[str], ret: str,
+                 fun_body: Term, body: Term):
+        self.name = name
+        self.params = params
+        self.ret = ret
+        self.fun_body = fun_body
+        self.body = body
+
+
+class If(Term):
+    __slots__ = ("cond", "then_cont", "else_cont")
+
+    def __init__(self, cond: Var, then_cont: Var, else_cont: Var):
+        self.cond = cond
+        self.then_cont = then_cont
+        self.else_cont = else_cont
+
+
+class App(Term):
+    __slots__ = ("callee", "args")
+
+    def __init__(self, callee: Var, args: list):
+        self.callee = callee
+        self.args = args
+
+
+class Halt(Term):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+def _subterms(t: Term) -> list[Term]:
+    if isinstance(t, LetPrim):
+        return [t.body]
+    if isinstance(t, LetCont):
+        return [t.cont_body, t.body]
+    if isinstance(t, LetFun):
+        return [t.fun_body, t.body]
+    return []
+
+
+def count_nodes(t: Term) -> int:
+    total = 0
+    stack = [t]
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(_subterms(node))
+    return total
+
+
+def free_vars(t: Term) -> set[str]:
+    def value_names(values) -> set[str]:
+        return {v.name for v in values if isinstance(v, Var)}
+
+    if isinstance(t, LetPrim):
+        return value_names(t.args) | (free_vars(t.body) - {t.name})
+    if isinstance(t, LetCont):
+        inner = free_vars(t.cont_body) - set(t.params)
+        return inner | (free_vars(t.body) - {t.name})
+    if isinstance(t, LetFun):
+        inner = free_vars(t.fun_body) - set(t.params) - {t.ret}
+        # letfun is recursive: f is bound in both bodies
+        return (inner | free_vars(t.body)) - {t.name}
+    if isinstance(t, If):
+        return {t.cond.name, t.then_cont.name, t.else_cont.name}
+    if isinstance(t, App):
+        return {t.callee.name} | value_names(t.args)
+    if isinstance(t, Halt):
+        return value_names([t.value])
+    raise AssertionError(t)
+
+
+def pretty(t: Term, indent: int = 0) -> str:
+    pad = "  " * indent
+
+    def val(v) -> str:
+        return v.name if isinstance(v, Var) else repr(v)
+
+    if isinstance(t, LetPrim):
+        op = t.op[1] if isinstance(t.op, tuple) else t.op.value
+        args = ", ".join(val(a) for a in t.args)
+        return (f"{pad}letval {t.name} = {op}({args}) in\n"
+                + pretty(t.body, indent))
+    if isinstance(t, LetCont):
+        params = ", ".join(t.params)
+        return (f"{pad}letcont {t.name}({params}) =\n"
+                + pretty(t.cont_body, indent + 1) + "\n"
+                + pretty(t.body, indent))
+    if isinstance(t, LetFun):
+        params = ", ".join(t.params + [t.ret])
+        return (f"{pad}letfun {t.name}({params}) =\n"
+                + pretty(t.fun_body, indent + 1) + "\n"
+                + pretty(t.body, indent))
+    if isinstance(t, If):
+        return (f"{pad}if {t.cond.name} then {t.then_cont.name}() "
+                f"else {t.else_cont.name}()")
+    if isinstance(t, App):
+        args = ", ".join(val(a) for a in t.args)
+        return f"{pad}apply {t.callee.name}({args})"
+    if isinstance(t, Halt):
+        return f"{pad}halt {val(t.value)}"
+    raise AssertionError(t)

@@ -1,0 +1,134 @@
+"""Transformations on nested CPS — the bookkeeping the paper removes.
+
+:func:`inline_function` inlines one application of a ``letfun``:
+substitution of the body at the call site with capture-avoiding
+alpha-renaming of every binder in the copied body, plus re-traversal of
+the nesting spine.  :class:`InlineStats` records the work; T3 holds it
+against the Thorin mangler's structurally-zero repair counters.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .terms import App, Halt, If, LetCont, LetFun, LetPrim, Term, Var
+
+
+class InlineStats:
+    def __init__(self) -> None:
+        self.alpha_renames = 0       # binders freshened in the copied body
+        self.nodes_copied = 0        # term nodes rebuilt
+        self.spine_rebuilds = 0      # nesting levels re-wrapped on the way up
+        self.substitutions = 0       # variable occurrences substituted
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+    def total_bookkeeping(self) -> int:
+        return self.alpha_renames + self.spine_rebuilds + self.substitutions
+
+
+_fresh_counter = itertools.count()
+
+
+def _fresh(name: str) -> str:
+    return f"{name}.{next(_fresh_counter)}"
+
+
+def _subst_value(value, mapping: dict[str, object], stats: InlineStats):
+    if isinstance(value, Var) and value.name in mapping:
+        stats.substitutions += 1
+        replacement = mapping[value.name]
+        return replacement if not isinstance(replacement, Var) \
+            else Var(replacement.name)
+    return value
+
+
+def _copy_renamed(t: Term, mapping: dict[str, object],
+                  stats: InlineStats) -> Term:
+    """Copy *t*, substituting via *mapping* and freshening every binder."""
+    stats.nodes_copied += 1
+    if isinstance(t, LetPrim):
+        fresh = _fresh(t.name)
+        stats.alpha_renames += 1
+        inner = dict(mapping)
+        inner[t.name] = Var(fresh)
+        return LetPrim(fresh, t.op,
+                       [_subst_value(a, mapping, stats) for a in t.args],
+                       _copy_renamed(t.body, inner, stats))
+    if isinstance(t, LetCont):
+        fresh = _fresh(t.name)
+        fresh_params = [_fresh(p) for p in t.params]
+        stats.alpha_renames += 1 + len(t.params)
+        cont_mapping = dict(mapping)
+        for old, new in zip(t.params, fresh_params):
+            cont_mapping[old] = Var(new)
+        body_mapping = dict(mapping)
+        body_mapping[t.name] = Var(fresh)
+        cont_mapping[t.name] = Var(fresh)  # conts may self-reference
+        return LetCont(fresh, fresh_params,
+                       _copy_renamed(t.cont_body, cont_mapping, stats),
+                       _copy_renamed(t.body, body_mapping, stats))
+    if isinstance(t, LetFun):
+        fresh = _fresh(t.name)
+        fresh_params = [_fresh(p) for p in t.params]
+        fresh_ret = _fresh(t.ret)
+        stats.alpha_renames += 2 + len(t.params)
+        fun_mapping = dict(mapping)
+        for old, new in zip(t.params, fresh_params):
+            fun_mapping[old] = Var(new)
+        fun_mapping[t.ret] = Var(fresh_ret)
+        fun_mapping[t.name] = Var(fresh)
+        body_mapping = dict(mapping)
+        body_mapping[t.name] = Var(fresh)
+        return LetFun(fresh, fresh_params, fresh_ret,
+                      _copy_renamed(t.fun_body, fun_mapping, stats),
+                      _copy_renamed(t.body, body_mapping, stats))
+    if isinstance(t, If):
+        return If(_subst_value(t.cond, mapping, stats),
+                  _subst_value(t.then_cont, mapping, stats),
+                  _subst_value(t.else_cont, mapping, stats))
+    if isinstance(t, App):
+        return App(_subst_value(t.callee, mapping, stats),
+                   [_subst_value(a, mapping, stats) for a in t.args])
+    if isinstance(t, Halt):
+        return Halt(_subst_value(t.value, mapping, stats))
+    raise AssertionError(t)
+
+
+def inline_function(t: Term, fname: str,
+                    stats: InlineStats | None = None) -> tuple[Term, InlineStats]:
+    """Inline every direct application of ``letfun fname`` inside its scope.
+
+    Returns the rewritten term; the original binding is kept (it may
+    still be referenced — a cleanup would drop it when dead, which also
+    requires a traversal here, unlike graph GC).
+    """
+    stats = stats if stats is not None else InlineStats()
+
+    def walk(node: Term, fun: "LetFun | None") -> Term:
+        stats.spine_rebuilds += 1
+        if isinstance(node, LetPrim):
+            return LetPrim(node.name, node.op, node.args,
+                           walk(node.body, fun))
+        if isinstance(node, LetCont):
+            return LetCont(node.name, node.params,
+                           walk(node.cont_body, fun), walk(node.body, fun))
+        if isinstance(node, LetFun):
+            if node.name == fname:
+                # Shadowing: inner scope sees the inner binding.
+                return LetFun(node.name, node.params, node.ret,
+                              walk(node.fun_body, node),
+                              walk(node.body, node))
+            return LetFun(node.name, node.params, node.ret,
+                          walk(node.fun_body, fun), walk(node.body, fun))
+        if isinstance(node, App) and node.callee.name == fname \
+                and fun is not None:
+            mapping: dict[str, object] = {}
+            for param, arg in zip(fun.params, node.args[:-1]):
+                mapping[param] = arg
+            mapping[fun.ret] = node.args[-1]
+            return _copy_renamed(fun.fun_body, mapping, stats)
+        return node
+
+    return walk(t, None), stats

@@ -1,0 +1,40 @@
+"""The classical CFG+SSA baseline compiler ("LLVM lite")."""
+
+from __future__ import annotations
+
+from ...frontend import compile_to_ast
+from .builder import BaselineError, lower_module
+from .codegen import CompiledSSA, compile_module
+from .ir import Module, print_function, print_module
+from .passes import PassStats, optimize_module
+
+
+def compile_source_ssa(source: str, *, optimize: bool = True,
+                       stats_out: list | None = None) -> Module:
+    """Compile Impala-lite source with the baseline pipeline."""
+    module = lower_module(compile_to_ast(source))
+    if optimize:
+        stats = optimize_module(module)
+        if stats_out is not None:
+            stats_out.append(stats)
+    return module
+
+
+def run_ssa(module: Module, name: str, *args):
+    """Compile to the shared VM and call *name*."""
+    return CompiledSSA(module).call(name, *args)
+
+
+__all__ = [
+    "BaselineError",
+    "CompiledSSA",
+    "Module",
+    "PassStats",
+    "compile_module",
+    "compile_source_ssa",
+    "lower_module",
+    "optimize_module",
+    "print_function",
+    "print_module",
+    "run_ssa",
+]

@@ -1,0 +1,593 @@
+"""AST → classical SSA lowering (Braun et al. construction, phi objects).
+
+Shares the frontend (lexer/parser/sema) with the Thorin pipeline and
+lowers the *same* typed AST, so F1 compares code generation and
+optimization strategies, not parsers.  First-class functions are
+rejected: the baseline models a conventional first-order imperative
+compiler — which is exactly the paper's framing (higher-order programs
+are where the graph IR pulls ahead).
+"""
+
+from __future__ import annotations
+
+from ...core import types as ct
+from ...frontend import ast
+from ...frontend.errors import CompileError
+from ...frontend.sema import BuiltinDecl, _MATH_BUILTINS
+from ...core.primops import ArithKind, CmpRel, MathKind
+from .ir import (
+    Block,
+    Br,
+    Const,
+    Function,
+    Instr,
+    Jmp,
+    Module,
+    Opcode,
+    Phi,
+    Ret,
+    Value,
+)
+
+_ARITH_OPS = {
+    "+": ArithKind.ADD, "-": ArithKind.SUB, "*": ArithKind.MUL,
+    "/": ArithKind.DIV, "%": ArithKind.REM, "&": ArithKind.AND,
+    "|": ArithKind.OR, "^": ArithKind.XOR, "<<": ArithKind.SHL,
+    ">>": ArithKind.SHR,
+}
+
+_CMP_OPS = {
+    "==": CmpRel.EQ, "!=": CmpRel.NE, "<": CmpRel.LT,
+    "<=": CmpRel.LE, ">": CmpRel.GT, ">=": CmpRel.GE,
+}
+
+
+class BaselineError(CompileError):
+    """The baseline compiler does not support this construct."""
+
+
+def lower_module(module: ast.Module, name: str = "module") -> Module:
+    """Lower a type-checked AST module to classical SSA."""
+    out = Module(name)
+    fns: dict[ast.FnDecl, Function] = {}
+    for decl in module.functions:
+        param_types = [(p.name, p.type) for p in decl.params]
+        fn = Function(decl.name, param_types, decl.ret_type)
+        fn.is_external = decl.is_extern
+        out.add(fn)
+        fns[decl] = fn
+    for decl in module.functions:
+        _FnLowerer(out, fns, decl, fns[decl]).run()
+    return out
+
+
+class _LoopCtx:
+    def __init__(self, continue_target: Block, break_target: Block):
+        self.continue_target = continue_target
+        self.break_target = break_target
+
+
+class _FnLowerer:
+    def __init__(self, module: Module, fns: dict, decl: ast.FnDecl,
+                 fn: Function):
+        self.module = module
+        self.fns = fns
+        self.decl = decl
+        self.fn = fn
+        self.cur: Block | None = fn.new_block("entry")
+        # Braun construction state
+        self._defs: dict[Block, dict[object, Value]] = {self.cur: {}}
+        self._sealed: set[Block] = {self.cur}
+        self._incomplete: dict[Block, list[tuple[Phi, object]]] = {}
+        self._preds: dict[Block, list[Block]] = {self.cur: []}
+        self.slots: dict[ast.LetStmt, Instr] = {}
+        self.loops: list[_LoopCtx] = []
+        # Forwarding for phis dissolved by triviality cascades: values
+        # held across reads must resolve through this table (the same
+        # hazard exists in the Thorin builder; see frontend/builder.py).
+        self._replacements: dict[Phi, Value] = {}
+        # T3 bookkeeping
+        self.phis_created = 0
+
+    def _resolve(self, value: Value) -> Value:
+        while isinstance(value, Phi):
+            forwarded = self._replacements.get(value)
+            if forwarded is None:
+                break
+            value = forwarded
+        return value
+
+    # ------------------------------------------------------------------
+    # Braun-style variable handling (explicit phis)
+    # ------------------------------------------------------------------
+
+    def _new_block(self, name: str) -> Block:
+        block = self.fn.new_block(name)
+        self._defs[block] = {}
+        self._preds[block] = []
+        return block
+
+    def _seal(self, block: Block) -> None:
+        for phi, var in self._incomplete.pop(block, []):
+            self._add_phi_operands(block, phi, var)
+        self._sealed.add(block)
+
+    def _link(self, pred: Block, succ: Block) -> None:
+        assert succ not in self._sealed, f"late predecessor for {succ.name}"
+        self._preds[succ].append(pred)
+
+    def write(self, var: object, value: Value) -> None:
+        assert self.cur is not None
+        self._defs[self.cur][var] = value
+
+    def read(self, var: object, type: ct.Type) -> Value:
+        assert self.cur is not None
+        return self._read(self.cur, var, type)
+
+    def _read(self, block: Block, var: object, type: ct.Type) -> Value:
+        local = self._defs[block].get(var)
+        if local is not None:
+            return self._resolve(local)
+        if block not in self._sealed:
+            phi = Phi(type, getattr(var, "name", "phi"))
+            self.phis_created += 1
+            block.add_phi(phi)
+            self._incomplete.setdefault(block, []).append((phi, var))
+            value: Value = phi
+        else:
+            preds = self._preds[block]
+            if len(preds) == 1:
+                value = self._read(preds[0], var, type)
+            elif not preds:
+                value = Const(type, None)  # undef
+            else:
+                phi = Phi(type, getattr(var, "name", "phi"))
+                self.phis_created += 1
+                block.add_phi(phi)
+                self._defs[block][var] = phi
+                value = self._add_phi_operands(block, phi, var)
+        self._defs[block][var] = value
+        return value
+
+    def _add_phi_operands(self, block: Block, phi: Phi, var: object) -> Value:
+        preds = list(self._preds[block])
+        values = [self._read(pred, var, phi.type) for pred in preds]
+        if phi.block is None or phi not in phi.block.phis:
+            return self._resolve(self._defs[block][var])
+        for pred, value in zip(preds, values):
+            phi.set_value_for(pred, self._resolve(value))
+        return self._try_remove_trivial(phi)
+
+    def _try_remove_trivial(self, phi: Phi) -> Value:
+        same: Value | None = None
+        for _, value in phi.incoming:
+            if value is phi or value is same:
+                continue
+            if same is not None:
+                return phi
+            same = value
+        if same is None:
+            same = Const(phi.type, None)
+        users = self._phi_users(phi)
+        self._replacements[phi] = same
+        self._replace_value(phi, same)
+        assert phi.block is not None
+        phi.block.phis.remove(phi)
+        for user in users:
+            if isinstance(user, Phi) and user.block is not None \
+                    and user in user.block.phis and user is not phi:
+                self._try_remove_trivial(user)
+        # The cascade may have dissolved `same` itself.
+        return self._resolve(same)
+
+    def _phi_users(self, phi: Phi) -> list[Value]:
+        users: list[Value] = []
+        for block in self.fn.blocks:
+            for other in block.phis:
+                if any(v is phi for _, v in other.incoming):
+                    users.append(other)
+        return users
+
+    def _replace_value(self, old: Value, new: Value) -> None:
+        for block in self.fn.blocks:
+            for phi in block.phis:
+                phi.incoming = [(b, new if v is old else v)
+                                for b, v in phi.incoming]
+            for instr in block.instrs:
+                instr.operands = [new if o is old else o
+                                  for o in instr.operands]
+            t = block.terminator
+            if isinstance(t, Br) and t.cond is old:
+                t.cond = new
+            elif isinstance(t, Ret) and t.value is old:
+                t.value = new
+        for defs in self._defs.values():
+            for var, value in list(defs.items()):
+                if value is old:
+                    defs[var] = new
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        for ast_param, ir_param in zip(self.decl.params, self.fn.params):
+            self.write(ast_param, ir_param)
+        value = self.emit_block(self.decl.body)
+        if self.cur is not None:
+            if self.decl.ret_type is None:
+                self.cur.terminator = Ret(None)
+            else:
+                if value is None:
+                    raise BaselineError("missing return value",
+                                        self.decl.body.loc)
+                self.cur.terminator = Ret(self._resolve(value))
+
+    def emit(self, opcode: Opcode, type, operands, name="v", extra=None) -> Instr:
+        assert self.cur is not None
+        operands = [self._resolve(o) for o in operands]
+        return self.cur.append(Instr(opcode, type, operands, name, extra))
+
+    # -- statements -----------------------------------------------------
+
+    def emit_block(self, block: ast.Block) -> Value | None:
+        for stmt in block.stmts:
+            if self.cur is None:
+                return None
+            self.emit_stmt(stmt)
+        if block.result is not None and self.cur is not None:
+            return self.emit_expr(block.result)
+        return None
+
+    def emit_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.LetStmt):
+            value = self.emit_expr(stmt.init)
+            if stmt.is_slot:
+                slot = self.emit(Opcode.ALLOCA, ct.ptr_type(stmt.var_type),
+                                 [], stmt.name, extra=stmt.var_type)
+                self.slots[stmt] = slot
+                self.emit(Opcode.STORE, ct.UNIT, [slot, value])
+            else:
+                self.write(stmt, value)
+            return
+        if isinstance(stmt, ast.AssignStmt):
+            self._emit_assign(stmt)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self.emit_expr(stmt.expr)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            self._emit_while(stmt)
+            return
+        if isinstance(stmt, ast.ForStmt):
+            self._emit_for(stmt)
+            return
+        if isinstance(stmt, ast.BreakStmt):
+            self._goto(self.loops[-1].break_target)
+            return
+        if isinstance(stmt, ast.ContinueStmt):
+            self._goto(self.loops[-1].continue_target)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            value = (self.emit_expr(stmt.value)
+                     if stmt.value is not None else None)
+            assert self.cur is not None
+            self.cur.terminator = Ret(
+                self._resolve(value) if value is not None else None)
+            self.cur = None
+            return
+        raise AssertionError(f"unhandled stmt {stmt!r}")
+
+    def _goto(self, target: Block) -> None:
+        assert self.cur is not None
+        self.cur.terminator = Jmp(target)
+        self._link(self.cur, target)
+        self.cur = None
+
+    def _branch(self, cond: Value, then_target: Block, else_target: Block) -> None:
+        assert self.cur is not None
+        self.cur.terminator = Br(self._resolve(cond), then_target, else_target)
+        self._link(self.cur, then_target)
+        self._link(self.cur, else_target)
+        self.cur = None
+
+    def _enter(self, block: Block) -> None:
+        self.cur = block
+
+    def _emit_assign(self, stmt: ast.AssignStmt) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            decl = target.decl
+            assert isinstance(decl, ast.LetStmt)
+            if decl.is_slot:
+                ptr = self.slots[decl]
+                new = self._assigned_value(
+                    stmt, lambda: self.emit(Opcode.LOAD, decl.var_type, [ptr]),
+                    decl.var_type)
+                self.emit(Opcode.STORE, ct.UNIT, [ptr, new])
+            else:
+                new = self._assigned_value(
+                    stmt, lambda: self.read(decl, decl.var_type),
+                    decl.var_type)
+                self.write(decl, new)
+            return
+        assert isinstance(target, ast.Index)
+        ptr = self._emit_index_ptr(target)
+        if ptr is None:
+            raise BaselineError("cannot assign through immutable aggregate",
+                                target.loc)
+        new = self._assigned_value(
+            stmt, lambda: self.emit(Opcode.LOAD, target.type, [ptr]),
+            target.type)
+        self.emit(Opcode.STORE, ct.UNIT, [ptr, new])
+
+    def _assigned_value(self, stmt: ast.AssignStmt, read_old, type) -> Value:
+        if stmt.op is None:
+            return self.emit_expr(stmt.value)
+        old = read_old()
+        rhs = self.emit_expr(stmt.value)
+        return self.emit(Opcode.ARITH, type, [old, rhs],
+                         extra=_ARITH_OPS[stmt.op])
+
+    def _emit_while(self, stmt: ast.WhileStmt) -> None:
+        head = self._new_block("while_head")
+        self._goto(head)
+        self._enter(head)
+        cond = self.emit_expr(stmt.cond)
+        body = self._new_block("while_body")
+        exit_ = self._new_block("while_exit")
+        self._branch(cond, body, exit_)
+        self._seal(body)
+        self.loops.append(_LoopCtx(head, exit_))
+        self._enter(body)
+        self.emit_block(stmt.body)
+        if self.cur is not None:
+            self._goto(head)
+        self._seal(head)
+        self.loops.pop()
+        self._seal(exit_)
+        self._enter(exit_)
+
+    def _emit_for(self, stmt: ast.ForStmt) -> None:
+        start = self.emit_expr(stmt.start)
+        end = self.emit_expr(stmt.end)
+        self.write(stmt, start)
+        head = self._new_block("for_head")
+        self._goto(head)
+        self._enter(head)
+        i = self.read(stmt, stmt.var_type)
+        cond = self.emit(Opcode.CMP, ct.BOOL, [i, end], extra=CmpRel.LT)
+        body = self._new_block("for_body")
+        exit_ = self._new_block("for_exit")
+        incr = self._new_block("for_incr")
+        self._branch(cond, body, exit_)
+        self._seal(body)
+        self.loops.append(_LoopCtx(incr, exit_))
+        self._enter(body)
+        self.emit_block(stmt.body)
+        if self.cur is not None:
+            self._goto(incr)
+        self._seal(incr)
+        self.loops.pop()
+        self._enter(incr)
+        next_i = self.emit(Opcode.ARITH, stmt.var_type,
+                           [self.read(stmt, stmt.var_type),
+                            Const(stmt.var_type, 1)],
+                           extra=ArithKind.ADD)
+        self.write(stmt, next_i)
+        self._goto(head)
+        self._seal(head)
+        self._seal(exit_)
+        self._enter(exit_)
+
+    # -- expressions ------------------------------------------------------
+
+    def emit_expr(self, expr: ast.Expr) -> Value | None:
+        if isinstance(expr, ast.IntLit):
+            from ...core import fold
+
+            return Const(expr.type, fold.canonicalize(expr.type.kind, expr.value))
+        if isinstance(expr, ast.FloatLit):
+            from ...core import fold
+
+            return Const(expr.type, fold.canonicalize(expr.type.kind, expr.value))
+        if isinstance(expr, ast.BoolLit):
+            return Const(ct.BOOL, expr.value)
+        if isinstance(expr, ast.UnitLit):
+            return None
+        if isinstance(expr, ast.Name):
+            return self._emit_name(expr)
+        if isinstance(expr, ast.Block):
+            return self.emit_block(expr)
+        if isinstance(expr, ast.TupleLit):
+            elems = [self.emit_expr(e) for e in expr.elems]
+            return self.emit(Opcode.TUPLE, expr.type, elems)
+        if isinstance(expr, ast.ArrayLit):
+            if expr.repeat is not None:
+                value = self.emit_expr(expr.repeat)
+                return self.emit(Opcode.TUPLE, expr.type,
+                                 [value] * expr.count)
+            return self.emit(Opcode.TUPLE, expr.type,
+                             [self.emit_expr(e) for e in expr.elems])
+        if isinstance(expr, ast.Unary):
+            return self._emit_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._emit_binary(expr)
+        if isinstance(expr, ast.CastExpr):
+            value = self.emit_expr(expr.value)
+            return self.emit(Opcode.CAST, expr.type, [value])
+        if isinstance(expr, ast.IfExpr):
+            return self._emit_if(expr)
+        if isinstance(expr, ast.Call):
+            return self._emit_call(expr)
+        if isinstance(expr, ast.Index):
+            ptr = self._emit_index_ptr(expr)
+            if ptr is not None:
+                return self.emit(Opcode.LOAD, expr.type, [ptr])
+            base = self.emit_expr(expr.base)
+            index = self._as_i64(self.emit_expr(expr.index))
+            return self.emit(Opcode.EXTRACT, expr.type, [base, index])
+        if isinstance(expr, ast.TupleField):
+            base = self.emit_expr(expr.base)
+            return self.emit(Opcode.EXTRACT, expr.type,
+                             [base, Const(ct.I64, expr.field)])
+        if isinstance(expr, ast.Lambda):
+            raise BaselineError(
+                "the SSA baseline has no closures (first-order only)",
+                expr.loc,
+            )
+        raise AssertionError(f"unhandled expr {expr!r}")
+
+    def _as_i64(self, value: Value) -> Value:
+        if value.type is ct.I64:
+            return value
+        return self.emit(Opcode.CAST, ct.I64, [value])
+
+    def _emit_name(self, expr: ast.Name) -> Value:
+        decl = expr.decl
+        if isinstance(decl, ast.FnDecl):
+            raise BaselineError(
+                "the SSA baseline has no function values", expr.loc
+            )
+        if isinstance(decl, ast.LetStmt):
+            if decl.is_slot:
+                return self.emit(Opcode.LOAD, decl.var_type,
+                                 [self.slots[decl]])
+            return self.read(decl, decl.var_type)
+        if isinstance(decl, ast.ParamDecl):
+            return self.read(decl, decl.type)
+        if isinstance(decl, ast.ForStmt):
+            return self.read(decl, decl.var_type)
+        raise AssertionError(f"unhandled decl {decl!r}")
+
+    def _emit_unary(self, expr: ast.Unary) -> Value:
+        operand = self.emit_expr(expr.operand)
+        t = expr.type
+        if expr.op == "!":
+            if t is ct.BOOL:
+                return self.emit(Opcode.ARITH, t, [operand, Const(t, True)],
+                                 extra=ArithKind.XOR)
+            ones = Const(t, (1 << t.bitwidth) - 1)
+            return self.emit(Opcode.ARITH, t, [operand, ones],
+                             extra=ArithKind.XOR)
+        zero = Const(t, -0.0 if t.is_float else 0)
+        return self.emit(Opcode.ARITH, t, [zero, operand],
+                         extra=ArithKind.SUB)
+
+    def _emit_binary(self, expr: ast.Binary) -> Value:
+        if expr.op in ("&&", "||"):
+            return self._emit_shortcut(expr)
+        lhs = self.emit_expr(expr.lhs)
+        rhs = self.emit_expr(expr.rhs)
+        if expr.op in _CMP_OPS:
+            return self.emit(Opcode.CMP, ct.BOOL, [lhs, rhs],
+                             extra=_CMP_OPS[expr.op])
+        return self.emit(Opcode.ARITH, expr.type, [lhs, rhs],
+                         extra=_ARITH_OPS[expr.op])
+
+    def _emit_shortcut(self, expr: ast.Binary) -> Value:
+        cond = self.emit_expr(expr.lhs)
+        rhs_b = self._new_block("sc_rhs")
+        skip_b = self._new_block("sc_skip")
+        join = self._new_block("sc_join")
+        if expr.op == "&&":
+            self._branch(cond, rhs_b, skip_b)
+            skip_value: Value = Const(ct.BOOL, False)
+        else:
+            self._branch(cond, skip_b, rhs_b)
+            skip_value = Const(ct.BOOL, True)
+        self._seal(rhs_b)
+        self._seal(skip_b)
+        self._enter(rhs_b)
+        rhs = self.emit_expr(expr.rhs)
+        if self.cur is not None:
+            self.write(expr, rhs)
+            self._goto(join)
+        self._enter(skip_b)
+        self.write(expr, skip_value)
+        self._goto(join)
+        self._seal(join)
+        self._enter(join)
+        return self.read(expr, ct.BOOL)
+
+    def _emit_if(self, expr: ast.IfExpr) -> Value | None:
+        cond = self.emit_expr(expr.cond)
+        then_b = self._new_block("if_then")
+        else_b = self._new_block("if_else")
+        join = self._new_block("if_join")
+        self._branch(cond, then_b, else_b)
+        self._seal(then_b)
+        self._seal(else_b)
+        has_value = expr.type is not None
+
+        self._enter(then_b)
+        value = self.emit_block(expr.then_block)
+        if self.cur is not None:
+            if has_value:
+                self.write(expr, value)
+            self._goto(join)
+
+        self._enter(else_b)
+        if expr.else_block is not None:
+            if isinstance(expr.else_block, ast.IfExpr):
+                value = self._emit_if(expr.else_block)
+            else:
+                value = self.emit_block(expr.else_block)
+        else:
+            value = None
+        if self.cur is not None:
+            if has_value:
+                self.write(expr, value)
+            self._goto(join)
+
+        self._seal(join)
+        self._enter(join)
+        if not self._preds[join]:
+            self.cur = None
+            return None
+        if has_value:
+            return self.read(expr, expr.type)
+        return None
+
+    def _emit_call(self, expr: ast.Call) -> Value | None:
+        callee = expr.callee
+        if isinstance(callee, ast.Name) and isinstance(callee.decl, BuiltinDecl):
+            return self._emit_builtin(expr, callee.decl)
+        if not (isinstance(callee, ast.Name)
+                and isinstance(callee.decl, ast.FnDecl)):
+            raise BaselineError("the SSA baseline only has direct calls",
+                                expr.loc)
+        target = self.fns[callee.decl]
+        args = [self.emit_expr(a) for a in expr.args]
+        return self.emit(Opcode.CALL,
+                         expr.type if expr.type is not None else ct.UNIT,
+                         args, callee.decl.name, extra=target)
+
+    def _emit_builtin(self, expr: ast.Call, decl: BuiltinDecl) -> Value | None:
+        if decl.name in _MATH_BUILTINS:
+            value = self.emit_expr(expr.args[0])
+            return self.emit(Opcode.MATH, value.type, [value],
+                             extra=MathKind(decl.name))
+        if decl.name.startswith("new_buf_"):
+            count = self.emit_expr(expr.args[0])
+            ret = decl.ret_type
+            assert isinstance(ret, ct.PtrType)
+            return self.emit(Opcode.ALLOC, ret, [count], extra=ret.pointee)
+        if decl.name.startswith("print_"):
+            value = self.emit_expr(expr.args[0])
+            kind = decl.name.split("_", 1)[1]
+            self.emit(Opcode.PRINT, ct.UNIT, [value], extra=kind)
+            return None
+        raise AssertionError(decl.name)
+
+    def _emit_index_ptr(self, expr: ast.Index) -> Value | None:
+        base = expr.base
+        base_t = base.type
+        if isinstance(base_t, ct.PtrType):
+            ptr = self.emit_expr(base)
+            index = self._as_i64(self.emit_expr(expr.index))
+            return self.emit(Opcode.GEP, ct.ptr_type(expr.type), [ptr, index])
+        if (isinstance(base, ast.Name) and isinstance(base.decl, ast.LetStmt)
+                and base.decl.is_slot):
+            ptr = self.slots[base.decl]
+            index = self._as_i64(self.emit_expr(expr.index))
+            return self.emit(Opcode.GEP, ct.ptr_type(expr.type), [ptr, index])
+        return None

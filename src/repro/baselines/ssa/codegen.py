@@ -1,0 +1,353 @@
+"""SSA baseline → the shared register bytecode.
+
+Both compilers target the same :mod:`repro.backend.bytecode` machine, so
+F1's run-time numbers compare generated code, not interpreters.  Phi
+elimination happens here the classical way: parallel copies on each
+incoming edge (split conceptually; we emit the moves in the predecessor
+since our edges are never critical for correctness of this IR's use —
+when they are, an edge block is materialized).
+"""
+
+from __future__ import annotations
+
+from ...backend import bytecode as bc
+from ...core import fold
+from ...core import types as ct
+from .ir import (
+    Block,
+    Br,
+    Const,
+    Function,
+    Instr,
+    Jmp,
+    Module,
+    Opcode,
+    Phi,
+    Ret,
+    Unreachable,
+    Value,
+)
+
+
+class SSACodegenError(Exception):
+    pass
+
+
+def compile_module(module: Module) -> bc.VMProgram:
+    program = bc.VMProgram()
+    indices: dict[Function, int] = {}
+    for fn in module.functions.values():
+        vm_fn = bc.VMFunction(fn.name, len(fn.params),
+                              0 if fn.ret_type is None else 1)
+        indices[fn] = program.add(vm_fn)
+    for fn in module.functions.values():
+        _FunctionCodegen(program, indices, fn).run()
+    return program
+
+
+class _FunctionCodegen:
+    def __init__(self, program: bc.VMProgram, indices: dict[Function, int],
+                 fn: Function):
+        self.program = program
+        self.indices = indices
+        self.fn = fn
+        self.vm_fn = program.functions[indices[fn]]
+        self._regs: dict[Value, int] = {}
+        self._block_pcs: dict[Block, int] = {}
+        self._fixups: list[tuple[int, tuple]] = []
+        self._edge_moves: dict[tuple[Block, Block], int] = {}
+        self._scratch: int | None = None
+
+    def run(self) -> None:
+        fn, vm = self.fn, self.vm_fn
+        for param in fn.params:
+            self._regs[param] = param.index
+        blocks = fn.reachable_blocks()
+        for block in blocks:
+            for phi in block.phis:
+                self._regs[phi] = vm.new_reg()
+            for instr in block.instrs:
+                if instr.type is not ct.UNIT or instr.opcode is Opcode.CALL:
+                    self._regs[instr] = vm.new_reg()
+        for block in blocks:
+            self._block_pcs[block] = len(vm.code)
+            for instr in block.instrs:
+                self._emit_instr(instr)
+            self._emit_terminator(block)
+        self._apply_fixups()
+
+    # ------------------------------------------------------------------
+
+    def _reg(self, value: Value) -> int:
+        if isinstance(value, Const):
+            reg = self.vm_fn.new_reg()
+            self.vm_fn.emit(bc.OP_CONST, reg, self._const_image(value))
+            return reg
+        reg = self._regs.get(value)
+        if reg is None:
+            raise SSACodegenError(f"value {value!r} has no register")
+        return reg
+
+    @staticmethod
+    def _const_image(value: Const):
+        if isinstance(value.type, (ct.TupleType, ct.DefiniteArrayType)):
+            return list(value.value) if value.value is not None else None
+        return value.value
+
+    def _scratch_reg(self) -> int:
+        if self._scratch is None:
+            self._scratch = self.vm_fn.new_reg()
+        return self._scratch
+
+    def _emit_instr(self, instr: Instr) -> None:
+        vm = self.vm_fn
+        op = instr.opcode
+        ops = instr.operands
+        if op is Opcode.ARITH:
+            prim = instr.type
+            assert isinstance(prim, ct.PrimType)
+            vm.emit(bc.OP_ARITH, self._regs[instr],
+                    bc.arith_fn(instr.extra, prim),
+                    self._reg(ops[0]), self._reg(ops[1]))
+            return
+        if op is Opcode.CMP:
+            prim = ops[0].type
+            assert isinstance(prim, ct.PrimType)
+            vm.emit(bc.OP_ARITH, self._regs[instr],
+                    bc.cmp_fn(instr.extra, prim),
+                    self._reg(ops[0]), self._reg(ops[1]))
+            return
+        if op is Opcode.CAST:
+            to, frm = instr.type, ops[0].type
+            assert isinstance(to, ct.PrimType) and isinstance(frm, ct.PrimType)
+            vm.emit(bc.OP_UNOP, self._regs[instr], bc.cast_fn(to, frm),
+                    self._reg(ops[0]))
+            return
+        if op is Opcode.BITCAST:
+            to, frm = instr.type, ops[0].type
+            vm.emit(bc.OP_UNOP, self._regs[instr], bc.bitcast_fn(to, frm),
+                    self._reg(ops[0]))
+            return
+        if op is Opcode.MATH:
+            prim = instr.type
+            assert isinstance(prim, ct.PrimType)
+            vm.emit(bc.OP_UNOP, self._regs[instr],
+                    bc.math_fn(instr.extra, prim), self._reg(ops[0]))
+            return
+        if op is Opcode.SELECT:
+            vm.emit(bc.OP_SELECT, self._regs[instr], self._reg(ops[0]),
+                    self._reg(ops[1]), self._reg(ops[2]))
+            return
+        if op is Opcode.TUPLE:
+            parts = tuple((self._reg(o), bc.word_size(o.type)) for o in ops)
+            vm.emit(bc.OP_TUPLE, self._regs[instr], parts)
+            return
+        if op is Opcode.EXTRACT:
+            agg_t = ops[0].type
+            size = bc.word_size(instr.type)
+            if isinstance(ops[1], Const):
+                offset = bc.field_offset(agg_t, ops[1].value)
+                vm.emit(bc.OP_EXTRACT, self._regs[instr], self._reg(ops[0]),
+                        offset, size)
+            else:
+                assert isinstance(agg_t, (ct.DefiniteArrayType,
+                                          ct.IndefiniteArrayType))
+                scale = bc.word_size(agg_t.elem_type)
+                vm.emit(bc.OP_EXTRACT_DYN, self._regs[instr],
+                        self._reg(ops[0]), self._reg(ops[1]), scale, size)
+            return
+        if op is Opcode.INSERT:
+            agg_t = ops[0].type
+            size = bc.word_size(ops[2].type)
+            if isinstance(ops[1], Const):
+                offset = bc.field_offset(agg_t, ops[1].value)
+                vm.emit(bc.OP_INSERT, self._regs[instr], self._reg(ops[0]),
+                        offset, size, self._reg(ops[2]))
+            else:
+                scale = bc.word_size(agg_t.elem_type)
+                vm.emit(bc.OP_INSERT_DYN, self._regs[instr],
+                        self._reg(ops[0]), self._reg(ops[1]), scale, size,
+                        self._reg(ops[2]))
+            return
+        if op is Opcode.ALLOCA:
+            vm.emit(bc.OP_ALLOC, self._regs[instr], None, 0,
+                    bc.word_size(instr.extra))
+            return
+        if op is Opcode.ALLOC:
+            elem = instr.extra
+            assert isinstance(elem, ct.IndefiniteArrayType)
+            vm.emit(bc.OP_ALLOC, self._regs[instr], self._reg(ops[0]),
+                    bc.word_size(elem.elem_type), 0)
+            return
+        if op is Opcode.LOAD:
+            ptr_t = ops[0].type
+            assert isinstance(ptr_t, ct.PtrType)
+            size = bc.word_size(instr.type)
+            if size == 1 and isinstance(instr.type, ct.PrimType):
+                vm.emit(bc.OP_LOAD, self._regs[instr], self._reg(ops[0]))
+            else:
+                vm.emit(bc.OP_LOAD_AGG, self._regs[instr],
+                        self._reg(ops[0]), size)
+            return
+        if op is Opcode.STORE:
+            ptr_t = ops[0].type
+            assert isinstance(ptr_t, ct.PtrType)
+            size = bc.word_size(ptr_t.pointee)
+            if size == 1 and isinstance(ptr_t.pointee, ct.PrimType):
+                vm.emit(bc.OP_STORE, self._reg(ops[0]), self._reg(ops[1]))
+            else:
+                vm.emit(bc.OP_STORE_AGG, self._reg(ops[0]),
+                        self._reg(ops[1]), size)
+            return
+        if op is Opcode.GEP:
+            base_t = ops[0].type
+            assert isinstance(base_t, ct.PtrType)
+            pointee = base_t.pointee
+            if isinstance(pointee, (ct.DefiniteArrayType,
+                                    ct.IndefiniteArrayType)):
+                scale = bc.word_size(pointee.elem_type)
+            else:
+                scale = bc.word_size(instr.type.pointee)  # tuple field
+            if isinstance(ops[1], Const):
+                vm.emit(bc.OP_LEA_CONST, self._regs[instr],
+                        self._reg(ops[0]), ops[1].value * scale)
+            else:
+                vm.emit(bc.OP_LEA, self._regs[instr], self._reg(ops[0]),
+                        self._reg(ops[1]), scale)
+            return
+        if op is Opcode.CALL:
+            args = tuple(self._reg(o) for o in ops)
+            target = self.indices[instr.extra]
+            dsts = (self._regs[instr],) if instr.extra.ret_type is not None \
+                else ()
+            vm.emit(bc.OP_CALL, target, args, dsts)
+            return
+        if op is Opcode.PRINT:
+            opcode = {"i64": bc.OP_PRINT_I64, "f64": bc.OP_PRINT_F64,
+                      "char": bc.OP_PRINT_CHAR}[instr.extra]
+            vm.emit(opcode, self._reg(ops[0]))
+            return
+        raise SSACodegenError(f"cannot lower {instr!r}")
+
+    # ------------------------------------------------------------------
+
+    def _emit_terminator(self, block: Block) -> None:
+        vm = self.vm_fn
+        t = block.terminator
+        if isinstance(t, Jmp):
+            self._emit_edge_moves(block, t.target)
+            index = vm.emit(bc.OP_JMP, 0)
+            self._fixups.append((index, ("jmp", t.target)))
+            return
+        if isinstance(t, Br):
+            cond = self._reg(t.cond)
+            then_pc = self._edge_block(block, t.then_target)
+            else_pc = self._edge_block(block, t.else_target)
+            index = vm.emit(bc.OP_BR, cond, 0, 0)
+            self._fixups.append((index, ("br", then_pc, else_pc)))
+            return
+        if isinstance(t, Ret):
+            if t.value is None:
+                vm.emit(bc.OP_RET, ())
+            else:
+                vm.emit(bc.OP_RET, (self._reg(t.value),))
+            return
+        if isinstance(t, Unreachable) or t is None:
+            vm.emit(bc.OP_TRAP, f"unreachable in {block.name}")
+            return
+        raise SSACodegenError(f"unknown terminator {t!r}")
+
+    def _edge_block(self, pred: Block, succ: Block):
+        """Key for a (possibly synthesized) edge with phi moves."""
+        if not succ.phis:
+            return ("direct", succ)
+        return ("edge", pred, succ)
+
+    def _emit_edge_moves(self, pred: Block, succ: Block) -> None:
+        moves: list[tuple[int, int]] = []
+        const_writes: list[tuple[int, object]] = []
+        for phi in succ.phis:
+            dst = self._regs[phi]
+            value = phi.value_for(pred)
+            if isinstance(value, Const):
+                const_writes.append((dst, self._const_image(value)))
+            else:
+                src = self._regs[value]
+                if src != dst:
+                    moves.append((dst, src))
+        pending: dict[int, int] = dict(moves)
+        while pending:
+            safe = [d for d in pending if d not in pending.values()]
+            if safe:
+                for dst in safe:
+                    self.vm_fn.emit(bc.OP_MOV, dst, pending.pop(dst))
+                continue
+            dst, src = next(iter(pending.items()))
+            scratch = self._scratch_reg()
+            self.vm_fn.emit(bc.OP_MOV, scratch, src)
+            for d in pending:
+                if pending[d] == src:
+                    pending[d] = scratch
+        for dst, value in const_writes:
+            self.vm_fn.emit(bc.OP_CONST, dst, value)
+
+    def _apply_fixups(self) -> None:
+        vm = self.vm_fn
+        # Synthesize edge blocks (phi moves for conditional edges).
+        edge_pcs: dict[tuple, int] = {}
+        pending = []
+        for index, fixup in self._fixups:
+            if fixup[0] == "br":
+                pending.append((index, fixup))
+        for _, fixup in pending:
+            for key in fixup[1:]:
+                if key[0] == "edge" and key not in edge_pcs:
+                    pred, succ = key[1], key[2]
+                    edge_pcs[key] = len(vm.code)
+                    self._emit_edge_moves(pred, succ)
+                    jmp_index = vm.emit(bc.OP_JMP, 0)
+                    self._fixups.append((jmp_index, ("jmp", succ)))
+        for index, fixup in self._fixups:
+            if fixup[0] == "jmp":
+                vm.patch(index, bc.OP_JMP, self._block_pcs[fixup[1]])
+            elif fixup[0] == "br":
+                cond = vm.code[index][1]
+
+                def resolve(key):
+                    if key[0] == "direct":
+                        return self._block_pcs[key[1]]
+                    return edge_pcs[key]
+
+                vm.patch(index, bc.OP_BR, cond, resolve(fixup[1]),
+                         resolve(fixup[2]))
+
+
+class CompiledSSA:
+    """Callable image of a compiled SSA module (mirrors CompiledWorld)."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.program = compile_module(module)
+        self.vm = bc.VM(self.program)
+        self._sigs = {
+            fn.name: ([p.type for p in fn.params], fn.ret_type)
+            for fn in module.functions.values()
+        }
+
+    def call(self, name: str, *args):
+        param_types, ret_type = self._sigs[name]
+        vm_args = []
+        for a, t in zip(args, param_types):
+            if isinstance(t, ct.PrimType):
+                vm_args.append(fold.canonicalize(t.kind, a))
+            else:
+                vm_args.append(a)
+        result = self.vm.call(self.program, name, *vm_args)
+        if ret_type is None:
+            return None
+        if isinstance(ret_type, ct.PrimType):
+            return fold.public_value(ret_type.kind, result)
+        return result
+
+    def output_text(self) -> str:
+        return self.vm.output_text()

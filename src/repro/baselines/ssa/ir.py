@@ -1,0 +1,279 @@
+"""A classical CFG+SSA intermediate representation ("LLVM lite").
+
+The contrast object of the evaluation: basic blocks in an explicit
+list, phi *instructions* at block heads, values referenced by object
+identity, a textual printer.  Transformations must maintain the
+phi/predecessor correspondence by hand — the bookkeeping counted in
+experiment T3.
+
+Types are reused from :mod:`repro.core.types`; scalar semantics from
+:mod:`repro.core.fold` — both compilers compute with identical numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+from ...core.primops import ArithKind, CmpRel, MathKind
+from ...core.types import Type
+
+
+class Value:
+    """Anything an instruction can reference."""
+
+    __slots__ = ("type", "name")
+
+    def __init__(self, type: Type, name: str):
+        self.type = type
+        self.name = name
+
+    def ref(self) -> str:
+        return f"%{self.name}"
+
+
+class Const(Value):
+    """An immediate constant (canonical scalar value or None = undef)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, type: Type, value):
+        super().__init__(type, "const")
+        self.value = value
+
+    def ref(self) -> str:
+        return f"{self.type}:{self.value}"
+
+
+class Param(Value):
+    __slots__ = ("index",)
+
+    def __init__(self, type: Type, name: str, index: int):
+        super().__init__(type, name)
+        self.index = index
+
+
+class Opcode(enum.Enum):
+    ARITH = "arith"        # extra: ArithKind
+    CMP = "cmp"            # extra: CmpRel
+    CAST = "cast"
+    BITCAST = "bitcast"
+    MATH = "math"          # extra: MathKind
+    SELECT = "select"
+    TUPLE = "tuple"
+    EXTRACT = "extract"    # extra: literal index or None (dynamic)
+    INSERT = "insert"
+    ALLOCA = "alloca"      # extra: pointee type; stack cell
+    ALLOC = "alloc"        # extra: pointee type; heap cell (ops: count)
+    LOAD = "load"
+    STORE = "store"
+    GEP = "gep"            # address of element (ops: ptr, index)
+    CALL = "call"          # extra: Function
+    PRINT = "print"        # extra: "i64" | "f64" | "char"
+
+
+class Instr(Value):
+    """A (possibly void) instruction inside a block."""
+
+    __slots__ = ("opcode", "operands", "extra", "block")
+
+    def __init__(self, opcode: Opcode, type: Type, operands: list[Value],
+                 name: str = "v", extra=None):
+        super().__init__(type, name)
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.extra = extra
+        self.block: "Block | None" = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        ops = ", ".join(o.ref() for o in self.operands)
+        return f"<{self.opcode.value} {self.name} {ops}>"
+
+
+class Phi(Value):
+    """A phi node: one incoming value per predecessor, kept aligned by hand."""
+
+    __slots__ = ("incoming", "block")
+
+    def __init__(self, type: Type, name: str = "phi"):
+        super().__init__(type, name)
+        self.incoming: list[tuple[Block, Value]] = []
+        self.block: "Block | None" = None
+
+    def value_for(self, pred: "Block") -> Value:
+        for block, value in self.incoming:
+            if block is pred:
+                return value
+        raise KeyError(f"phi {self.name} has no incoming for {pred.name}")
+
+    def set_value_for(self, pred: "Block", value: Value) -> None:
+        for i, (block, _) in enumerate(self.incoming):
+            if block is pred:
+                self.incoming[i] = (block, value)
+                return
+        self.incoming.append((pred, value))
+
+
+class Terminator:
+    __slots__ = ()
+
+
+class Jmp(Terminator):
+    __slots__ = ("target",)
+
+    def __init__(self, target: "Block"):
+        self.target = target
+
+
+class Br(Terminator):
+    __slots__ = ("cond", "then_target", "else_target")
+
+    def __init__(self, cond: Value, then_target: "Block", else_target: "Block"):
+        self.cond = cond
+        self.then_target = then_target
+        self.else_target = else_target
+
+
+class Ret(Terminator):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value | None):
+        self.value = value
+
+
+class Unreachable(Terminator):
+    __slots__ = ()
+
+
+class Block:
+    __slots__ = ("name", "phis", "instrs", "terminator", "function")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.phis: list[Phi] = []
+        self.instrs: list[Instr] = []
+        self.terminator: Terminator | None = None
+        self.function: "Function | None" = None
+
+    def successors(self) -> list["Block"]:
+        t = self.terminator
+        if isinstance(t, Jmp):
+            return [t.target]
+        if isinstance(t, Br):
+            if t.then_target is t.else_target:
+                return [t.then_target]
+            return [t.then_target, t.else_target]
+        return []
+
+    def append(self, instr: Instr) -> Instr:
+        instr.block = self
+        self.instrs.append(instr)
+        return instr
+
+    def add_phi(self, phi: Phi) -> Phi:
+        phi.block = self
+        self.phis.append(phi)
+        return phi
+
+
+class Function:
+    __slots__ = ("name", "params", "ret_type", "blocks", "module", "is_external")
+
+    def __init__(self, name: str, param_types: Iterable[tuple[str, Type]],
+                 ret_type: Type | None):
+        self.name = name
+        self.params = [Param(t, n, i)
+                       for i, (n, t) in enumerate(param_types)]
+        self.ret_type = ret_type
+        self.blocks: list[Block] = []
+        self.module: "Module | None" = None
+        self.is_external = False
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[0]
+
+    def new_block(self, name: str) -> Block:
+        block = Block(f"{name}{len(self.blocks)}")
+        block.function = self
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self) -> dict[Block, list[Block]]:
+        preds: dict[Block, list[Block]] = {b: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in set(block.successors()):
+                preds[succ].append(block)
+        return preds
+
+    def reachable_blocks(self) -> list[Block]:
+        seen: set[Block] = set()
+        order: list[Block] = []
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            if block in seen:
+                continue
+            seen.add(block)
+            order.append(block)
+            stack.extend(block.successors())
+        return order
+
+
+class Module:
+    __slots__ = ("name", "functions")
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+
+    def add(self, fn: Function) -> Function:
+        fn.module = self
+        self.functions[fn.name] = fn
+        return fn
+
+
+# ---------------------------------------------------------------------------
+# printing (for tests & debugging)
+# ---------------------------------------------------------------------------
+
+
+def print_function(fn: Function) -> str:
+    lines = [f"fn {fn.name}({', '.join(p.ref() for p in fn.params)}) "
+             f"-> {fn.ret_type}:"]
+    names: dict[Value, str] = {}
+
+    def ref(v: Value) -> str:
+        if isinstance(v, Const):
+            return v.ref()
+        if v not in names:
+            names[v] = f"%{v.name}.{len(names)}"
+        return names[v]
+
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for phi in block.phis:
+            inc = ", ".join(f"[{b.name}: {ref(v)}]" for b, v in phi.incoming)
+            lines.append(f"  {ref(phi)} = phi {inc}")
+        for instr in block.instrs:
+            ops = ", ".join(ref(o) for o in instr.operands)
+            extra = f" {instr.extra}" if instr.extra is not None else ""
+            lines.append(f"  {ref(instr)} = {instr.opcode.value}{extra} {ops}")
+        t = block.terminator
+        if isinstance(t, Jmp):
+            lines.append(f"  jmp {t.target.name}")
+        elif isinstance(t, Br):
+            lines.append(
+                f"  br {ref(t.cond)} {t.then_target.name} {t.else_target.name}"
+            )
+        elif isinstance(t, Ret):
+            lines.append(f"  ret {ref(t.value) if t.value else ''}")
+        elif isinstance(t, Unreachable):
+            lines.append("  unreachable")
+        else:
+            lines.append("  <no terminator>")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    return "\n\n".join(print_function(f) for f in module.functions.values())

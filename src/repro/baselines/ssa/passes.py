@@ -1,0 +1,467 @@
+"""Classical optimization passes over the SSA baseline IR.
+
+The same repertoire the Thorin pipeline gets structurally:
+
+* :func:`constant_fold` — fold instructions with constant operands and
+  branches with constant conditions (re-using ``core.fold`` so both
+  compilers agree bit for bit);
+* :func:`dce` — drop unused pure instructions;
+* :func:`simplify_cfg` — remove unreachable blocks, thread jumps
+  through empty forwarders and merge straight-line chains; every phi
+  touched along the way is **counted** (``phi_repairs``) — this is the
+  bookkeeping lambda mangling never performs (experiment T3);
+* :func:`inline_functions` — clone callee blocks into the caller, with
+  value remapping and return-merge phis (again counted).
+
+``optimize_module`` runs them to a fixed point.
+"""
+
+from __future__ import annotations
+
+from ...core import fold
+from ...core import types as ct
+from .ir import (
+    Block,
+    Br,
+    Const,
+    Function,
+    Instr,
+    Jmp,
+    Module,
+    Opcode,
+    Phi,
+    Ret,
+    Unreachable,
+    Value,
+)
+
+
+class PassStats:
+    """Counters for one pass run (aggregated by ``optimize_module``)."""
+
+    def __init__(self) -> None:
+        self.folded = 0
+        self.dce_removed = 0
+        self.blocks_removed = 0
+        self.jumps_threaded = 0
+        self.blocks_merged = 0
+        self.phi_repairs = 0          # phi entries edited/moved/rewritten
+        self.phis_placed = 0          # new phis created by transformations
+        self.inlined_calls = 0
+        self.blocks_cloned = 0
+        self.values_remapped = 0
+
+    def merge(self, other: "PassStats") -> None:
+        for key, value in vars(other).items():
+            setattr(self, key, getattr(self, key) + value)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+    def total_bookkeeping(self) -> int:
+        """The T3 headline number: structural repair operations."""
+        return self.phi_repairs + self.phis_placed + self.values_remapped
+
+
+_PURE_OPCODES = {
+    Opcode.ARITH, Opcode.CMP, Opcode.CAST, Opcode.BITCAST, Opcode.MATH,
+    Opcode.SELECT, Opcode.TUPLE, Opcode.EXTRACT, Opcode.INSERT, Opcode.GEP,
+}
+
+
+def _replace_everywhere(fn: Function, old: Value, new: Value,
+                        stats: PassStats) -> None:
+    for block in fn.blocks:
+        for phi in block.phis:
+            for i, (b, v) in enumerate(phi.incoming):
+                if v is old:
+                    phi.incoming[i] = (b, new)
+                    stats.phi_repairs += 1
+        for instr in block.instrs:
+            instr.operands = [new if o is old else o for o in instr.operands]
+        t = block.terminator
+        if isinstance(t, Br) and t.cond is old:
+            t.cond = new
+        elif isinstance(t, Ret) and t.value is old:
+            t.value = new
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+
+def _fold_instr(instr: Instr) -> Const | None:
+    ops = instr.operands
+    if not all(isinstance(o, Const) for o in ops):
+        return None
+    if any(o.value is None for o in ops):
+        return None  # undef operand: leave it
+    values = [o.value for o in ops]
+    try:
+        if instr.opcode is Opcode.ARITH:
+            prim = instr.type
+            assert isinstance(prim, ct.PrimType)
+            return Const(prim, fold.arith(instr.extra, prim, *values))
+        if instr.opcode is Opcode.CMP:
+            prim = ops[0].type
+            assert isinstance(prim, ct.PrimType)
+            return Const(ct.BOOL, fold.compare(instr.extra, prim, *values))
+        if instr.opcode is Opcode.CAST:
+            to, frm = instr.type, ops[0].type
+            if isinstance(to, ct.PrimType) and isinstance(frm, ct.PrimType):
+                return Const(to, fold.cast(to, frm, values[0]))
+        if instr.opcode is Opcode.MATH:
+            prim = instr.type
+            assert isinstance(prim, ct.PrimType)
+            return Const(prim, fold.math_op(instr.extra, prim, values[0]))
+        if instr.opcode is Opcode.SELECT:
+            return ops[1] if values[0] else ops[2]
+    except fold.EvalError:
+        return None  # keep the trap
+    return None
+
+
+def constant_fold(fn: Function) -> PassStats:
+    stats = PassStats()
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.reachable_blocks():
+            for instr in list(block.instrs):
+                folded = _fold_instr(instr)
+                if folded is not None:
+                    _replace_everywhere(fn, instr, folded, stats)
+                    block.instrs.remove(instr)
+                    stats.folded += 1
+                    changed = True
+            t = block.terminator
+            if isinstance(t, Br) and isinstance(t.cond, Const) \
+                    and t.cond.value is not None:
+                target = t.then_target if t.cond.value else t.else_target
+                dropped = t.else_target if t.cond.value else t.then_target
+                block.terminator = Jmp(target)
+                _remove_phi_entries(dropped, block, stats)
+                stats.folded += 1
+                changed = True
+    return stats
+
+
+def _remove_phi_entries(block: Block, pred: Block, stats: PassStats) -> None:
+    for phi in block.phis:
+        before = len(phi.incoming)
+        phi.incoming = [(b, v) for b, v in phi.incoming if b is not pred]
+        stats.phi_repairs += before - len(phi.incoming)
+
+
+# ---------------------------------------------------------------------------
+# dead code elimination
+# ---------------------------------------------------------------------------
+
+
+def dce(fn: Function) -> PassStats:
+    stats = PassStats()
+    changed = True
+    while changed:
+        changed = False
+        used: set[Value] = set()
+        for block in fn.blocks:
+            for phi in block.phis:
+                used.update(v for _, v in phi.incoming)
+            for instr in block.instrs:
+                used.update(instr.operands)
+            t = block.terminator
+            if isinstance(t, Br):
+                used.add(t.cond)
+            elif isinstance(t, Ret) and t.value is not None:
+                used.add(t.value)
+        for block in fn.blocks:
+            for instr in list(block.instrs):
+                if instr.opcode in _PURE_OPCODES and instr not in used:
+                    block.instrs.remove(instr)
+                    stats.dce_removed += 1
+                    changed = True
+            for phi in list(block.phis):
+                if phi not in used:
+                    block.phis.remove(phi)
+                    stats.dce_removed += 1
+                    changed = True
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# CFG simplification (jump threading, block merging) — with phi repair
+# ---------------------------------------------------------------------------
+
+
+def simplify_cfg(fn: Function) -> PassStats:
+    stats = PassStats()
+    changed = True
+    while changed:
+        changed = False
+        reachable = fn.reachable_blocks()
+        if len(reachable) != len(fn.blocks):
+            removed = [b for b in fn.blocks if b not in set(reachable)]
+            for dead in removed:
+                for succ in set(dead.successors()):
+                    if succ in set(reachable):
+                        _remove_phi_entries(succ, dead, stats)
+            fn.blocks = reachable
+            stats.blocks_removed += len(removed)
+            changed = True
+
+        preds = fn.predecessors()
+
+        # Thread jumps through empty forwarder blocks.
+        for block in list(fn.blocks):
+            if block is fn.entry or block.phis or block.instrs:
+                continue
+            t = block.terminator
+            if not isinstance(t, Jmp) or t.target is block:
+                continue
+            target = t.target
+            # A predecessor that already branches to `target` would make
+            # phi entries ambiguous; skip those (classic restriction).
+            if any(target in p.successors() for p in preds[block]):
+                continue
+            for pred in preds[block]:
+                pt = pred.terminator
+                if isinstance(pt, Jmp):
+                    pt.target = target
+                elif isinstance(pt, Br):
+                    if pt.then_target is block:
+                        pt.then_target = target
+                    if pt.else_target is block:
+                        pt.else_target = target
+                # phi repair: the value that flowed through `block` now
+                # flows in directly from `pred`.
+                for phi in target.phis:
+                    value = phi.value_for(block)
+                    phi.set_value_for(pred, value)
+                    stats.phi_repairs += 1
+            for phi in target.phis:
+                phi.incoming = [(b, v) for b, v in phi.incoming
+                                if b is not block]
+                stats.phi_repairs += 1
+            fn.blocks.remove(block)
+            stats.jumps_threaded += 1
+            changed = True
+            break  # recompute preds
+
+        if changed:
+            continue
+
+        # Merge straight-line pairs: single successor with single pred.
+        for block in list(fn.blocks):
+            t = block.terminator
+            if not isinstance(t, Jmp):
+                continue
+            succ = t.target
+            if succ is block or succ is fn.entry:
+                continue
+            if len(preds[succ]) != 1:
+                continue
+            # fold succ's phis (single incoming) into direct values
+            for phi in list(succ.phis):
+                value = phi.value_for(block)
+                _replace_everywhere(fn, phi, value, stats)
+                succ.phis.remove(phi)
+                stats.phi_repairs += 1
+            for instr in succ.instrs:
+                instr.block = block
+                block.instrs.append(instr)
+            block.terminator = succ.terminator
+            for after in set(succ.successors()):
+                for phi in after.phis:
+                    for i, (b, v) in enumerate(phi.incoming):
+                        if b is succ:
+                            phi.incoming[i] = (block, v)
+                            stats.phi_repairs += 1
+            fn.blocks.remove(succ)
+            stats.blocks_merged += 1
+            changed = True
+            break
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# inlining
+# ---------------------------------------------------------------------------
+
+
+def _clone_function_body(callee: Function, args: list[Value],
+                         caller: Function, stats: PassStats):
+    """Clone callee's blocks into caller; returns (entry, [(block, retval)])."""
+    block_map: dict[Block, Block] = {}
+    value_map: dict[Value, Value] = {}
+    for param, arg in zip(callee.params, args):
+        value_map[param] = arg
+
+    for block in callee.blocks:
+        clone = caller.new_block(f"{callee.name}.{block.name}")
+        block_map[block] = clone
+        stats.blocks_cloned += 1
+
+    def remap(value: Value) -> Value:
+        if isinstance(value, Const):
+            return value
+        mapped = value_map.get(value)
+        assert mapped is not None, f"unmapped value {value!r}"
+        stats.values_remapped += 1
+        return mapped
+
+    returns: list[tuple[Block, Value | None]] = []
+    # First create phi/instr shells so forward references resolve.
+    for block in callee.blocks:
+        clone = block_map[block]
+        for phi in block.phis:
+            new_phi = Phi(phi.type, phi.name)
+            clone.add_phi(new_phi)
+            value_map[phi] = new_phi
+            stats.phis_placed += 1
+        for instr in block.instrs:
+            new_instr = Instr(instr.opcode, instr.type, [], instr.name,
+                              instr.extra)
+            clone.append(new_instr)
+            value_map[instr] = new_instr
+    # Now fill operands and terminators.
+    for block in callee.blocks:
+        clone = block_map[block]
+        for phi, new_phi in zip(block.phis, clone.phis):
+            for b, v in phi.incoming:
+                new_phi.incoming.append((block_map[b], remap(v)))
+                stats.phi_repairs += 1
+        for instr, new_instr in zip(block.instrs, clone.instrs):
+            new_instr.operands = [remap(o) for o in instr.operands]
+        t = block.terminator
+        if isinstance(t, Jmp):
+            clone.terminator = Jmp(block_map[t.target])
+        elif isinstance(t, Br):
+            clone.terminator = Br(remap(t.cond), block_map[t.then_target],
+                                  block_map[t.else_target])
+        elif isinstance(t, Ret):
+            value = remap(t.value) if t.value is not None else None
+            returns.append((clone, value))
+        elif isinstance(t, Unreachable):
+            clone.terminator = Unreachable()
+        else:
+            raise AssertionError("callee block without terminator")
+    return block_map[callee.entry], returns
+
+
+def _function_size(fn: Function) -> int:
+    return sum(len(b.instrs) + len(b.phis) + 1 for b in fn.blocks)
+
+
+def _is_recursive(fn: Function) -> bool:
+    for block in fn.blocks:
+        for instr in block.instrs:
+            if instr.opcode is Opcode.CALL and instr.extra is fn:
+                return True
+    return False
+
+
+def inline_functions(module: Module, *, size_threshold: int = 40,
+                     budget: int = 64) -> PassStats:
+    stats = PassStats()
+    call_counts: dict[Function, int] = {}
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            for instr in block.instrs:
+                if instr.opcode is Opcode.CALL:
+                    call_counts[instr.extra] = call_counts.get(instr.extra, 0) + 1
+
+    for fn in list(module.functions.values()):
+        for block in list(fn.blocks):
+            if budget <= 0:
+                break
+            for instr in list(block.instrs):
+                if instr.opcode is not Opcode.CALL:
+                    continue
+                callee: Function = instr.extra
+                if callee is fn or _is_recursive(callee):
+                    continue
+                once = call_counts.get(callee, 0) == 1 and not callee.is_external
+                small = _function_size(callee) <= size_threshold
+                if not (once or small):
+                    continue
+                _inline_site(fn, block, instr, stats)
+                stats.inlined_calls += 1
+                budget -= 1
+                break  # block structure changed; move on
+    return stats
+
+
+def _inline_site(fn: Function, block: Block, call: Instr,
+                 stats: PassStats) -> None:
+    callee: Function = call.extra
+    index = block.instrs.index(call)
+    # Split the block after the call.
+    cont = fn.new_block(f"{block.name}.cont")
+    cont.instrs = block.instrs[index + 1:]
+    for moved in cont.instrs:
+        moved.block = cont
+    cont.terminator = block.terminator
+    # Successor phis must now name the continuation block as pred.
+    for succ in set(cont.successors()):
+        for phi in succ.phis:
+            for i, (b, v) in enumerate(phi.incoming):
+                if b is block:
+                    phi.incoming[i] = (cont, v)
+                    stats.phi_repairs += 1
+    block.instrs = block.instrs[:index]
+    entry, returns = _clone_function_body(callee, call.operands, fn, stats)
+    block.terminator = Jmp(entry)
+    # Merge return values via a phi in the continuation block.
+    if callee.ret_type is not None:
+        if len(returns) == 1:
+            ret_block, value = returns[0]
+            ret_block.terminator = Jmp(cont)
+            _replace_everywhere(fn, call, value, stats)
+        else:
+            phi = Phi(callee.ret_type, f"{callee.name}.ret")
+            cont.add_phi(phi)
+            stats.phis_placed += 1
+            for ret_block, value in returns:
+                ret_block.terminator = Jmp(cont)
+                phi.incoming.append((ret_block, value))
+                stats.phi_repairs += 1
+            _replace_everywhere(fn, call, phi, stats)
+    else:
+        for ret_block, _ in returns:
+            ret_block.terminator = Jmp(cont)
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def optimize_module(module: Module, *, max_rounds: int = 6) -> PassStats:
+    total = PassStats()
+    for _ in range(max_rounds):
+        round_work = 0
+        inline_stats = inline_functions(module)
+        total.merge(inline_stats)
+        round_work += inline_stats.inlined_calls
+        for fn in module.functions.values():
+            for pass_fn in (constant_fold, simplify_cfg, dce):
+                stats = pass_fn(fn)
+                total.merge(stats)
+                round_work += (stats.folded + stats.jumps_threaded
+                               + stats.blocks_merged + stats.dce_removed
+                               + stats.blocks_removed)
+        # Drop dead internal functions.
+        live = {f for f in module.functions.values() if f.is_external}
+        for fn in module.functions.values():
+            for b in fn.blocks:
+                for i in b.instrs:
+                    if i.opcode is Opcode.CALL:
+                        live.add(i.extra)
+        before = len(module.functions)
+        module.functions = {name: f for name, f in module.functions.items()
+                            if f in live}
+        round_work += before - len(module.functions)
+        if not round_work:
+            break
+    return total

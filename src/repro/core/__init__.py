@@ -1,0 +1,19 @@
+"""The Thorin graph IR: types, defs, world, scopes, CFG, schedule."""
+
+from .defs import Continuation, Def, Intrinsic, Param, Use
+from .primops import ArithKind, CmpRel
+from .scope import Scope, top_level_continuations
+from .world import World
+
+__all__ = [
+    "ArithKind",
+    "CmpRel",
+    "Continuation",
+    "Def",
+    "Intrinsic",
+    "Param",
+    "Scope",
+    "Use",
+    "World",
+    "top_level_continuations",
+]

@@ -1,0 +1,216 @@
+"""Control-flow graph of a scope.
+
+Thorin stores no CFG; control flow *is* the jumps.  This module recovers
+a conservative CFG for one scope, which dominance, loop analysis and the
+scheduler consume.
+
+Nodes are the scope's continuations reachable from the entry, plus a
+virtual *exit*.  Successor rules for a body ``callee(args)``:
+
+* ``branch``/``match`` intrinsics: the target arguments;
+* other intrinsics (I/O): call-like — the in-scope return continuations
+  among the arguments;
+* an in-scope continuation: that continuation;
+* an out-of-scope continuation (a call to another function): the
+  in-scope fn-typed arguments (the return continuations we pass);
+  if none, the exit;
+* a parameter of the entry (e.g. the return continuation): the exit —
+  its value is always bound by out-of-scope callers;
+* anything else (parameter of an inner continuation, first-class value
+  from a ``select``/``extract``): the *address-taken* set — every
+  in-scope continuation that occurs somewhere in the scope in a
+  non-callee position — plus the exit.  This is the CFA(0)-style
+  over-approximation the paper relies on: precise enough for dominance
+  and scheduling, sound in the presence of higher-order control flow.
+"""
+
+from __future__ import annotations
+
+from .defs import Continuation, Def, Intrinsic, Param
+from .primops import EvalOp, Select
+from .scope import Scope
+
+
+class ExitNode:
+    """The virtual exit of a scope's CFG."""
+
+    def __init__(self, scope: Scope):
+        self.name = f"<exit {scope.entry.unique_name()}>"
+        self.gid = -1
+
+    def unique_name(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.name
+
+
+CFGNode = "Continuation | ExitNode"
+
+
+class CFG:
+    """Forward CFG of a scope (reachable part), with RPO numbering."""
+
+    def __init__(self, scope: Scope):
+        self.scope = scope
+        self.entry = scope.entry
+        self.exit = ExitNode(scope)
+        self._succs: dict[object, list[object]] = {}
+        self._preds: dict[object, list[object]] = {}
+        self._address_taken: list[Continuation] | None = None
+        self._build()
+        self._rpo: list[object] = self._compute_rpo()
+        self._rpo_index = {n: i for i, n in enumerate(self._rpo)}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def _compute_address_taken(self) -> list[Continuation]:
+        if self._address_taken is None:
+            taken: dict[Continuation, None] = {}
+            for d in self.scope.defs():
+                ops = d.ops
+                start = 1 if isinstance(d, Continuation) and ops else 0
+                for op in ops[start:]:
+                    op = _peel(op)
+                    if isinstance(op, Continuation) and op in self.scope:
+                        taken.setdefault(op, None)
+            self._address_taken = list(taken)
+        return self._address_taken
+
+    def _successors_of(self, cont: Continuation) -> list[object]:
+        if not cont.has_body():
+            return [self.exit]
+        callee = _peel(cont.callee)
+        args = cont.args
+        succs: dict[object, None] = {}
+
+        def add_scoped_cont(d: Def) -> None:
+            d = _peel(d)
+            if isinstance(d, Continuation) and d in self.scope:
+                succs.setdefault(d, None)
+
+        if isinstance(callee, Continuation):
+            if callee.intrinsic == Intrinsic.BRANCH:
+                add_scoped_cont(args[2])
+                add_scoped_cont(args[3])
+            elif callee.intrinsic == Intrinsic.MATCH:
+                add_scoped_cont(args[2])
+                for arm in args[3:]:
+                    # (literal, target) tuples
+                    if arm.num_ops == 2:
+                        add_scoped_cont(arm.op(1))
+            else:
+                # Direct jump (in scope), or a call to another function.
+                # Either way, every in-scope continuation we pass along
+                # may receive control later (return continuations, join
+                # points handed to callees) — conservative call-return
+                # edges.
+                if callee in self.scope:
+                    succs[callee] = None
+                for arg in args:
+                    add_scoped_cont(arg)
+            if not succs:
+                succs[self.exit] = None
+        elif isinstance(callee, Param) and callee.continuation is self.entry:
+            # Returning through an entry parameter: control leaves the
+            # scope, except for in-scope continuations we hand out.
+            for arg in args:
+                add_scoped_cont(arg)
+            succs[self.exit] = None
+        elif isinstance(callee, Select):
+            for arm in (callee.tval, callee.fval):
+                arm = _peel(arm)
+                if isinstance(arm, Continuation) and arm in self.scope:
+                    succs[arm] = None
+                else:
+                    for t in self._compute_address_taken():
+                        succs[t] = None
+                    succs[self.exit] = None
+            for arg in args:
+                add_scoped_cont(arg)
+        else:
+            # Unknown first-class callee: anything whose address was
+            # taken in this scope, or control leaves the scope.
+            for t in self._compute_address_taken():
+                succs[t] = None
+            for arg in args:
+                add_scoped_cont(arg)
+            succs[self.exit] = None
+        return list(succs)
+
+    def _build(self) -> None:
+        self._succs[self.exit] = []
+        self._preds[self.exit] = []
+        worklist = [self.entry]
+        self._succs[self.entry] = []
+        while worklist:
+            cont = worklist.pop()
+            succs = self._successors_of(cont)
+            self._succs[cont] = succs
+            for s in succs:
+                if s not in self._succs and isinstance(s, Continuation):
+                    self._succs[s] = []
+                    worklist.append(s)
+        for node, succs in list(self._succs.items()):
+            self._preds.setdefault(node, [])
+            for s in succs:
+                self._preds.setdefault(s, []).append(node)
+
+    def _compute_rpo(self) -> list[object]:
+        post: list[object] = []
+        visited: set[object] = set()
+
+        def visit(node: object) -> None:
+            stack = [(node, iter(self._succs.get(node, ())))]
+            visited.add(node)
+            while stack:
+                top, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s not in visited:
+                        visited.add(s)
+                        stack.append((s, iter(self._succs.get(s, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(top)
+                    stack.pop()
+
+        visit(self.entry)
+        post.reverse()
+        return post
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> list[object]:
+        """All reachable nodes in reverse postorder (entry first)."""
+        return list(self._rpo)
+
+    def continuations(self) -> list[Continuation]:
+        return [n for n in self._rpo if isinstance(n, Continuation)]
+
+    def succs(self, node: object) -> list[object]:
+        return self._succs.get(node, [])
+
+    def preds(self, node: object) -> list[object]:
+        return self._preds.get(node, [])
+
+    def rpo_index(self, node: object) -> int:
+        return self._rpo_index[node]
+
+    def is_reachable(self, node: object) -> bool:
+        return node in self._rpo_index
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._rpo_index
+
+
+def _peel(d: Def) -> Def:
+    """Strip partial-evaluation markers off a control operand."""
+    while isinstance(d, EvalOp):
+        d = d.value
+    return d

@@ -1,0 +1,295 @@
+"""Core IR nodes.
+
+A Thorin program is a *graph* of defs.  There are exactly three families
+of nodes, mirroring the paper:
+
+* :class:`Continuation` — a function that never returns; its *body* is a
+  single call (a jump): ``callee(arg_1, ..., arg_n)``.  Continuations are
+  **nominal**: two continuations with identical structure are still
+  distinct (they are the only cyclic, mutable nodes in the graph).
+* :class:`Param` — a parameter of a continuation.
+* :class:`PrimOp` — a pure primitive operation (see ``primops.py``).
+  Primops are **structural**: they are immutable and hash-consed by the
+  :class:`~repro.core.world.World`, so structurally equal primops are the
+  *same object* (global value numbering).
+
+There is no explicit nesting and no instruction list: "where" a primop
+lives is recovered on demand by :class:`~repro.core.scope.Scope` and
+:mod:`~repro.core.schedule`.
+
+Every def records its *uses* (who refers to it, at which operand index).
+The use-list is what makes implicit scopes cheap to recover: the scope of
+a continuation is the transitive closure of the use relation seeded with
+the continuation and its parameters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
+
+from .types import FnType, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .world import World
+
+
+class Use(NamedTuple):
+    """One occurrence of a def as operand ``index`` of ``user``."""
+
+    user: "Def"
+    index: int
+
+
+class Def:
+    """Base class of every node in the graph."""
+
+    __slots__ = ("world", "gid", "type", "name", "_ops", "_uses")
+
+    def __init__(self, world: "World", type: Type, ops: tuple["Def", ...], name: str):
+        self.world = world
+        self.gid = world.next_gid()
+        self.type = type
+        self.name = name
+        self._ops: tuple[Def, ...] = ()
+        self._uses: dict[Use, None] = {}  # insertion-ordered set
+        self._set_ops(ops)
+
+    # -- operands -----------------------------------------------------------
+
+    @property
+    def ops(self) -> tuple["Def", ...]:
+        return self._ops
+
+    def op(self, index: int) -> "Def":
+        return self._ops[index]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)
+
+    def _set_ops(self, ops: tuple["Def", ...]) -> None:
+        for index, op in enumerate(self._ops):
+            del op._uses[Use(self, index)]
+        self._ops = ops
+        for index, op in enumerate(ops):
+            op._uses[Use(self, index)] = None
+
+    # -- uses ---------------------------------------------------------------
+
+    @property
+    def uses(self) -> Iterator[Use]:
+        """All (user, index) pairs referring to this def.
+
+        Deterministic order (insertion order).  Do not mutate the graph
+        while iterating.
+        """
+        return iter(self._uses)
+
+    @property
+    def num_uses(self) -> int:
+        return len(self._uses)
+
+    def is_unused(self) -> bool:
+        return not self._uses
+
+    # -- classification -----------------------------------------------------
+
+    def is_const(self) -> bool:
+        """True if this def transitively depends on no parameter.
+
+        Constants can be freely shared across scopes; they are never
+        copied by the mangler.
+        """
+        from .primops import PrimOp
+
+        if isinstance(self, Param):
+            return False
+        if isinstance(self, Continuation):
+            # A continuation is "constant" from the point of view of
+            # other scopes, but we answer structurally here: treat it as
+            # non-const so analyses visit it explicitly.
+            return False
+        assert isinstance(self, PrimOp)
+        return all(op.is_const() or isinstance(op, Continuation) for op in self._ops)
+
+    # -- misc ----------------------------------------------------------------
+
+    def unique_name(self) -> str:
+        base = self.name if self.name else "_"
+        return f"{base}_{self.gid}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.unique_name()}: {self.type}>"
+
+
+class Param(Def):
+    """A parameter of a continuation.
+
+    Parameters are the graph's only "variables": a def belongs to the
+    scope of a continuation exactly when it transitively uses one of the
+    continuation's parameters.
+    """
+
+    __slots__ = ("continuation", "index")
+
+    def __init__(self, world: "World", type: Type, continuation: "Continuation",
+                 index: int, name: str):
+        super().__init__(world, type, (), name)
+        self.continuation = continuation
+        self.index = index
+
+
+class Intrinsic:
+    """Names of compiler-known continuations.
+
+    Intrinsic continuations have no body; jumping to one transfers
+    control to behaviour built into the backend (branching, matching,
+    I/O).  ``branch`` and ``match`` are how conditional control flow is
+    expressed: a conditional jump is an ordinary jump whose callee is the
+    ``branch`` intrinsic.
+    """
+
+    BRANCH = "branch"
+    MATCH = "match"
+    PE_INFO = "pe_info"
+    PRINT_I64 = "print_i64"
+    PRINT_F64 = "print_f64"
+    PRINT_CHAR = "print_char"
+
+    ALL = (BRANCH, MATCH, PE_INFO, PRINT_I64, PRINT_F64, PRINT_CHAR)
+
+
+class Continuation(Def):
+    """A function that never returns.
+
+    The body is a single call: ``ops == (callee, *args)`` once set via
+    :meth:`jump`.  Before that (or after :meth:`unset_body`), ``ops`` is
+    empty and the continuation is a declaration.
+
+    Continuations are nominal and mutable: transformation passes rewire
+    bodies in place.  Parameters may be appended or removed **only during
+    construction** (the frontend's on-the-fly SSA construction needs
+    this); afterwards the parameter list is fixed.
+    """
+
+    __slots__ = ("params", "is_external", "intrinsic", "filter")
+
+    def __init__(self, world: "World", fn_type: FnType, name: str, *,
+                 intrinsic: str | None = None):
+        super().__init__(world, fn_type, (), name)
+        self.params: list[Param] = []
+        for index, param_type in enumerate(fn_type.param_types):
+            self.params.append(Param(world, param_type, self, index, f"{name}.{index}"))
+        self.is_external = False
+        self.intrinsic = intrinsic
+        # Per-parameter partial-evaluation filter (True = force PE of the
+        # argument at specializing call sites).  Mirrors Thorin's filters.
+        self.filter: tuple[bool, ...] = ()
+
+    # -- typed accessors ------------------------------------------------------
+
+    @property
+    def fn_type(self) -> FnType:
+        assert isinstance(self.type, FnType)
+        return self.type
+
+    def param(self, index: int) -> Param:
+        return self.params[index]
+
+    @property
+    def num_params(self) -> int:
+        return len(self.params)
+
+    # -- body ------------------------------------------------------------------
+
+    def has_body(self) -> bool:
+        return bool(self._ops)
+
+    @property
+    def callee(self) -> Def:
+        assert self._ops, f"{self.unique_name()} has no body"
+        return self._ops[0]
+
+    @property
+    def args(self) -> tuple[Def, ...]:
+        assert self._ops, f"{self.unique_name()} has no body"
+        return self._ops[1:]
+
+    def arg(self, index: int) -> Def:
+        return self._ops[1 + index]
+
+    def jump(self, callee: Def, args: Iterable[Def]) -> None:
+        """Set the body to ``callee(*args)``; replaces any previous body."""
+        args = tuple(args)
+        callee_type = callee.type
+        assert isinstance(callee_type, FnType), (
+            f"callee {callee.unique_name()} of {self.unique_name()} "
+            f"is not fn-typed: {callee_type}"
+        )
+        if isinstance(callee, Continuation) and callee.intrinsic in (
+            Intrinsic.MATCH,
+        ):
+            pass  # variadic intrinsic: arity checked by the verifier
+        else:
+            assert len(args) == callee_type.num_params, (
+                f"arity mismatch jumping from {self.unique_name()} to "
+                f"{callee.unique_name()}: {len(args)} args for {callee_type}"
+            )
+        self._set_ops((callee, *args))
+
+    def unset_body(self) -> None:
+        self._set_ops(())
+
+    def update_callee(self, callee: Def) -> None:
+        self._set_ops((callee, *self._ops[1:]))
+
+    def update_arg(self, index: int, arg: Def) -> None:
+        ops = list(self._ops)
+        ops[1 + index] = arg
+        self._set_ops(tuple(ops))
+
+    # -- construction-time parameter surgery ------------------------------------
+
+    def append_param(self, param_type: Type, name: str = "") -> Param:
+        """Add a parameter (frontend SSA construction only).
+
+        Callers are responsible for patching predecessor jumps; the
+        continuation's fn type is updated in place.
+        """
+        from .types import fn_type as make_fn_type
+
+        param = Param(self.world, param_type, self, len(self.params),
+                      name or f"{self.name}.{len(self.params)}")
+        self.params.append(param)
+        self.type = make_fn_type(
+            tuple(self.fn_type.param_types) + (param_type,))
+        return param
+
+    def remove_param(self, index: int) -> None:
+        """Remove an (unused) parameter; shifts the indices of later params."""
+        param = self.params.pop(index)
+        assert param.is_unused(), (
+            f"removing used param {param.unique_name()} of {self.unique_name()}"
+        )
+        from .types import fn_type as make_fn_type
+
+        for later in self.params[index:]:
+            later.index -= 1
+        param_types = [t for i, t in enumerate(self.fn_type.param_types) if i != index]
+        self.type = make_fn_type(tuple(param_types))
+
+    # -- classification -----------------------------------------------------------
+
+    def is_intrinsic(self) -> bool:
+        return self.intrinsic is not None
+
+    def is_returning(self) -> bool:
+        """Does this continuation take a return continuation (a function)?"""
+        return self.fn_type.is_returning()
+
+    def is_basic_block_like(self) -> bool:
+        """Order-1 type: all params are first-order values."""
+        return self.fn_type.order() == 1
+
+    def order(self) -> int:
+        return self.fn_type.order()

@@ -1,0 +1,92 @@
+"""Dominator tree over a scope's CFG.
+
+Implementation: the Cooper–Harvey–Kennedy iterative algorithm on the
+reverse-postorder numbering ("A Simple, Fast Dominance Algorithm").
+Good constants, no dominance frontiers needed anywhere in this system —
+matching the paper's point that SSA-style reasoning in Thorin never
+touches frontiers.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+
+
+class DomTree:
+    """Immediate-dominator tree of a :class:`CFG` (reachable nodes only)."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self._idom: dict[object, object] = {}
+        self._children: dict[object, list[object]] = {}
+        self._depth: dict[object, int] = {}
+        self._run()
+
+    def _run(self) -> None:
+        cfg = self.cfg
+        rpo = cfg.nodes()
+        index = {n: i for i, n in enumerate(rpo)}
+        idom: dict[object, object] = {cfg.entry: cfg.entry}
+
+        def intersect(a: object, b: object) -> object:
+            while a is not b:
+                while index[a] > index[b]:
+                    a = idom[a]
+                while index[b] > index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for node in rpo:
+                if node is cfg.entry:
+                    continue
+                new_idom = None
+                for pred in cfg.preds(node):
+                    if pred in idom:
+                        new_idom = pred if new_idom is None else intersect(new_idom, pred)
+                assert new_idom is not None, f"unreachable node {node} in RPO"
+                if idom.get(node) is not new_idom:
+                    idom[node] = new_idom
+                    changed = True
+
+        self._idom = idom
+        for node in rpo:
+            self._children.setdefault(node, [])
+        for node in rpo:
+            if node is not cfg.entry:
+                self._children[idom[node]].append(node)
+        self._depth[cfg.entry] = 0
+        for node in rpo:
+            if node is not cfg.entry:
+                self._depth[node] = self._depth[idom[node]] + 1
+
+    # ------------------------------------------------------------------
+
+    def idom(self, node: object) -> object:
+        """Immediate dominator (the entry is its own idom)."""
+        return self._idom[node]
+
+    def children(self, node: object) -> list[object]:
+        return self._children[node]
+
+    def depth(self, node: object) -> int:
+        return self._depth[node]
+
+    def dominates(self, a: object, b: object) -> bool:
+        """Does *a* dominate *b* (reflexively)?"""
+        while self._depth[b] > self._depth[a]:
+            b = self._idom[b]
+        return a is b
+
+    def lca(self, a: object, b: object) -> object:
+        """Least common ancestor in the dominator tree."""
+        while self._depth[a] > self._depth[b]:
+            a = self._idom[a]
+        while self._depth[b] > self._depth[a]:
+            b = self._idom[b]
+        while a is not b:
+            a = self._idom[a]
+            b = self._idom[b]
+        return a

@@ -1,0 +1,273 @@
+"""Reference semantics for scalar operations.
+
+This module is the single source of truth for what Thorin's arithmetic
+means.  Constant folding in the world, the graph interpreter, and the
+bytecode VM all evaluate scalars through these functions, so "the
+optimizer folded it" and "the machine computed it" can never disagree —
+a property the test suite checks with hypothesis.
+
+Representation conventions:
+
+* Integers are kept **canonical**: as unsigned Python ints in
+  ``[0, 2**width)``.  Signed operations reinterpret the bits as two's
+  complement on the way in and re-canonicalize on the way out.
+* ``f64`` values are Python floats; ``f32`` values are Python floats
+  that have been rounded through IEEE-754 single precision after every
+  operation.
+* Booleans are Python bools.
+
+Defined corner cases (documented deviations from C's undefined behavior,
+chosen to match common hardware):
+
+* ``div``/``rem`` by zero trap (:class:`EvalError`); ``INT_MIN / -1``
+  wraps.  Division truncates toward zero (C99 semantics).
+* Shift amounts are masked by ``width - 1`` (x86 semantics).
+* float→int casts truncate toward zero and wrap modulo ``2**width``
+  (NaN casts to 0).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from .primops import ArithKind, CmpRel, MathKind
+from .types import PrimType, PrimTypeKind
+
+
+class EvalError(Exception):
+    """A trapping operation (e.g. division by zero) was evaluated."""
+
+
+def canonical_int(value: int, width: int) -> int:
+    """Map any Python int to the canonical unsigned representative."""
+    return value & ((1 << width) - 1)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Two's-complement reading of a canonical unsigned value."""
+    if value >= 1 << (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def round_f32(value: float) -> float:
+    """Round a Python float through IEEE-754 single precision."""
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return math.copysign(math.inf, value)
+
+
+def canonicalize(kind: PrimTypeKind, value) -> object:
+    """Normalize an arbitrary Python value into the canonical form for *kind*."""
+    if kind.is_bool:
+        return bool(value)
+    if kind.is_int:
+        return canonical_int(int(value), kind.bitwidth)
+    if kind is PrimTypeKind.F32:
+        return round_f32(float(value))
+    return float(value)
+
+
+def public_value(kind: PrimTypeKind, value):
+    """Convert canonical form to the value the surface language sees."""
+    if kind.is_signed:
+        return to_signed(value, kind.bitwidth)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _int_arith(kind: ArithKind, a: int, b: int, width: int, signed: bool) -> int:
+    if kind is ArithKind.ADD:
+        return canonical_int(a + b, width)
+    if kind is ArithKind.SUB:
+        return canonical_int(a - b, width)
+    if kind is ArithKind.MUL:
+        return canonical_int(a * b, width)
+    if kind is ArithKind.AND:
+        return a & b
+    if kind is ArithKind.OR:
+        return a | b
+    if kind is ArithKind.XOR:
+        return a ^ b
+    if kind is ArithKind.SHL:
+        return canonical_int(a << (b & (width - 1)), width)
+    if kind is ArithKind.SHR:
+        amount = b & (width - 1)
+        if signed:
+            return canonical_int(to_signed(a, width) >> amount, width)
+        return a >> amount
+    if kind.is_division:
+        if b == 0:
+            raise EvalError("integer division by zero")
+        if signed:
+            sa, sb = to_signed(a, width), to_signed(b, width)
+            quotient = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                quotient = -quotient
+            if kind is ArithKind.DIV:
+                return canonical_int(quotient, width)
+            return canonical_int(sa - quotient * sb, width)
+        if kind is ArithKind.DIV:
+            return a // b
+        return a % b
+    raise AssertionError(f"bad int arith kind {kind}")
+
+
+def _float_arith(kind: ArithKind, a: float, b: float) -> float:
+    if kind is ArithKind.ADD:
+        return a + b
+    if kind is ArithKind.SUB:
+        return a - b
+    if kind is ArithKind.MUL:
+        return a * b
+    if kind is ArithKind.DIV:
+        if b == 0.0:
+            if a == 0.0 or math.isnan(a):
+                return math.nan
+            sign = math.copysign(1.0, a) * math.copysign(1.0, b)
+            return math.copysign(math.inf, sign)
+        try:
+            return a / b
+        except OverflowError:  # pragma: no cover - double division can't overflow
+            return math.copysign(math.inf, a) * math.copysign(1.0, b)
+    if kind is ArithKind.REM:
+        if b == 0.0 or math.isinf(a) or math.isnan(a) or math.isnan(b):
+            return math.nan
+        return math.fmod(a, b)
+    raise AssertionError(f"bad float arith kind {kind}")
+
+
+def _bool_arith(kind: ArithKind, a: bool, b: bool) -> bool:
+    if kind is ArithKind.AND:
+        return a and b
+    if kind is ArithKind.OR:
+        return a or b
+    if kind is ArithKind.XOR:
+        return a != b
+    raise AssertionError(f"bad bool arith kind {kind}")
+
+
+def arith(kind: ArithKind, prim: PrimType, a, b):
+    """Evaluate ``a <kind> b`` at type *prim* on canonical values."""
+    if prim.is_bool:
+        return _bool_arith(kind, a, b)
+    if prim.is_int:
+        return _int_arith(kind, a, b, prim.bitwidth, prim.is_signed)
+    result = _float_arith(kind, a, b)
+    if prim.kind is PrimTypeKind.F32:
+        result = round_f32(result)
+    return result
+
+
+def math_op(kind: MathKind, prim: PrimType, value: float) -> float:
+    """Evaluate a unary float builtin; domain errors yield NaN."""
+    assert prim.is_float, f"math op on non-float {prim}"
+    try:
+        if kind is MathKind.SQRT:
+            result = math.sqrt(value) if value >= 0 else math.nan
+        elif kind is MathKind.FABS:
+            result = math.fabs(value)
+        elif kind is MathKind.FLOOR:
+            result = float(math.floor(value)) if math.isfinite(value) else value
+        elif kind is MathKind.SIN:
+            result = math.sin(value) if math.isfinite(value) else math.nan
+        elif kind is MathKind.COS:
+            result = math.cos(value) if math.isfinite(value) else math.nan
+        elif kind is MathKind.EXP:
+            result = math.exp(value) if value == value else math.nan
+        elif kind is MathKind.LOG:
+            if value > 0:
+                result = math.log(value)
+            elif value == 0:
+                result = -math.inf
+            else:
+                result = math.nan
+        else:  # pragma: no cover
+            raise AssertionError(f"bad math kind {kind}")
+    except OverflowError:
+        result = math.inf
+    if prim.kind is PrimTypeKind.F32:
+        result = round_f32(result)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+def compare(rel: CmpRel, prim: PrimType, a, b) -> bool:
+    """Evaluate ``a <rel> b`` at type *prim* on canonical values."""
+    if prim.is_float:
+        if math.isnan(a) or math.isnan(b):
+            return rel is CmpRel.NE
+        va, vb = a, b
+    elif prim.is_signed:
+        va, vb = to_signed(a, prim.bitwidth), to_signed(b, prim.bitwidth)
+    else:  # bool compares as 0/1; unsigned compares canonically
+        va, vb = a, b
+    if rel is CmpRel.EQ:
+        return va == vb
+    if rel is CmpRel.NE:
+        return va != vb
+    if rel is CmpRel.LT:
+        return va < vb
+    if rel is CmpRel.LE:
+        return va <= vb
+    if rel is CmpRel.GT:
+        return va > vb
+    if rel is CmpRel.GE:
+        return va >= vb
+    raise AssertionError(f"bad cmp rel {rel}")
+
+
+# ---------------------------------------------------------------------------
+# Casts
+# ---------------------------------------------------------------------------
+
+
+def cast(to: PrimType, frm: PrimType, value):
+    """Evaluate a value-converting cast on a canonical value."""
+    if frm.is_float and to.is_int:
+        if math.isnan(value):
+            return 0
+        return canonical_int(int(value), to.bitwidth)
+    if frm.is_float and to.is_bool:
+        return value != 0.0
+    source = public_value(frm.kind, value) if not frm.is_float else value
+    if to.is_bool:
+        return bool(source)
+    if to.is_int:
+        return canonical_int(int(source), to.bitwidth)
+    return canonicalize(to.kind, float(source))
+
+
+_BITCAST_FORMATS = {8: "<B", 16: "<H", 32: "<I", 64: "<Q"}
+_FLOAT_FORMATS = {32: "<f", 64: "<d"}
+
+
+def bitcast(to: PrimType, frm: PrimType, value):
+    """Evaluate a bit-reinterpreting cast between same-width scalars."""
+    assert to.bitwidth == frm.bitwidth, "bitcast requires equal widths"
+    width = to.bitwidth
+    if frm.is_float:
+        bits = struct.unpack(
+            _BITCAST_FORMATS[width], struct.pack(_FLOAT_FORMATS[width], value)
+        )[0]
+    elif frm.is_bool:
+        bits = int(value)
+    else:
+        bits = value
+    if to.is_float:
+        return struct.unpack(
+            _FLOAT_FORMATS[width], struct.pack(_BITCAST_FORMATS[width], bits)
+        )[0]
+    if to.is_bool:
+        return bool(bits & 1)
+    return bits

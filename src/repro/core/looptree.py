@@ -1,0 +1,152 @@
+"""Loop forest of a scope's CFG.
+
+Loops are recovered as nested strongly connected components (Tarjan SCC
+applied recursively after removing back edges into each loop's headers),
+yielding a loop-nesting forest and a per-node loop depth.  The scheduler
+uses depths to hoist primops out of hot loops (schedule "smart"), and
+the experiments report loop statistics per benchmark.
+"""
+
+from __future__ import annotations
+
+from .cfg import CFG
+
+
+class Loop:
+    """One loop in the forest: headers, member nodes, children."""
+
+    def __init__(self, parent: "Loop | None", headers: list[object],
+                 nodes: set[object], depth: int):
+        self.parent = parent
+        self.headers = headers
+        self.nodes = nodes
+        self.depth = depth
+        self.children: list[Loop] = []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        names = ", ".join(getattr(h, "name", "?") for h in self.headers)
+        return f"<Loop depth={self.depth} headers=[{names}] size={len(self.nodes)}>"
+
+
+class LoopTree:
+    """Loop-nesting forest with per-node depth queries."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.root = Loop(None, [], set(cfg.nodes()), 0)
+        self._depth: dict[object, int] = {n: 0 for n in cfg.nodes()}
+        self._innermost: dict[object, Loop] = {n: self.root for n in cfg.nodes()}
+        self._discover(self.root, set(cfg.nodes()), set())
+
+    def _discover(self, parent: Loop, region: set[object],
+                  banned_edges: set[tuple[object, object]]) -> None:
+        for scc in self._sccs(region, banned_edges):
+            entry_like = self._headers(scc, region, banned_edges)
+            loop = Loop(parent, entry_like, scc, parent.depth + 1)
+            parent.children.append(loop)
+            for node in scc:
+                self._depth[node] = loop.depth
+                self._innermost[node] = loop
+            # Recurse with the back edges into the headers removed so the
+            # loop itself no longer forms an SCC.
+            inner_banned = set(banned_edges)
+            for node in scc:
+                for succ in self.cfg.succs(node):
+                    if succ in entry_like:
+                        inner_banned.add((node, succ))
+            self._discover(loop, scc, inner_banned)
+
+    def _headers(self, scc: set[object], region: set[object],
+                 banned_edges: set[tuple[object, object]]) -> list[object]:
+        headers = []
+        for node in sorted(scc, key=self.cfg.rpo_index):
+            for pred in self.cfg.preds(node):
+                if pred not in scc and (pred, node) not in banned_edges:
+                    headers.append(node)
+                    break
+        if not headers:  # the entry itself can head a loop
+            headers = [min(scc, key=self.cfg.rpo_index)]
+        return headers
+
+    def _sccs(self, region: set[object],
+              banned_edges: set[tuple[object, object]]) -> list[set[object]]:
+        """Non-trivial SCCs of the sub-CFG, iterative Tarjan."""
+        index: dict[object, int] = {}
+        low: dict[object, int] = {}
+        on_stack: set[object] = set()
+        stack: list[object] = []
+        sccs: list[set[object]] = []
+        counter = [0]
+
+        def strongconnect(root: object) -> None:
+            work = [(root, iter(self._region_succs(root, region, banned_edges)))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append(
+                            (succ, iter(self._region_succs(succ, region, banned_edges)))
+                        )
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent_node = work[-1][0]
+                    low[parent_node] = min(low[parent_node], low[node])
+                if low[node] == index[node]:
+                    scc: set[object] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.add(member)
+                        if member is node:
+                            break
+                    if len(scc) > 1 or self._self_loop(node, region, banned_edges):
+                        sccs.append(scc)
+
+        for node in region:
+            if node not in index:
+                strongconnect(node)
+        return sccs
+
+    def _region_succs(self, node: object, region: set[object],
+                      banned_edges: set[tuple[object, object]]):
+        for succ in self.cfg.succs(node):
+            if succ in region and (node, succ) not in banned_edges:
+                yield succ
+
+    def _self_loop(self, node: object, region: set[object],
+                   banned_edges: set[tuple[object, object]]) -> bool:
+        return any(s is node for s in self._region_succs(node, region, banned_edges))
+
+    # ------------------------------------------------------------------
+
+    def depth(self, node: object) -> int:
+        """Loop-nesting depth (0 = not in any loop)."""
+        return self._depth[node]
+
+    def innermost(self, node: object):
+        return self._innermost[node]
+
+    def loops(self) -> list[Loop]:
+        """All loops, preorder."""
+        result: list[Loop] = []
+        stack = list(self.root.children)
+        while stack:
+            loop = stack.pop()
+            result.append(loop)
+            stack.extend(loop.children)
+        return result

@@ -1,0 +1,71 @@
+"""Graph rewriting: replace defs by other defs, rebuilding users.
+
+Primops are immutable and hash-consed, so "replacing" a def means
+rebuilding every (transitive) user through the world's smart factories
+and finally retargeting the mutable continuation bodies.  Folding
+re-fires during the rebuild, exactly as in mangling.  Old nodes become
+garbage and are collected by ``transform.cleanup``.
+"""
+
+from __future__ import annotations
+
+from .defs import Continuation, Def
+from .primops import PrimOp
+from .world import World
+
+
+def rewrite_uses(world: World, mapping: dict[Def, Def]) -> dict[Def, Def]:
+    """Apply ``mapping`` to the graph.
+
+    Every def reachable (via use edges) from a key is rebuilt with the
+    mapping applied; continuations are updated in place.  Returns the
+    full old→new memo (useful to chase what a def became).
+    """
+    if not mapping:
+        return {}
+    for old, new in mapping.items():
+        assert old.type is new.type, (
+            f"cannot replace {old.unique_name()}: {old.type} with "
+            f"{new.unique_name()}: {new.type}"
+        )
+    memo: dict[Def, Def] = dict(mapping)
+
+    # Collect transitive users; continuations found along the way will
+    # have their bodies rebuilt.
+    seen: set[Def] = set(mapping)
+    queue: list[Def] = list(mapping)
+    affected_conts: list[Continuation] = []
+    while queue:
+        d = queue.pop()
+        for use in d.uses:
+            user = use.user
+            if user in seen:
+                continue
+            seen.add(user)
+            queue.append(user)
+            if isinstance(user, Continuation):
+                affected_conts.append(user)
+
+    def rw(d: Def) -> Def:
+        hit = memo.get(d)
+        if hit is not None:
+            return hit
+        if isinstance(d, PrimOp):
+            new_ops = tuple(rw(op) for op in d.ops)
+            new = d if new_ops == d.ops else world.rebuild(d, new_ops)
+            memo[d] = new
+            return new
+        memo[d] = d
+        return d
+
+    for cont in affected_conts:
+        if cont.has_body():
+            new_ops = tuple(rw(op) for op in cont.ops)
+            if new_ops != cont.ops:
+                cont._set_ops(new_ops)
+    return memo
+
+
+def replace_def(old: Def, new: Def) -> dict[Def, Def]:
+    """Replace every use of *old* by *new* (convenience wrapper)."""
+    return rewrite_uses(old.world, {old: new})

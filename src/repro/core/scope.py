@@ -1,0 +1,150 @@
+"""Implicit scopes.
+
+The paper's structural departure from nested IRs: Thorin has no binders
+beyond continuation parameters and no explicit nesting.  "What belongs
+to a function" is *recovered* from the dependence graph whenever a
+transformation needs it:
+
+    The scope of a continuation ``f`` is the smallest set containing
+    ``f`` and the parameters of every continuation in the set, closed
+    under *uses* (if ``d`` is in the set, every def with ``d`` as an
+    operand is in the set).
+
+Intuitively: everything that directly or transitively depends on ``f``'s
+parameters is stuck inside ``f``; everything else floats freely and is
+shared between scopes.  Lambda dropping/lifting change scope membership
+by turning free defs into parameters and vice versa; the mangler copies
+exactly the defs of a scope and shares the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .defs import Continuation, Def, Param
+from .primops import Bottom, Literal
+
+
+class Scope:
+    """The scope of an *entry* continuation, recovered from the graph.
+
+    A scope is a snapshot: it is computed eagerly at construction time
+    and does not track later graph mutation.  Passes recompute scopes
+    after rewriting (scope recovery is linear in the scope's size).
+    """
+
+    def __init__(self, entry: Continuation):
+        self.entry = entry
+        self._defs: dict[Def, None] = {}  # insertion-ordered set
+        self._run()
+
+    def _run(self) -> None:
+        # The entry is *in* the scope but is not a flood source: a mere
+        # reference to the entry (a call from outside, a recursive call)
+        # must not pull the referrer into the scope.  Its params are the
+        # real seeds.  Continuations discovered later *are* flood
+        # sources: anything referencing an entry-dependent continuation
+        # must be copied when the entry is specialized.
+        queue: list[Def] = []
+        self._defs[self.entry] = None
+        for param in self.entry.params:
+            self._defs[param] = None
+            queue.append(param)
+        while queue:
+            d = queue.pop()
+            for use in d.uses:
+                self._insert(use.user, queue)
+
+    def _insert(self, d: Def, queue: list[Def]) -> None:
+        if d in self._defs:
+            return
+        self._defs[d] = None
+        queue.append(d)
+        if isinstance(d, Continuation):
+            for param in d.params:
+                if param not in self._defs:
+                    self._defs[param] = None
+                    queue.append(param)
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, d: Def) -> bool:
+        return d in self._defs
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def defs(self) -> Iterator[Def]:
+        return iter(self._defs)
+
+    def continuations(self) -> list[Continuation]:
+        """Scope members that are continuations; the entry comes first."""
+        conts = [d for d in self._defs if isinstance(d, Continuation)]
+        conts.sort(key=lambda c: (c is not self.entry, c.gid))
+        return conts
+
+    def free_defs(self) -> list[Def]:
+        """Out-of-scope defs referenced by the scope.
+
+        Literals and bottoms are omitted: they are universally shareable
+        and never interesting for closure analysis or lifting.  The
+        result is deterministic (ordered by first occurrence).
+        """
+        free: dict[Def, None] = {}
+        for d in self._defs:
+            for op in d.ops:
+                if op not in self._defs and not isinstance(op, (Literal, Bottom)):
+                    free.setdefault(op, None)
+        return list(free)
+
+    def free_params(self) -> list[Param]:
+        """Free defs that are parameters of *enclosing* continuations.
+
+        A non-empty result means this scope captures its environment:
+        turning the entry into a first-class value would require a
+        closure.  Transitive: a free continuation's own free params count
+        as well (the closure would have to capture them indirectly).
+        """
+        seen: set[Def] = set()
+        result: dict[Param, None] = {}
+        queue = self.free_defs()
+        while queue:
+            d = queue.pop()
+            if d in seen:
+                continue
+            seen.add(d)
+            if isinstance(d, Param):
+                result.setdefault(d, None)
+            elif isinstance(d, Continuation):
+                if d.is_intrinsic():
+                    continue
+                inner = Scope(d)
+                for f in inner.free_defs():
+                    if f not in seen:
+                        queue.append(f)
+            else:
+                for op in d.ops:
+                    if op not in seen and not isinstance(op, (Literal, Bottom)):
+                        queue.append(op)
+        return list(result)
+
+    def has_free_params(self) -> bool:
+        return bool(self.free_params())
+
+
+def top_level_continuations(world) -> list[Continuation]:
+    """Continuations that sit in no other continuation's scope.
+
+    These are the units of code generation: returning functions and
+    (after closure elimination) nothing else.  Computed by elimination:
+    every continuation that appears in the scope of another continuation
+    is *not* top-level.
+    """
+    nested: set[Continuation] = set()
+    conts = world.continuations()
+    scopes = {c: Scope(c) for c in conts}
+    for c, scope in scopes.items():
+        for d in scope.defs():
+            if isinstance(d, Continuation) and d is not c:
+                nested.add(d)
+    return [c for c in conts if c not in nested and not c.is_intrinsic()]

@@ -1,0 +1,423 @@
+"""Thorin's type system.
+
+Types are immutable and *interned* (hash-consed): constructing the same
+type twice yields the identical object, so type equality is identity.
+This mirrors the paper's setting where the IR graph is globally value
+numbered; types participate in the value numbering keys of primops.
+
+The universe is deliberately small, following the paper:
+
+* primitive types (``bool``, sized signed/unsigned integers, floats),
+* function types ``fn(T1, ..., Tn)`` — continuations never return, so a
+  function type has *no* return type,
+* tuple types,
+* pointer types,
+* array types (definite length or indefinite),
+* nominal struct types,
+* ``mem`` — the state token threading side effects through the graph,
+* ``frame`` — a stack frame produced by ``enter``.
+
+The *order* of a type (see :func:`Type.order`) drives the control-flow
+form (CFF) criterion: basic blocks have order-1 types, top-level
+functions order-2 types.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+
+class PrimTypeKind(enum.Enum):
+    """Kinds of primitive (scalar) types."""
+
+    BOOL = "bool"
+    I8 = "i8"
+    I16 = "i16"
+    I32 = "i32"
+    I64 = "i64"
+    U8 = "u8"
+    U16 = "u16"
+    U32 = "u32"
+    U64 = "u64"
+    F32 = "f32"
+    F64 = "f64"
+
+    @property
+    def is_int(self) -> bool:
+        return self in _INT_KINDS
+
+    @property
+    def is_signed(self) -> bool:
+        return self in _SIGNED_KINDS
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self in _UNSIGNED_KINDS
+
+    @property
+    def is_float(self) -> bool:
+        return self in (PrimTypeKind.F32, PrimTypeKind.F64)
+
+    @property
+    def is_bool(self) -> bool:
+        return self is PrimTypeKind.BOOL
+
+    @property
+    def bitwidth(self) -> int:
+        return _BITWIDTHS[self]
+
+
+_INT_KINDS = frozenset(
+    {
+        PrimTypeKind.I8,
+        PrimTypeKind.I16,
+        PrimTypeKind.I32,
+        PrimTypeKind.I64,
+        PrimTypeKind.U8,
+        PrimTypeKind.U16,
+        PrimTypeKind.U32,
+        PrimTypeKind.U64,
+    }
+)
+
+_SIGNED_KINDS = frozenset(
+    {PrimTypeKind.I8, PrimTypeKind.I16, PrimTypeKind.I32, PrimTypeKind.I64}
+)
+
+_UNSIGNED_KINDS = frozenset(
+    {PrimTypeKind.U8, PrimTypeKind.U16, PrimTypeKind.U32, PrimTypeKind.U64}
+)
+
+_BITWIDTHS = {
+    PrimTypeKind.BOOL: 1,
+    PrimTypeKind.I8: 8,
+    PrimTypeKind.I16: 16,
+    PrimTypeKind.I32: 32,
+    PrimTypeKind.I64: 64,
+    PrimTypeKind.U8: 8,
+    PrimTypeKind.U16: 16,
+    PrimTypeKind.U32: 32,
+    PrimTypeKind.U64: 64,
+    PrimTypeKind.F32: 32,
+    PrimTypeKind.F64: 64,
+}
+
+
+class Type:
+    """Base class of all interned types.
+
+    Subclasses define ``_key()`` returning a hashable structural key;
+    :meth:`Type.intern` guarantees one live instance per key.
+    """
+
+    _table: dict[tuple, "Type"] = {}
+
+    __slots__ = ("_hash",)
+
+    @classmethod
+    def intern(cls, *key_parts) -> "Type":
+        key = (cls, *key_parts)
+        existing = Type._table.get(key)
+        if existing is not None:
+            return existing
+        self = object.__new__(cls)
+        self._init(*key_parts)
+        self._hash = hash(key)
+        Type._table[key] = self
+        return self
+
+    def _init(self, *key_parts) -> None:
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Identity equality: interning makes structural equality == identity.
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __ne__(self, other: object) -> bool:
+        return self is not other
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def elements(self) -> tuple["Type", ...]:
+        """Component types (empty for leaf types)."""
+        return ()
+
+    def order(self) -> int:
+        """Functional order of the type.
+
+        ``order(prim) == 0``; ``order(fn(Ts)) == 1 + max(order(Ts))``;
+        aggregates take the max of their components.  Basic blocks have
+        order-1 types, returning functions order-2 types; anything higher
+        needs closure elimination before code generation.
+        """
+        inner = max((t.order() for t in self.elements), default=0)
+        if isinstance(self, FnType):
+            return 1 + inner
+        return inner
+
+    def is_returning(self) -> bool:
+        """True for fn types with at least one fn-typed ("return") param."""
+        if not isinstance(self, FnType):
+            return False
+        return any(isinstance(t, FnType) for t in self.elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+class PrimType(Type):
+    """A scalar type such as ``i32`` or ``f64``."""
+
+    __slots__ = ("kind",)
+
+    def _init(self, kind: PrimTypeKind) -> None:
+        self.kind = kind
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind.is_int
+
+    @property
+    def is_signed(self) -> bool:
+        return self.kind.is_signed
+
+    @property
+    def is_unsigned(self) -> bool:
+        return self.kind.is_unsigned
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind.is_float
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind.is_bool
+
+    @property
+    def bitwidth(self) -> int:
+        return self.kind.bitwidth
+
+    def __str__(self) -> str:
+        return self.kind.value
+
+
+class FnType(Type):
+    """The type of a continuation: ``fn(T1, ..., Tn)``.
+
+    Continuations do not return; calling one is a jump.  A "returning
+    function" is encoded as a continuation whose last parameter is itself
+    of ``FnType`` (the return continuation).
+    """
+
+    __slots__ = ("param_types",)
+
+    def _init(self, param_types: tuple[Type, ...]) -> None:
+        self.param_types = param_types
+
+    @property
+    def elements(self) -> tuple[Type, ...]:
+        return self.param_types
+
+    @property
+    def num_params(self) -> int:
+        return len(self.param_types)
+
+    def ret_type(self) -> "FnType | None":
+        """The last fn-typed parameter, i.e. the return continuation type."""
+        for t in reversed(self.param_types):
+            if isinstance(t, FnType):
+                return t
+        return None
+
+    def is_basic_block(self) -> bool:
+        """Order-1 fn type: parameters are all first-order values."""
+        return self.order() == 1
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.param_types)
+        return f"fn({inner})"
+
+
+class TupleType(Type):
+    """An anonymous product type ``(T1, ..., Tn)``."""
+
+    __slots__ = ("elem_types",)
+
+    def _init(self, elem_types: tuple[Type, ...]) -> None:
+        self.elem_types = elem_types
+
+    @property
+    def elements(self) -> tuple[Type, ...]:
+        return self.elem_types
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.elem_types)
+        return f"({inner})"
+
+
+class StructType(Type):
+    """A nominal record type.
+
+    Identity includes the name, so two structs with identical fields but
+    different names are distinct types.
+    """
+
+    __slots__ = ("name", "field_names", "field_types")
+
+    def _init(
+        self,
+        name: str,
+        field_names: tuple[str, ...],
+        field_types: tuple[Type, ...],
+    ) -> None:
+        self.name = name
+        self.field_names = field_names
+        self.field_types = field_types
+
+    @property
+    def elements(self) -> tuple[Type, ...]:
+        return self.field_types
+
+    def field_index(self, name: str) -> int:
+        return self.field_names.index(name)
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+
+class PtrType(Type):
+    """A pointer to a value of the pointee type."""
+
+    __slots__ = ("pointee",)
+
+    def _init(self, pointee: Type) -> None:
+        self.pointee = pointee
+
+    @property
+    def elements(self) -> tuple[Type, ...]:
+        return (self.pointee,)
+
+    def __str__(self) -> str:
+        return f"ptr[{self.pointee}]"
+
+
+class DefiniteArrayType(Type):
+    """An array with a statically known length."""
+
+    __slots__ = ("elem_type", "length")
+
+    def _init(self, elem_type: Type, length: int) -> None:
+        self.elem_type = elem_type
+        self.length = length
+
+    @property
+    def elements(self) -> tuple[Type, ...]:
+        return (self.elem_type,)
+
+    def __str__(self) -> str:
+        return f"[{self.elem_type} * {self.length}]"
+
+
+class IndefiniteArrayType(Type):
+    """An array whose length is only known at run time."""
+
+    __slots__ = ("elem_type",)
+
+    def _init(self, elem_type: Type) -> None:
+        self.elem_type = elem_type
+
+    @property
+    def elements(self) -> tuple[Type, ...]:
+        return (self.elem_type,)
+
+    def __str__(self) -> str:
+        return f"[{self.elem_type}]"
+
+
+class MemType(Type):
+    """The linear state token threading memory effects through the graph."""
+
+    __slots__ = ()
+
+    def _init(self) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return "mem"
+
+
+class FrameType(Type):
+    """A stack frame, produced by ``enter`` and consumed by ``slot``."""
+
+    __slots__ = ()
+
+    def _init(self) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return "frame"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors.  These are the public API for building types.
+# ---------------------------------------------------------------------------
+
+
+def prim_type(kind: PrimTypeKind | str) -> PrimType:
+    if isinstance(kind, str):
+        kind = PrimTypeKind(kind)
+    return PrimType.intern(kind)  # type: ignore[return-value]
+
+
+def fn_type(param_types: Iterator[Type] | tuple[Type, ...] | list[Type]) -> FnType:
+    return FnType.intern(tuple(param_types))  # type: ignore[return-value]
+
+
+def tuple_type(elem_types) -> TupleType:
+    return TupleType.intern(tuple(elem_types))  # type: ignore[return-value]
+
+
+def struct_type(name: str, field_names, field_types) -> StructType:
+    return StructType.intern(name, tuple(field_names), tuple(field_types))
+
+
+def ptr_type(pointee: Type) -> PtrType:
+    return PtrType.intern(pointee)  # type: ignore[return-value]
+
+
+def definite_array_type(elem_type: Type, length: int) -> DefiniteArrayType:
+    return DefiniteArrayType.intern(elem_type, length)
+
+
+def indefinite_array_type(elem_type: Type) -> IndefiniteArrayType:
+    return IndefiniteArrayType.intern(elem_type)
+
+
+def mem_type() -> MemType:
+    return MemType.intern()  # type: ignore[return-value]
+
+
+def frame_type() -> FrameType:
+    return FrameType.intern()  # type: ignore[return-value]
+
+
+# Frequently used shorthands.
+BOOL = prim_type(PrimTypeKind.BOOL)
+I8 = prim_type(PrimTypeKind.I8)
+I16 = prim_type(PrimTypeKind.I16)
+I32 = prim_type(PrimTypeKind.I32)
+I64 = prim_type(PrimTypeKind.I64)
+U8 = prim_type(PrimTypeKind.U8)
+U16 = prim_type(PrimTypeKind.U16)
+U32 = prim_type(PrimTypeKind.U32)
+U64 = prim_type(PrimTypeKind.U64)
+F32 = prim_type(PrimTypeKind.F32)
+F64 = prim_type(PrimTypeKind.F64)
+MEM = mem_type()
+FRAME = frame_type()
+UNIT = tuple_type(())

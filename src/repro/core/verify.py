@@ -1,0 +1,222 @@
+"""IR well-formedness and control-flow-form (CFF) checking.
+
+Two layers:
+
+* :func:`verify` — structural sanity of a world: jump arities and types,
+  intrinsic call shapes, parameter ownership.  Transformations call this
+  in tests after every pass.
+* :func:`cff_violations` / :func:`is_cff` — the paper's *control-flow
+  form* criterion.  A program is in CFF when every continuation is
+  either a **basic block** (order-1 type: first-order parameters only)
+  or a **top-level function** (order-2 type whose fn-typed parameters
+  are return continuations), and continuations are only used in ways a
+  classical CFG+SSA backend can lower: as jump/branch targets, as the
+  callee of a call, or as the return-continuation argument of a call.
+  Reaching CFF is the goal of closure elimination (experiment T2); the
+  bytecode backend refuses anything outside CFF.
+"""
+
+from __future__ import annotations
+
+from .defs import Continuation, Def, Intrinsic, Param
+from .primops import EvalOp
+from .scope import Scope, top_level_continuations
+from .types import FnType
+from .world import World
+
+
+class VerifyError(Exception):
+    """A structural invariant of the IR does not hold."""
+
+
+def _peel(d: Def) -> Def:
+    while isinstance(d, EvalOp):
+        d = d.value
+    return d
+
+
+def verify(world: World) -> None:
+    """Check structural well-formedness; raises :class:`VerifyError`."""
+    for cont in world.continuations():
+        _verify_params(cont)
+        if cont.has_body():
+            _verify_jump(cont)
+
+
+def _verify_params(cont: Continuation) -> None:
+    if len(cont.params) != cont.fn_type.num_params:
+        raise VerifyError(
+            f"{cont.unique_name()}: {len(cont.params)} params but type "
+            f"{cont.fn_type}"
+        )
+    for index, (param, t) in enumerate(zip(cont.params, cont.fn_type.param_types)):
+        if param.continuation is not cont:
+            raise VerifyError(
+                f"{cont.unique_name()}: param {index} owned by "
+                f"{param.continuation.unique_name()}"
+            )
+        if param.index != index:
+            raise VerifyError(
+                f"{cont.unique_name()}: param {index} has index {param.index}"
+            )
+        if param.type is not t:
+            raise VerifyError(
+                f"{cont.unique_name()}: param {index} typed {param.type}, "
+                f"type says {t}"
+            )
+
+
+def _verify_jump(cont: Continuation) -> None:
+    callee = _peel(cont.callee)
+    callee_type = callee.type
+    if not isinstance(callee_type, FnType):
+        raise VerifyError(
+            f"{cont.unique_name()}: callee {callee.unique_name()} is not "
+            f"fn-typed ({callee_type})"
+        )
+    args = cont.args
+    if isinstance(callee, Continuation) and callee.intrinsic == Intrinsic.MATCH:
+        _verify_match(cont, callee, args)
+        return
+    if len(args) != callee_type.num_params:
+        raise VerifyError(
+            f"{cont.unique_name()}: {len(args)} args for {callee_type}"
+        )
+    for index, (arg, t) in enumerate(zip(args, callee_type.param_types)):
+        if arg.type is not t:
+            raise VerifyError(
+                f"{cont.unique_name()}: arg {index} typed {arg.type}, "
+                f"callee {callee.unique_name()} wants {t}"
+            )
+
+
+def _verify_match(cont: Continuation, callee: Continuation,
+                  args: tuple[Def, ...]) -> None:
+    types = callee.fn_type.param_types
+    if len(args) < 3:
+        raise VerifyError(f"{cont.unique_name()}: match needs mem, value, default")
+    mem_t, value_t, default_t, arm_t = types[0], types[1], types[2], types[3]
+    checks = [(args[0], mem_t), (args[1], value_t), (args[2], default_t)]
+    for arg in args[3:]:
+        checks.append((arg, arm_t))
+    for index, (arg, t) in enumerate(checks):
+        if arg.type is not t:
+            raise VerifyError(
+                f"{cont.unique_name()}: match operand {index} typed "
+                f"{arg.type}, expected {t}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# control-flow form
+# ---------------------------------------------------------------------------
+
+
+def cff_violations(world: World) -> list[str]:
+    """Reasons the world is not in control-flow form (empty = CFF)."""
+    violations: list[str] = []
+    for function in top_level_continuations(world):
+        if not function.has_body():
+            continue
+        if function.fn_type.order() > 2:
+            violations.append(
+                f"{function.unique_name()}: order-{function.fn_type.order()} "
+                f"function type {function.fn_type}"
+            )
+            continue
+        scope = Scope(function)
+        free = scope.free_params()
+        if free:
+            names = ", ".join(p.unique_name() for p in free)
+            violations.append(
+                f"{function.unique_name()}: free parameters ({names})"
+            )
+        for cont in scope.continuations():
+            if cont is function:
+                continue
+            if cont.fn_type.order() > 1:
+                violations.append(
+                    f"{cont.unique_name()} in {function.unique_name()}: "
+                    f"inner continuation of order "
+                    f"{cont.fn_type.order()} (a closure would be required)"
+                )
+        for cont in scope.continuations():
+            if cont.has_body():
+                violations.extend(_jump_violations(cont, scope))
+    return violations
+
+
+def _jump_violations(cont: Continuation, scope: Scope) -> list[str]:
+    """Ways a single jump escapes what a CFG backend can lower."""
+    violations: list[str] = []
+    callee = _peel(cont.callee)
+    entry = scope.entry
+
+    def ok_return_target(d: Def) -> bool:
+        d = _peel(d)
+        if isinstance(d, Continuation):
+            if d in scope:
+                return d.fn_type.order() <= 1
+            return True  # out-of-scope function: a static code address
+        if isinstance(d, Param):
+            return d.continuation is entry and isinstance(d.type, FnType)
+        return False
+
+    if isinstance(callee, Continuation):
+        intrinsic = callee.intrinsic
+        if intrinsic in (Intrinsic.BRANCH, Intrinsic.MATCH):
+            if intrinsic == Intrinsic.BRANCH:
+                targets = list(cont.args[2:])
+            else:
+                targets = [cont.args[2]]
+                targets += [arm.op(1) for arm in cont.args[3:] if arm.num_ops == 2]
+            for t in targets:
+                if not ok_return_target(t):
+                    violations.append(
+                        f"{cont.unique_name()}: non-block branch target "
+                        f"{t.unique_name()}"
+                    )
+        else:
+            # A call: fn-typed arguments are only lowerable in the
+            # callee's (single, conventional) return position.
+            callee_ret_index = None
+            for index in range(len(callee.params) - 1, -1, -1):
+                if isinstance(callee.params[index].type, FnType):
+                    callee_ret_index = index
+                    break
+            for index, arg in enumerate(cont.args):
+                if not isinstance(arg.type, FnType):
+                    continue
+                if index != callee_ret_index:
+                    violations.append(
+                        f"{cont.unique_name()}: continuation argument "
+                        f"{arg.unique_name()} at non-return position "
+                        f"{index} of {callee.unique_name()}"
+                    )
+                elif not ok_return_target(arg):
+                    violations.append(
+                        f"{cont.unique_name()}: escaping continuation "
+                        f"argument {arg.unique_name()}"
+                    )
+    elif isinstance(callee, Param):
+        if callee.continuation is not entry:
+            violations.append(
+                f"{cont.unique_name()}: jump through inner-continuation "
+                f"parameter {callee.unique_name()}"
+            )
+        for arg in cont.args:
+            if isinstance(arg.type, FnType) and not ok_return_target(arg):
+                violations.append(
+                    f"{cont.unique_name()}: escaping continuation argument "
+                    f"{arg.unique_name()}"
+                )
+    else:
+        violations.append(
+            f"{cont.unique_name()}: first-class callee "
+            f"{callee.unique_name()} ({type(callee).__name__})"
+        )
+    return violations
+
+
+def is_cff(world: World) -> bool:
+    return not cff_violations(world)

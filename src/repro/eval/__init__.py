@@ -1,0 +1,5 @@
+"""Measurement helpers for the experiment harness (benchmarks/)."""
+
+from .stats import WorldStatsReport, collect_world_stats, source_loc
+
+__all__ = ["WorldStatsReport", "collect_world_stats", "source_loc"]

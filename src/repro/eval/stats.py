@@ -1,0 +1,114 @@
+"""IR statistics collectors for the T1/T2 experiments.
+
+All counts are over the *reachable* part of a world (what garbage
+collection keeps).  "Higher-order" metrics track what closure
+elimination must remove before code generation:
+
+* ``first_class_continuations`` — continuations used somewhere other
+  than callee position (their address is taken);
+* ``higher_order_params`` — fn-typed parameters that are not the
+  conventional return parameter;
+* ``over_second_order`` — continuations with type order > 2;
+* ``closure_continuations`` — continuations whose scope has free
+  parameters (they would need an environment record at run time);
+* ``cff_violations`` — what the CFF checker still complains about.
+"""
+
+from __future__ import annotations
+
+from ..core.defs import Continuation, Def
+from ..core.primops import PrimOp
+from ..core.scope import Scope, top_level_continuations
+from ..core.types import FnType
+from ..core.verify import cff_violations
+from ..core.world import World
+from ..transform.cleanup import reachable_defs
+
+
+class WorldStatsReport:
+    """A bag of IR counts; renders as a fixed-order dict for tables."""
+
+    FIELDS = (
+        "continuations",
+        "primops",
+        "top_level_functions",
+        "basic_blocks",
+        "first_class_continuations",
+        "higher_order_params",
+        "over_second_order",
+        "closure_continuations",
+        "cff_violations",
+    )
+
+    def __init__(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<WorldStats {inner}>"
+
+
+def _ret_param_index(cont: Continuation) -> int | None:
+    for param in reversed(cont.params):
+        if isinstance(param.type, FnType):
+            return param.index
+    return None
+
+
+def collect_world_stats(world: World) -> WorldStatsReport:
+    report = WorldStatsReport()
+    live = reachable_defs(world)
+    conts = [c for c in world.continuations()
+             if c in live and not c.is_intrinsic()]
+    report.continuations = len(conts)
+    report.primops = sum(1 for d in live if isinstance(d, PrimOp))
+    tops = [c for c in top_level_continuations(world)
+            if c in live and c.has_body()]
+    report.top_level_functions = sum(1 for c in tops if c.is_returning())
+    report.basic_blocks = sum(
+        1 for c in conts if c.has_body() and c.is_basic_block_like()
+    )
+    from ..core.defs import Intrinsic
+    from ..core.primops import EvalOp
+
+    def _is_control_use(use) -> bool:
+        """Branch/match targets are plain control flow, not value travel."""
+        user = use.user
+        if not isinstance(user, Continuation) or not user.has_body():
+            return False
+        callee = user.callee
+        while isinstance(callee, EvalOp):
+            callee = callee.value
+        return (isinstance(callee, Continuation)
+                and callee.intrinsic in (Intrinsic.BRANCH, Intrinsic.MATCH))
+
+    for cont in conts:
+        ret_index = _ret_param_index(cont)
+        for param in cont.params:
+            if isinstance(param.type, FnType) and param.index != ret_index:
+                report.higher_order_params += 1
+        if cont.fn_type.order() > 2:
+            report.over_second_order += 1
+        if any((use.index != 0 or not isinstance(use.user, Continuation))
+               and not _is_control_use(use)
+               for use in cont.uses if use.user in live):
+            report.first_class_continuations += 1
+    for cont in tops:
+        if Scope(cont).has_free_params():
+            report.closure_continuations += 1
+    report.cff_violations = len(cff_violations(world))
+    return report
+
+
+def source_loc(source: str) -> int:
+    """Non-blank, non-comment source lines (the LoC column of T1)."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("//"):
+            count += 1
+    return count

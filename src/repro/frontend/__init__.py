@@ -1,0 +1,41 @@
+"""Impala-lite: the surface language of this reproduction.
+
+``compile_source`` is the one-stop entry: source text → type-checked
+AST → Thorin world (optionally optimized by the standard pipeline).
+"""
+
+from __future__ import annotations
+
+from ..core.world import World
+from .emit import emit_module
+from .parser import parse
+from .sema import analyze
+
+
+def compile_to_ast(source: str):
+    """Parse and type-check, returning the annotated AST module."""
+    return analyze(parse(source))
+
+
+def compile_source(source: str, *, optimize: bool = True,
+                   world_name: str = "module", folding: bool = True) -> World:
+    """Compile Impala-lite source text into a Thorin world.
+
+    ``folding=False`` disables construction-time folding/simplification
+    (ablation A1); value numbering itself stays on.
+    """
+    module = compile_to_ast(source)
+    world = World(world_name, folding=folding)
+    emit_module(module, world)
+    if optimize:
+        from ..transform.pipeline import optimize as run_pipeline
+
+        run_pipeline(world)
+    else:
+        from ..transform.cleanup import cleanup
+
+        cleanup(world)
+    return world
+
+
+__all__ = ["compile_source", "compile_to_ast"]

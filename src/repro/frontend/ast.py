@@ -1,0 +1,413 @@
+"""Abstract syntax tree of Impala-lite.
+
+Nodes are plain data; the type checker (``sema.py``) annotates
+expressions with their :mod:`repro.core.types` type in ``node.type`` and
+resolves names to declarations, after which ``emit.py`` lowers the tree
+to Thorin.
+"""
+
+from __future__ import annotations
+
+from .errors import SourceLoc
+
+
+class Node:
+    __slots__ = ("loc",)
+
+    def __init__(self, loc: SourceLoc):
+        self.loc = loc
+
+
+# ---------------------------------------------------------------------------
+# surface types (resolved to core types during sema)
+# ---------------------------------------------------------------------------
+
+
+class TypeExpr(Node):
+    __slots__ = ()
+
+
+class PrimTypeExpr(TypeExpr):
+    __slots__ = ("name",)
+
+    def __init__(self, loc, name: str):
+        super().__init__(loc)
+        self.name = name
+
+
+class UnitTypeExpr(TypeExpr):
+    __slots__ = ()
+
+
+class FnTypeExpr(TypeExpr):
+    __slots__ = ("param_types", "ret_type")
+
+    def __init__(self, loc, param_types: list[TypeExpr], ret_type: "TypeExpr | None"):
+        super().__init__(loc)
+        self.param_types = param_types
+        self.ret_type = ret_type
+
+
+class TupleTypeExpr(TypeExpr):
+    __slots__ = ("elem_types",)
+
+    def __init__(self, loc, elem_types: list[TypeExpr]):
+        super().__init__(loc)
+        self.elem_types = elem_types
+
+
+class ArrayTypeExpr(TypeExpr):
+    """``[T; N]`` — a definite array."""
+
+    __slots__ = ("elem_type", "length")
+
+    def __init__(self, loc, elem_type: TypeExpr, length: int):
+        super().__init__(loc)
+        self.elem_type = elem_type
+        self.length = length
+
+
+class BufTypeExpr(TypeExpr):
+    """``&[T]`` — a pointer to a run-time-sized buffer."""
+
+    __slots__ = ("elem_type",)
+
+    def __init__(self, loc, elem_type: TypeExpr):
+        super().__init__(loc)
+        self.elem_type = elem_type
+
+
+# ---------------------------------------------------------------------------
+# declarations
+# ---------------------------------------------------------------------------
+
+
+class Module(Node):
+    __slots__ = ("functions",)
+
+    def __init__(self, loc, functions: list["FnDecl"]):
+        super().__init__(loc)
+        self.functions = functions
+
+
+class ParamDecl(Node):
+    __slots__ = ("name", "type_expr", "type")
+
+    def __init__(self, loc, name: str, type_expr: TypeExpr):
+        super().__init__(loc)
+        self.name = name
+        self.type_expr = type_expr
+        self.type = None  # core type, set by sema
+
+
+class FnDecl(Node):
+    __slots__ = ("name", "params", "ret_type_expr", "body", "type",
+                 "ret_type", "is_extern")
+
+    def __init__(self, loc, name: str, params: list[ParamDecl],
+                 ret_type_expr: TypeExpr | None, body: "Block"):
+        super().__init__(loc)
+        self.name = name
+        self.params = params
+        self.ret_type_expr = ret_type_expr
+        self.body = body
+        self.type = None       # core FnType (CPS convention), set by sema
+        self.ret_type = None   # core result type (None = unit)
+        self.is_extern = False
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class LetStmt(Stmt):
+    __slots__ = ("name", "mutable", "type_expr", "init", "var_type", "is_slot")
+
+    def __init__(self, loc, name: str, mutable: bool,
+                 type_expr: TypeExpr | None, init: "Expr"):
+        super().__init__(loc)
+        self.name = name
+        self.mutable = mutable
+        self.type_expr = type_expr
+        self.init = init
+        self.var_type = None
+        # Aggregate mutables live in stack slots; scalar mutables stay in
+        # SSA form (sema decides).
+        self.is_slot = False
+
+
+class AssignStmt(Stmt):
+    """``target = value`` or compound ``target op= value``."""
+
+    __slots__ = ("target", "op", "value")
+
+    def __init__(self, loc, target: "Expr", op: str | None, value: "Expr"):
+        super().__init__(loc)
+        self.target = target
+        self.op = op  # None for plain '=', else '+', '-', ...
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    __slots__ = ("expr",)
+
+    def __init__(self, loc, expr: "Expr"):
+        super().__init__(loc)
+        self.expr = expr
+
+
+class WhileStmt(Stmt):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, loc, cond: "Expr", body: "Block"):
+        super().__init__(loc)
+        self.cond = cond
+        self.body = body
+
+
+class ForStmt(Stmt):
+    """``for name in start .. end { body }`` (half-open range)."""
+
+    __slots__ = ("name", "start", "end", "body", "var_type")
+
+    def __init__(self, loc, name: str, start: "Expr", end: "Expr", body: "Block"):
+        super().__init__(loc)
+        self.name = name
+        self.start = start
+        self.end = end
+        self.body = body
+        self.var_type = None
+
+
+class BreakStmt(Stmt):
+    __slots__ = ()
+
+
+class ContinueStmt(Stmt):
+    __slots__ = ()
+
+
+class ReturnStmt(Stmt):
+    __slots__ = ("value",)
+
+    def __init__(self, loc, value: "Expr | None"):
+        super().__init__(loc)
+        self.value = value
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ("type",)
+
+    def __init__(self, loc):
+        super().__init__(loc)
+        self.type = None  # core type, set by sema
+
+
+class Block(Expr):
+    """``{ stmts; expr? }`` — a block is an expression."""
+
+    __slots__ = ("stmts", "result")
+
+    def __init__(self, loc, stmts: list[Stmt], result: Expr | None):
+        super().__init__(loc)
+        self.stmts = stmts
+        self.result = result
+
+
+class IntLit(Expr):
+    __slots__ = ("value", "suffix")
+
+    def __init__(self, loc, value: int, suffix: str | None):
+        super().__init__(loc)
+        self.value = value
+        self.suffix = suffix
+
+
+class FloatLit(Expr):
+    __slots__ = ("value", "suffix")
+
+    def __init__(self, loc, value: float, suffix: str | None):
+        super().__init__(loc)
+        self.value = value
+        self.suffix = suffix
+
+
+class BoolLit(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, loc, value: bool):
+        super().__init__(loc)
+        self.value = value
+
+
+class UnitLit(Expr):
+    __slots__ = ()
+
+
+class Name(Expr):
+    __slots__ = ("ident", "decl")
+
+    def __init__(self, loc, ident: str):
+        super().__init__(loc)
+        self.ident = ident
+        self.decl = None  # LetStmt | ParamDecl | FnDecl | ForStmt, set by sema
+
+
+class TupleLit(Expr):
+    __slots__ = ("elems",)
+
+    def __init__(self, loc, elems: list[Expr]):
+        super().__init__(loc)
+        self.elems = elems
+
+
+class ArrayLit(Expr):
+    """``[a, b, c]`` or ``[init; count]``."""
+
+    __slots__ = ("elems", "repeat", "count")
+
+    def __init__(self, loc, elems: list[Expr] | None, repeat: Expr | None,
+                 count: int | None):
+        super().__init__(loc)
+        self.elems = elems
+        self.repeat = repeat
+        self.count = count
+
+
+class Unary(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, loc, op: str, operand: Expr):
+        super().__init__(loc)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, loc, op: str, lhs: Expr, rhs: Expr):
+        super().__init__(loc)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class CastExpr(Expr):
+    __slots__ = ("value", "type_expr")
+
+    def __init__(self, loc, value: Expr, type_expr: TypeExpr):
+        super().__init__(loc)
+        self.value = value
+        self.type_expr = type_expr
+
+
+class IfExpr(Expr):
+    __slots__ = ("cond", "then_block", "else_block")
+
+    def __init__(self, loc, cond: Expr, then_block: Block,
+                 else_block: "Block | IfExpr | None"):
+        super().__init__(loc)
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block
+
+
+class Call(Expr):
+    __slots__ = ("callee", "args", "pe_mode")
+
+    def __init__(self, loc, callee: Expr, args: list[Expr],
+                 pe_mode: str | None = None):
+        super().__init__(loc)
+        self.callee = callee
+        self.args = args
+        self.pe_mode = pe_mode  # 'run' (@), 'hlt' ($) or None
+
+
+class Index(Expr):
+    __slots__ = ("base", "index")
+
+    def __init__(self, loc, base: Expr, index: Expr):
+        super().__init__(loc)
+        self.base = base
+        self.index = index
+
+
+class TupleField(Expr):
+    __slots__ = ("base", "field")
+
+    def __init__(self, loc, base: Expr, field: int):
+        super().__init__(loc)
+        self.base = base
+        self.field = field
+
+
+class Lambda(Expr):
+    __slots__ = ("params", "ret_type_expr", "body", "fn_type", "ret_type")
+
+    def __init__(self, loc, params: list[ParamDecl],
+                 ret_type_expr: TypeExpr | None, body: Block):
+        super().__init__(loc)
+        self.params = params
+        self.ret_type_expr = ret_type_expr
+        self.body = body
+        self.fn_type = None
+        self.ret_type = None
+
+
+_CHILD_FIELDS: dict[type, tuple[str, ...]] = {
+    Module: ("functions",),
+    FnDecl: ("body",),
+    LetStmt: ("init",),
+    AssignStmt: ("target", "value"),
+    ExprStmt: ("expr",),
+    WhileStmt: ("cond", "body"),
+    ForStmt: ("start", "end", "body"),
+    ReturnStmt: ("value",),
+    Block: ("stmts", "result"),
+    TupleLit: ("elems",),
+    ArrayLit: ("elems", "repeat"),
+    Unary: ("operand",),
+    Binary: ("lhs", "rhs"),
+    CastExpr: ("value",),
+    IfExpr: ("cond", "then_block", "else_block"),
+    Call: ("callee", "args"),
+    Index: ("base", "index"),
+    TupleField: ("base",),
+    Lambda: ("body",),
+}
+
+
+def iter_children(node: Node):
+    """Yield the direct AST children of *node* (no type expressions)."""
+    fields = _CHILD_FIELDS.get(type(node), ())
+    for field in fields:
+        value = getattr(node, field)
+        if value is None:
+            continue
+        if isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield item
+        elif isinstance(value, Node):
+            yield value
+
+
+def walk(node: Node):
+    """Yield *node* and all descendants, preorder."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(iter_children(current))
+

@@ -1,0 +1,40 @@
+"""Source-located diagnostics for the Impala-lite frontend."""
+
+from __future__ import annotations
+
+
+class SourceLoc:
+    """A (line, column) position in the source text (1-based)."""
+
+    __slots__ = ("line", "col")
+
+    def __init__(self, line: int, col: int):
+        self.line = line
+        self.col = col
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SourceLoc({self.line}, {self.col})"
+
+
+class CompileError(Exception):
+    """A diagnostic with a source location; str() renders both."""
+
+    def __init__(self, message: str, loc: SourceLoc | None = None):
+        self.message = message
+        self.loc = loc
+        super().__init__(f"{loc}: {message}" if loc else message)
+
+
+class LexError(CompileError):
+    pass
+
+
+class ParseError(CompileError):
+    pass
+
+
+class TypeError_(CompileError):
+    """Named with a trailing underscore to avoid clashing with the builtin."""

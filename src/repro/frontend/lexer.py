@@ -1,0 +1,201 @@
+"""Lexer for Impala-lite.
+
+The surface language is a small Rust-like language in the spirit of the
+paper's Impala frontend: imperative control flow plus first-class and
+higher-order functions, with ``@``/``$`` partial-evaluation markers on
+calls.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .errors import LexError, SourceLoc
+
+
+class TokKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    PUNCT = "punct"
+    KEYWORD = "keyword"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "fn", "let", "mut", "if", "else", "while", "for", "in",
+        "break", "continue", "return", "as", "true", "false", "extern",
+        "struct",
+    }
+)
+
+# Longest first so maximal-munch works by ordered scan.
+PUNCTUATION = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "->", "..", "+=", "-=", "*=",
+    "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "(",
+    ")", "{", "}", "[", "]", ",", ";", ":", ".", "@", "$",
+)
+
+INT_SUFFIXES = ("i8", "i16", "i32", "i64", "u8", "u16", "u32", "u64")
+FLOAT_SUFFIXES = ("f32", "f64")
+
+
+class Token:
+    __slots__ = ("kind", "text", "value", "loc")
+
+    def __init__(self, kind: TokKind, text: str, loc: SourceLoc, value=None):
+        self.kind = kind
+        self.text = text
+        self.loc = loc
+        self.value = value
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<{self.kind.value} {self.text!r} @{self.loc}>"
+
+
+class Lexer:
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _loc(self) -> SourceLoc:
+        return SourceLoc(self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.source[index] if index < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            c = self._peek()
+            if c in " \t\r\n":
+                self._advance()
+            elif c == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif c == "/" and self._peek(1) == "*":
+                loc = self._loc()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated block comment", loc)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> list[Token]:
+        result = []
+        while True:
+            tok = self.next_token()
+            result.append(tok)
+            if tok.kind is TokKind.EOF:
+                return result
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        loc = self._loc()
+        c = self._peek()
+        if not c:
+            return Token(TokKind.EOF, "", loc)
+        if c.isdigit():
+            return self._number(loc)
+        if c.isalpha() or c == "_":
+            return self._ident(loc)
+        for punct in PUNCTUATION:
+            if self.source.startswith(punct, self.pos):
+                # `..` must not eat the dot of a float like `0..`; and
+                # `1.5` is handled by _number, so order is safe here.
+                self._advance(len(punct))
+                return Token(TokKind.PUNCT, punct, loc)
+        raise LexError(f"stray character {c!r}", loc)
+
+    def _ident(self, loc: SourceLoc) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
+        return Token(kind, text, loc)
+
+    def _number(self, loc: SourceLoc) -> Token:
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.source[start:self.pos]
+            body, suffix = self._split_suffix(text, INT_SUFFIXES)
+            try:
+                value = int(body.replace("_", ""), 16)
+            except ValueError:
+                raise LexError(f"bad hex literal {text!r}", loc) from None
+            return Token(TokKind.INT, text, loc, (value, suffix))
+        while self._peek().isdigit() or self._peek() == "_":
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit() or self._peek() == "_":
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        # Trailing type suffix (e.g. 1i32, 2.5f32) rides on the token.
+        suffix_start = self.pos
+        while self._peek().isalnum():
+            self._advance()
+        text = self.source[start:self.pos]
+        suffix = self.source[suffix_start:self.pos]
+        body = self.source[start:suffix_start].replace("_", "")
+        if suffix in FLOAT_SUFFIXES:
+            return Token(TokKind.FLOAT, text, loc, (float(body), suffix))
+        if is_float:
+            if suffix:
+                raise LexError(f"bad float suffix {suffix!r}", loc)
+            return Token(TokKind.FLOAT, text, loc, (float(body), None))
+        if suffix in INT_SUFFIXES:
+            return Token(TokKind.INT, text, loc, (int(body), suffix))
+        if suffix:
+            raise LexError(f"bad integer suffix {suffix!r}", loc)
+        return Token(TokKind.INT, text, loc, (int(body), None))
+
+    @staticmethod
+    def _split_suffix(text: str, suffixes) -> tuple[str, str | None]:
+        for suffix in suffixes:
+            if text.endswith(suffix):
+                return text[: -len(suffix)], suffix
+        return text, None
+
+
+def tokenize(source: str) -> list[Token]:
+    return Lexer(source).tokens()

@@ -1,0 +1,429 @@
+"""Recursive-descent parser for Impala-lite.
+
+Grammar sketch (Rust-flavoured)::
+
+    module   := fn_decl*
+    fn_decl  := 'extern'? 'fn' IDENT '(' params ')' ('->' type)? block
+    params   := (IDENT ':' type) % ','
+    type     := 'i8'..'u64' | 'f32' | 'f64' | 'bool' | '()'
+              | 'fn' '(' type % ',' ')' ('->' type)?
+              | '(' type % ',' ')' | '[' type ';' INT ']' | '&' '[' type ']'
+    block    := '{' stmt* expr? '}'
+    stmt     := 'let' 'mut'? IDENT (':' type)? '=' expr ';'
+              | expr ('=' | '+=' | ...) expr ';'
+              | 'while' expr block | 'for' IDENT 'in' expr '..' expr block
+              | 'break' ';' | 'continue' ';' | 'return' expr? ';'
+              | expr ';' | expr  (trailing block result)
+    expr     := lambda | if | binary
+    lambda   := '|' params '|' ('->' type)? (block | expr)
+    call     := ('@' | '$')? postfix '(' expr % ',' ')'
+
+Blocks follow the Rust rule: the last expression without a trailing
+semicolon is the block's value.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import ParseError
+from .lexer import INT_SUFFIXES, FLOAT_SUFFIXES, TokKind, Token, tokenize
+
+PRIM_TYPE_NAMES = frozenset(
+    {"bool", "i8", "i16", "i32", "i64", "u8", "u16", "u32", "u64", "f32", "f64"}
+)
+
+ASSIGN_OPS = {
+    "=": None, "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+# Binary precedence, loosest first.
+BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("==", "!=", "<", "<=", ">", ">="),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+class Parser:
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def accept(self, text: str) -> Token | None:
+        tok = self.peek()
+        if tok.is_punct(text) or tok.is_keyword(text):
+            return self.next()
+        return None
+
+    def expect(self, text: str) -> Token:
+        tok = self.accept(text)
+        if tok is None:
+            actual = self.peek()
+            raise ParseError(f"expected {text!r}, found {actual.text!r}", actual.loc)
+        return tok
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok.text!r}", tok.loc)
+        return self.next()
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        loc = self.peek().loc
+        functions = []
+        while self.peek().kind is not TokKind.EOF:
+            functions.append(self.parse_fn_decl())
+        return ast.Module(loc, functions)
+
+    def parse_fn_decl(self) -> ast.FnDecl:
+        is_extern = self.accept("extern") is not None
+        loc = self.expect("fn").loc
+        name = self.expect_ident().text
+        self.expect("(")
+        params = self._parse_param_list(")")
+        self.expect(")")
+        ret_type = self.parse_type() if self.accept("->") else None
+        body = self.parse_block()
+        decl = ast.FnDecl(loc, name, params, ret_type, body)
+        decl.is_extern = is_extern or name == "main"
+        return decl
+
+    def _parse_param_list(self, closer: str) -> list[ast.ParamDecl]:
+        params: list[ast.ParamDecl] = []
+        while not self.peek().is_punct(closer):
+            if params:
+                self.expect(",")
+                if self.peek().is_punct(closer):  # trailing comma
+                    break
+            name_tok = self.expect_ident()
+            self.expect(":")
+            params.append(ast.ParamDecl(name_tok.loc, name_tok.text, self.parse_type()))
+        return params
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def parse_type(self) -> ast.TypeExpr:
+        tok = self.peek()
+        if tok.kind is TokKind.IDENT and tok.text in PRIM_TYPE_NAMES:
+            self.next()
+            return ast.PrimTypeExpr(tok.loc, tok.text)
+        if tok.is_keyword("fn"):
+            self.next()
+            self.expect("(")
+            param_types = self._parse_type_list(")")
+            self.expect(")")
+            ret = self.parse_type() if self.accept("->") else None
+            return ast.FnTypeExpr(tok.loc, param_types, ret)
+        if tok.is_punct("("):
+            self.next()
+            elems = self._parse_type_list(")")
+            self.expect(")")
+            if not elems:
+                return ast.UnitTypeExpr(tok.loc)
+            if len(elems) == 1:
+                return elems[0]
+            return ast.TupleTypeExpr(tok.loc, elems)
+        if tok.is_punct("["):
+            self.next()
+            elem = self.parse_type()
+            self.expect(";")
+            count_tok = self.next()
+            if count_tok.kind is not TokKind.INT:
+                raise ParseError("array length must be an integer literal",
+                                 count_tok.loc)
+            self.expect("]")
+            return ast.ArrayTypeExpr(tok.loc, elem, count_tok.value[0])
+        if tok.is_punct("&"):
+            self.next()
+            self.expect("[")
+            elem = self.parse_type()
+            self.expect("]")
+            return ast.BufTypeExpr(tok.loc, elem)
+        raise ParseError(f"expected a type, found {tok.text!r}", tok.loc)
+
+    def _parse_type_list(self, closer: str) -> list[ast.TypeExpr]:
+        types: list[ast.TypeExpr] = []
+        while not self.peek().is_punct(closer):
+            if types:
+                self.expect(",")
+                if self.peek().is_punct(closer):
+                    break
+            types.append(self.parse_type())
+        return types
+
+    # ------------------------------------------------------------------
+    # statements & blocks
+    # ------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        loc = self.expect("{").loc
+        stmts: list[ast.Stmt] = []
+        result: ast.Expr | None = None
+        while not self.peek().is_punct("}"):
+            item = self._parse_block_item()
+            if isinstance(item, ast.Stmt):
+                stmts.append(item)
+            else:
+                # An expression: result if the block ends here, else it
+                # must have been a block-like expression used as a stmt.
+                if self.peek().is_punct("}"):
+                    result = item
+                elif isinstance(item, (ast.IfExpr, ast.Block)):
+                    stmts.append(ast.ExprStmt(item.loc, item))
+                else:
+                    tok = self.peek()
+                    raise ParseError(
+                        f"expected ';' or '}}', found {tok.text!r}", tok.loc
+                    )
+        self.expect("}")
+        return ast.Block(loc, stmts, result)
+
+    def _parse_block_item(self):
+        tok = self.peek()
+        if tok.is_keyword("let"):
+            return self._parse_let()
+        if tok.is_keyword("while"):
+            self.next()
+            cond = self.parse_expr(struct_ok=False)
+            body = self.parse_block()
+            return ast.WhileStmt(tok.loc, cond, body)
+        if tok.is_keyword("for"):
+            self.next()
+            name = self.expect_ident().text
+            self.expect("in")
+            start = self.parse_expr(struct_ok=False)
+            self.expect("..")
+            end = self.parse_expr(struct_ok=False)
+            body = self.parse_block()
+            return ast.ForStmt(tok.loc, name, start, end, body)
+        if tok.is_keyword("break"):
+            self.next()
+            self.expect(";")
+            return ast.BreakStmt(tok.loc)
+        if tok.is_keyword("continue"):
+            self.next()
+            self.expect(";")
+            return ast.ContinueStmt(tok.loc)
+        if tok.is_keyword("return"):
+            self.next()
+            value = None
+            if not self.peek().is_punct(";"):
+                value = self.parse_expr()
+            self.expect(";")
+            return ast.ReturnStmt(tok.loc, value)
+        # Expression or assignment.
+        expr = self.parse_expr()
+        for text, op in ASSIGN_OPS.items():
+            if self.peek().is_punct(text):
+                self.next()
+                value = self.parse_expr()
+                self.expect(";")
+                return ast.AssignStmt(expr.loc, expr, op, value)
+        if self.accept(";"):
+            return ast.ExprStmt(expr.loc, expr)
+        return expr
+
+    def _parse_let(self) -> ast.LetStmt:
+        loc = self.expect("let").loc
+        mutable = self.accept("mut") is not None
+        name = self.expect_ident().text
+        type_expr = self.parse_type() if self.accept(":") else None
+        self.expect("=")
+        init = self.parse_expr()
+        self.expect(";")
+        return ast.LetStmt(loc, name, mutable, type_expr, init)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self, struct_ok: bool = True) -> ast.Expr:
+        tok = self.peek()
+        if tok.is_punct("|"):
+            return self._parse_lambda()
+        if tok.is_punct("||"):
+            # Zero-parameter lambda: `||` lexes as one token.
+            return self._parse_lambda(zero_params=True)
+        if tok.is_keyword("if"):
+            return self._parse_if()
+        return self._parse_binary(0, struct_ok)
+
+    def _parse_lambda(self, zero_params: bool = False) -> ast.Lambda:
+        tok = self.next()
+        if zero_params:
+            params: list[ast.ParamDecl] = []
+        else:
+            params = self._parse_param_list("|")
+            self.expect("|")
+        ret_type = self.parse_type() if self.accept("->") else None
+        if self.peek().is_punct("{"):
+            body = self.parse_block()
+        else:
+            expr = self.parse_expr()
+            body = ast.Block(expr.loc, [], expr)
+        return ast.Lambda(tok.loc, params, ret_type, body)
+
+    def _parse_if(self) -> ast.IfExpr:
+        loc = self.expect("if").loc
+        cond = self.parse_expr(struct_ok=False)
+        then_block = self.parse_block()
+        else_block = None
+        if self.accept("else"):
+            if self.peek().is_keyword("if"):
+                else_block = self._parse_if()
+            else:
+                else_block = self.parse_block()
+        return ast.IfExpr(loc, cond, then_block, else_block)
+
+    def _parse_binary(self, level: int, struct_ok: bool) -> ast.Expr:
+        if level >= len(BINARY_LEVELS):
+            return self._parse_unary(struct_ok)
+        lhs = self._parse_binary(level + 1, struct_ok)
+        ops = BINARY_LEVELS[level]
+        while True:
+            tok = self.peek()
+            if tok.kind is TokKind.PUNCT and tok.text in ops:
+                self.next()
+                rhs = self._parse_binary(level + 1, struct_ok)
+                lhs = ast.Binary(tok.loc, tok.text, lhs, rhs)
+            else:
+                return lhs
+
+    def _parse_unary(self, struct_ok: bool) -> ast.Expr:
+        tok = self.peek()
+        if tok.is_punct("-") or tok.is_punct("!"):
+            self.next()
+            operand = self._parse_unary(struct_ok)
+            return ast.Unary(tok.loc, tok.text, operand)
+        if tok.is_punct("@") or tok.is_punct("$"):
+            self.next()
+            mode = "run" if tok.text == "@" else "hlt"
+            callee = self._parse_postfix(self._parse_primary(struct_ok),
+                                         stop_before_call=True)
+            call = self._parse_call(callee, mode)
+            return self._parse_postfix(call)
+        return self._parse_postfix(self._parse_primary(struct_ok))
+
+    def _parse_call(self, callee: ast.Expr, pe_mode: str | None) -> ast.Call:
+        open_tok = self.expect("(")
+        args: list[ast.Expr] = []
+        while not self.peek().is_punct(")"):
+            if args:
+                self.expect(",")
+                if self.peek().is_punct(")"):
+                    break
+            args.append(self.parse_expr())
+        self.expect(")")
+        return ast.Call(open_tok.loc, callee, args, pe_mode)
+
+    def _parse_postfix(self, expr: ast.Expr,
+                       stop_before_call: bool = False) -> ast.Expr:
+        while True:
+            tok = self.peek()
+            if tok.is_punct("(") and not stop_before_call:
+                expr = self._parse_call(expr, None)
+            elif tok.is_punct("["):
+                self.next()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(tok.loc, expr, index)
+            elif tok.is_punct("."):
+                self.next()
+                field_tok = self.next()
+                if field_tok.kind is not TokKind.INT or field_tok.value[1]:
+                    raise ParseError("expected tuple field index after '.'",
+                                     field_tok.loc)
+                expr = ast.TupleField(tok.loc, expr, field_tok.value[0])
+            elif tok.is_keyword("as"):
+                self.next()
+                expr = ast.CastExpr(tok.loc, expr, self.parse_type())
+            else:
+                return expr
+
+    def _parse_primary(self, struct_ok: bool) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokKind.INT:
+            self.next()
+            value, suffix = tok.value
+            return ast.IntLit(tok.loc, value, suffix)
+        if tok.kind is TokKind.FLOAT:
+            self.next()
+            value, suffix = tok.value
+            return ast.FloatLit(tok.loc, value, suffix)
+        if tok.is_keyword("true"):
+            self.next()
+            return ast.BoolLit(tok.loc, True)
+        if tok.is_keyword("false"):
+            self.next()
+            return ast.BoolLit(tok.loc, False)
+        if tok.kind is TokKind.IDENT:
+            self.next()
+            return ast.Name(tok.loc, tok.text)
+        if tok.is_punct("("):
+            self.next()
+            if self.accept(")"):
+                return ast.UnitLit(tok.loc)
+            first = self.parse_expr()
+            if self.accept(","):
+                elems = [first]
+                while not self.peek().is_punct(")"):
+                    elems.append(self.parse_expr())
+                    if not self.peek().is_punct(")"):
+                        self.expect(",")
+                self.expect(")")
+                return ast.TupleLit(tok.loc, elems)
+            self.expect(")")
+            return first
+        if tok.is_punct("["):
+            self.next()
+            if self.peek().is_punct("]"):
+                raise ParseError("empty array literal has no type", tok.loc)
+            first = self.parse_expr()
+            if self.accept(";"):
+                count_tok = self.next()
+                if count_tok.kind is not TokKind.INT:
+                    raise ParseError("array repeat count must be an integer "
+                                     "literal", count_tok.loc)
+                self.expect("]")
+                return ast.ArrayLit(tok.loc, None, first, count_tok.value[0])
+            elems = [first]
+            while self.accept(","):
+                if self.peek().is_punct("]"):
+                    break
+                elems.append(self.parse_expr())
+            self.expect("]")
+            return ast.ArrayLit(tok.loc, elems, None, None)
+        if tok.is_punct("{"):
+            return self.parse_block()
+        raise ParseError(f"expected an expression, found {tok.text!r}", tok.loc)
+
+
+def parse(source: str) -> ast.Module:
+    return Parser(source).parse_module()

@@ -1,0 +1,665 @@
+"""Type checker and name resolution for Impala-lite.
+
+Responsibilities:
+
+* resolve surface type expressions to :mod:`repro.core.types` types;
+  surface function types follow the CPS convention of the paper:
+  ``fn(T...) -> R`` becomes ``fn(mem, T..., fn(mem, R))``;
+* resolve names to declarations (params, lets, functions, builtins) and
+  enforce the capture rule: lambdas and nested uses may capture
+  immutable bindings by value, never mutable ones;
+* bidirectional checking with literal adaptation (``let x: i32 = 0``
+  types the literal at ``i32``);
+* decide the storage class of every ``let``: mutable aggregates live in
+  stack slots, everything else stays in SSA form (mutable scalars become
+  continuation parameters during emission — the Braun-style on-the-fly
+  SSA construction of the paper).
+"""
+
+from __future__ import annotations
+
+from ..core import types as ct
+from . import ast
+from .errors import TypeError_
+
+_MATH_BUILTINS = ("sqrt", "fabs", "floor", "sin", "cos", "exp", "log")
+
+
+class BuiltinDecl:
+    """A compiler-known function such as ``print_i64`` or ``sqrt``."""
+
+    def __init__(self, name: str, param_types: tuple, ret_type):
+        self.name = name
+        self.param_types = param_types
+        self.ret_type = ret_type  # None = unit
+
+
+BUILTINS: dict[str, BuiltinDecl] = {
+    "print_i64": BuiltinDecl("print_i64", (ct.I64,), None),
+    "print_f64": BuiltinDecl("print_f64", (ct.F64,), None),
+    "print_char": BuiltinDecl("print_char", (ct.U8,), None),
+    "new_buf_i64": BuiltinDecl(
+        "new_buf_i64", (ct.I64,), ct.ptr_type(ct.indefinite_array_type(ct.I64))
+    ),
+    "new_buf_i32": BuiltinDecl(
+        "new_buf_i32", (ct.I64,), ct.ptr_type(ct.indefinite_array_type(ct.I32))
+    ),
+    "new_buf_f64": BuiltinDecl(
+        "new_buf_f64", (ct.I64,), ct.ptr_type(ct.indefinite_array_type(ct.F64))
+    ),
+    "new_buf_u8": BuiltinDecl(
+        "new_buf_u8", (ct.I64,), ct.ptr_type(ct.indefinite_array_type(ct.U8))
+    ),
+}
+# Unary float math: polymorphic over f32/f64, checked specially.
+for _name in _MATH_BUILTINS:
+    BUILTINS[_name] = BuiltinDecl(_name, (ct.F64,), ct.F64)
+
+
+class FnScope:
+    """Per-function checking context."""
+
+    def __init__(self, decl, parent: "FnScope | None"):
+        self.decl = decl  # ast.FnDecl | ast.Lambda
+        self.parent = parent
+        self.loop_depth = 0
+        # The function's declared result type (None = unit).  `return`
+        # statements check against this, wherever they are nested.
+        self.ret_type = None
+        self.ret_declared = False
+
+
+class Env:
+    """Lexical environment mapping names to declarations.
+
+    Each binding records the function scope it was created in, so reads
+    from inner functions can be classified as captures.
+    """
+
+    def __init__(self, parent: "Env | None" = None):
+        self.parent = parent
+        self.bindings: dict[str, tuple[object, FnScope | None]] = {}
+
+    def define(self, name: str, decl, fn_scope: FnScope | None) -> None:
+        self.bindings[name] = (decl, fn_scope)
+
+    def lookup(self, name: str):
+        env: Env | None = self
+        while env is not None:
+            hit = env.bindings.get(name)
+            if hit is not None:
+                return hit
+            env = env.parent
+        return None
+
+
+def value_fn_type(param_types, ret_type) -> ct.FnType:
+    """CPS function type of a surface ``fn(params) -> ret``."""
+    ret_params = (ct.MEM,) if ret_type is None else (ct.MEM, ret_type)
+    return ct.fn_type((ct.MEM, *param_types, ct.fn_type(ret_params)))
+
+
+class Sema:
+    def __init__(self, module: ast.Module):
+        self.module = module
+        self.globals = Env()
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ast.Module:
+        for fn in self.module.functions:
+            if fn.name in BUILTINS:
+                raise TypeError_(f"'{fn.name}' shadows a builtin", fn.loc)
+            if self.globals.lookup(fn.name) is not None:
+                raise TypeError_(f"duplicate function '{fn.name}'", fn.loc)
+            self._declare_fn(fn)
+            self.globals.define(fn.name, fn, None)
+        for fn in self.module.functions:
+            self._check_fn(fn)
+        return self.module
+
+    def _declare_fn(self, fn: ast.FnDecl) -> None:
+        param_types = []
+        for param in fn.params:
+            param.type = self.resolve_type(param.type_expr)
+            param_types.append(param.type)
+        fn.ret_type = (self.resolve_type(fn.ret_type_expr)
+                       if fn.ret_type_expr is not None else None)
+        if fn.ret_type is ct.UNIT:
+            fn.ret_type = None  # `-> ()` is the unit result
+        fn.type = value_fn_type(tuple(param_types), fn.ret_type)
+
+    def _check_fn(self, fn: ast.FnDecl) -> None:
+        scope = FnScope(fn, None)
+        scope.ret_type = fn.ret_type
+        scope.ret_declared = True
+        env = Env(self.globals)
+        for param in fn.params:
+            env.define(param.name, param, scope)
+        self._check_fn_body(fn, fn.body, fn.ret_type, env, scope)
+
+    def _check_fn_body(self, decl, body: ast.Block, ret_type, env: Env,
+                       scope: FnScope) -> None:
+        result = self.check_block(body, ret_type, env, scope,
+                                  result_expected=ret_type)
+        if ret_type is not None and not _diverges(body):
+            if result is None:
+                raise TypeError_(
+                    f"function body must produce {ret_type}, found ()",
+                    body.loc,
+                )
+            if result is not ret_type:
+                raise TypeError_(
+                    f"function body produces {result}, declared {ret_type}",
+                    body.loc,
+                )
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def resolve_type(self, expr: ast.TypeExpr) -> ct.Type:
+        if isinstance(expr, ast.PrimTypeExpr):
+            return ct.prim_type(expr.name)
+        if isinstance(expr, ast.UnitTypeExpr):
+            return ct.UNIT
+        if isinstance(expr, ast.FnTypeExpr):
+            params = tuple(self.resolve_type(t) for t in expr.param_types)
+            ret = (self.resolve_type(expr.ret_type)
+                   if expr.ret_type is not None else None)
+            if ret is ct.UNIT:
+                ret = None
+            return value_fn_type(params, ret)
+        if isinstance(expr, ast.TupleTypeExpr):
+            return ct.tuple_type(tuple(self.resolve_type(t)
+                                       for t in expr.elem_types))
+        if isinstance(expr, ast.ArrayTypeExpr):
+            return ct.definite_array_type(self.resolve_type(expr.elem_type),
+                                          expr.length)
+        if isinstance(expr, ast.BufTypeExpr):
+            return ct.ptr_type(
+                ct.indefinite_array_type(self.resolve_type(expr.elem_type))
+            )
+        raise AssertionError(f"unhandled type expr {expr!r}")
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def check_block(self, block: ast.Block, ret_type, env: Env,
+                    scope: FnScope, result_expected=None):
+        """Returns the block's value type (None = unit)."""
+        inner = Env(env)
+        for stmt in block.stmts:
+            self.check_stmt(stmt, ret_type, inner, scope)
+        if block.result is not None:
+            block.type = self.check_expr(block.result, result_expected,
+                                         inner, scope)
+        else:
+            block.type = None
+        return block.type
+
+    def check_stmt(self, stmt: ast.Stmt, ret_type, env: Env,
+                   scope: FnScope) -> None:
+        if isinstance(stmt, ast.LetStmt):
+            expected = (self.resolve_type(stmt.type_expr)
+                        if stmt.type_expr is not None else None)
+            actual = self.check_expr(stmt.init, expected, env, scope)
+            if actual is None:
+                raise TypeError_("cannot bind a unit value", stmt.loc)
+            if expected is not None and actual is not expected:
+                raise TypeError_(
+                    f"let '{stmt.name}': declared {expected}, found {actual}",
+                    stmt.loc,
+                )
+            stmt.var_type = actual
+            stmt.is_slot = stmt.mutable and isinstance(
+                actual, (ct.DefiniteArrayType, ct.TupleType, ct.StructType)
+            )
+            env.define(stmt.name, stmt, scope)
+            return
+        if isinstance(stmt, ast.AssignStmt):
+            self._check_assign(stmt, env, scope)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self.check_expr(stmt.expr, None, env, scope)
+            return
+        if isinstance(stmt, ast.WhileStmt):
+            self._expect_bool(stmt.cond, env, scope)
+            scope.loop_depth += 1
+            self.check_block(stmt.body, ret_type, env, scope)
+            scope.loop_depth -= 1
+            return
+        if isinstance(stmt, ast.ForStmt):
+            start_t = self.check_expr(stmt.start, None, env, scope)
+            if not (isinstance(start_t, ct.PrimType) and start_t.is_int):
+                raise TypeError_("for-range bounds must be integers", stmt.loc)
+            end_t = self.check_expr(stmt.end, start_t, env, scope)
+            if end_t is not start_t:
+                raise TypeError_(
+                    f"range bounds disagree: {start_t} vs {end_t}", stmt.loc
+                )
+            stmt.var_type = start_t
+            inner = Env(env)
+            inner.define(stmt.name, stmt, scope)
+            scope.loop_depth += 1
+            self.check_block(stmt.body, ret_type, inner, scope)
+            scope.loop_depth -= 1
+            return
+        if isinstance(stmt, (ast.BreakStmt, ast.ContinueStmt)):
+            if scope.loop_depth == 0:
+                kind = "break" if isinstance(stmt, ast.BreakStmt) else "continue"
+                raise TypeError_(f"'{kind}' outside of a loop", stmt.loc)
+            return
+        if isinstance(stmt, ast.ReturnStmt):
+            if not scope.ret_declared:
+                raise TypeError_(
+                    "'return' requires a declared result type "
+                    "(annotate the lambda)", stmt.loc,
+                )
+            want = scope.ret_type
+            if want is None:
+                if stmt.value is not None:
+                    raise TypeError_("returning a value from a unit function",
+                                     stmt.loc)
+                return
+            if stmt.value is None:
+                raise TypeError_(f"return needs a value of type {want}",
+                                 stmt.loc)
+            actual = self.check_expr(stmt.value, want, env, scope)
+            if actual is not want:
+                raise TypeError_(
+                    f"return type mismatch: expected {want}, found {actual}",
+                    stmt.loc,
+                )
+            return
+        raise AssertionError(f"unhandled stmt {stmt!r}")
+
+    def _check_assign(self, stmt: ast.AssignStmt, env: Env,
+                      scope: FnScope) -> None:
+        target = stmt.target
+        target_t = self._check_assign_target(target, env, scope)
+        value_t = self.check_expr(stmt.value, target_t, env, scope)
+        if value_t is not target_t:
+            raise TypeError_(
+                f"assignment type mismatch: {target_t} vs {value_t}", stmt.loc
+            )
+        if stmt.op is not None:
+            _binary_result(stmt.op, target_t, stmt.loc)
+
+    def _check_assign_target(self, target: ast.Expr, env: Env,
+                             scope: FnScope) -> ct.Type:
+        if isinstance(target, ast.Name):
+            decl, decl_scope = self._resolve_name(target, env, scope)
+            if isinstance(decl, ast.LetStmt) and decl.mutable:
+                if decl_scope is not scope:
+                    raise TypeError_(
+                        f"cannot assign captured variable '{target.ident}'",
+                        target.loc,
+                    )
+                target.type = decl.var_type
+                return decl.var_type
+            raise TypeError_(
+                f"'{target.ident}' is not a mutable variable", target.loc
+            )
+        if isinstance(target, ast.Index):
+            base_t = self._check_index_base(target, env, scope)
+            target.type = base_t
+            return base_t
+        raise TypeError_("unsupported assignment target", target.loc)
+
+    def _check_index_base(self, index: ast.Index, env: Env,
+                          scope: FnScope) -> ct.Type:
+        """Checks ``base[i]`` and returns the element type."""
+        base_t = self.check_expr(index.base, None, env, scope)
+        index_t = self.check_expr(index.index, ct.I64, env, scope)
+        if not (isinstance(index_t, ct.PrimType) and index_t.is_int):
+            raise TypeError_("index must be an integer", index.loc)
+        if isinstance(base_t, ct.PtrType) and isinstance(
+            base_t.pointee, ct.IndefiniteArrayType
+        ):
+            return base_t.pointee.elem_type
+        if isinstance(base_t, ct.DefiniteArrayType):
+            return base_t.elem_type
+        raise TypeError_(f"cannot index into {base_t}", index.loc)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def check_expr(self, expr: ast.Expr, expected, env: Env,
+                   scope: FnScope):
+        t = self._check_expr(expr, expected, env, scope)
+        expr.type = t
+        return t
+
+    def _check_expr(self, expr: ast.Expr, expected, env: Env,
+                    scope: FnScope):
+        if isinstance(expr, ast.IntLit):
+            if expr.suffix is not None:
+                return ct.prim_type(expr.suffix)
+            if (isinstance(expected, ct.PrimType) and expected.is_int):
+                return expected
+            return ct.I64
+        if isinstance(expr, ast.FloatLit):
+            if expr.suffix is not None:
+                return ct.prim_type(expr.suffix)
+            if isinstance(expected, ct.PrimType) and expected.is_float:
+                return expected
+            return ct.F64
+        if isinstance(expr, ast.BoolLit):
+            return ct.BOOL
+        if isinstance(expr, ast.UnitLit):
+            return None
+        if isinstance(expr, ast.Name):
+            decl, _scope = self._resolve_name(expr, env, scope)
+            return _decl_type(decl, expr)
+        if isinstance(expr, ast.Block):
+            return self.check_block(expr, None, env, scope)
+        if isinstance(expr, ast.TupleLit):
+            expected_elems = (expected.elem_types
+                              if isinstance(expected, ct.TupleType)
+                              and len(expected.elem_types) == len(expr.elems)
+                              else [None] * len(expr.elems))
+            elems = [self.check_expr(e, et, env, scope)
+                     for e, et in zip(expr.elems, expected_elems)]
+            if any(t is None for t in elems):
+                raise TypeError_("tuples cannot contain unit values", expr.loc)
+            return ct.tuple_type(tuple(elems))
+        if isinstance(expr, ast.ArrayLit):
+            return self._check_array_lit(expr, expected, env, scope)
+        if isinstance(expr, ast.Unary):
+            return self._check_unary(expr, expected, env, scope)
+        if isinstance(expr, ast.Binary):
+            return self._check_binary(expr, expected, env, scope)
+        if isinstance(expr, ast.CastExpr):
+            to = self.resolve_type(expr.type_expr)
+            frm = self.check_expr(expr.value, None, env, scope)
+            if not (isinstance(to, ct.PrimType) and isinstance(frm, ct.PrimType)):
+                raise TypeError_(f"cannot cast {frm} to {to}", expr.loc)
+            return to
+        if isinstance(expr, ast.IfExpr):
+            return self._check_if(expr, expected, env, scope)
+        if isinstance(expr, ast.Call):
+            return self._check_call(expr, env, scope)
+        if isinstance(expr, ast.Index):
+            return self._check_index_base(expr, env, scope)
+        if isinstance(expr, ast.TupleField):
+            base_t = self.check_expr(expr.base, None, env, scope)
+            if not isinstance(base_t, ct.TupleType):
+                raise TypeError_(f"'.{expr.field}' on non-tuple {base_t}",
+                                 expr.loc)
+            if expr.field >= len(base_t.elem_types):
+                raise TypeError_(
+                    f"tuple field {expr.field} out of range", expr.loc
+                )
+            return base_t.elem_types[expr.field]
+        if isinstance(expr, ast.Lambda):
+            return self._check_lambda(expr, expected, env, scope)
+        raise AssertionError(f"unhandled expr {expr!r}")
+
+    def _check_array_lit(self, expr: ast.ArrayLit, expected, env, scope):
+        elem_expected = (expected.elem_type
+                         if isinstance(expected, ct.DefiniteArrayType) else None)
+        if expr.repeat is not None:
+            elem_t = self.check_expr(expr.repeat, elem_expected, env, scope)
+            if elem_t is None:
+                raise TypeError_("array of unit values", expr.loc)
+            return ct.definite_array_type(elem_t, expr.count)
+        assert expr.elems
+        elem_t = self.check_expr(expr.elems[0], elem_expected, env, scope)
+        for e in expr.elems[1:]:
+            t = self.check_expr(e, elem_t, env, scope)
+            if t is not elem_t:
+                raise TypeError_(
+                    f"array elements disagree: {elem_t} vs {t}", e.loc
+                )
+        return ct.definite_array_type(elem_t, len(expr.elems))
+
+    def _check_unary(self, expr: ast.Unary, expected, env, scope):
+        if expr.op == "!":
+            # `!` is logical not on bool, bitwise not on integers.
+            t = self.check_expr(expr.operand, expected, env, scope)
+            if isinstance(t, ct.PrimType) and (t.is_bool or t.is_int):
+                return t
+            raise TypeError_(f"cannot apply '!' to {t}", expr.loc)
+        assert expr.op == "-"
+        t = self.check_expr(expr.operand, expected, env, scope)
+        if not (isinstance(t, ct.PrimType) and (t.is_float or t.is_signed)):
+            raise TypeError_(f"cannot negate {t}", expr.loc)
+        return t
+
+    def _check_binary(self, expr: ast.Binary, expected, env, scope):
+        op = expr.op
+        if op in ("&&", "||"):
+            self._expect_bool(expr.lhs, env, scope)
+            self._expect_bool(expr.rhs, env, scope)
+            return ct.BOOL
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            lhs_t = self.check_expr(expr.lhs, None, env, scope)
+            rhs_t = self.check_expr(expr.rhs, lhs_t, env, scope)
+            if lhs_t is not rhs_t:
+                # Literal on the left may need the right's type.
+                lhs_t = self.check_expr(expr.lhs, rhs_t, env, scope)
+            if lhs_t is not rhs_t or not isinstance(lhs_t, ct.PrimType):
+                raise TypeError_(
+                    f"cannot compare {lhs_t} with {rhs_t}", expr.loc
+                )
+            return ct.BOOL
+        hint = expected if isinstance(expected, ct.PrimType) else None
+        lhs_t = self.check_expr(expr.lhs, hint, env, scope)
+        rhs_t = self.check_expr(expr.rhs, lhs_t, env, scope)
+        if lhs_t is not rhs_t:
+            lhs_t = self.check_expr(expr.lhs, rhs_t, env, scope)
+        if lhs_t is not rhs_t:
+            raise TypeError_(
+                f"operand types disagree: {lhs_t} {op} {rhs_t}", expr.loc
+            )
+        return _binary_result(op, lhs_t, expr.loc)
+
+    def _check_if(self, expr: ast.IfExpr, expected, env, scope):
+        self._expect_bool(expr.cond, env, scope)
+        then_t = self.check_block(expr.then_block, None, env, scope)
+        if expr.else_block is None:
+            if then_t is not None:
+                raise TypeError_(
+                    "if-expression without else cannot produce a value",
+                    expr.loc,
+                )
+            return None
+        if isinstance(expr.else_block, ast.IfExpr):
+            else_t = self.check_expr(expr.else_block, then_t, env, scope)
+        else:
+            else_t = self.check_block(expr.else_block, None, env, scope)
+        if then_t is not else_t:
+            if _diverges(expr.then_block):
+                return else_t
+            if (isinstance(expr.else_block, ast.Block)
+                    and _diverges(expr.else_block)):
+                return then_t
+            raise TypeError_(
+                f"if branches disagree: {then_t} vs {else_t}", expr.loc
+            )
+        return then_t
+
+    def _check_call(self, expr: ast.Call, env, scope):
+        callee = expr.callee
+        if isinstance(callee, ast.Name):
+            hit = env.lookup(callee.ident) or (
+                (BUILTINS[callee.ident], None)
+                if callee.ident in BUILTINS else None
+            )
+            if hit is None:
+                raise TypeError_(f"unknown function '{callee.ident}'",
+                                 callee.loc)
+            decl, decl_scope = hit
+            callee.decl = decl
+            if isinstance(decl, BuiltinDecl):
+                return self._check_builtin_call(expr, decl, env, scope)
+            self._check_capture(callee, decl, decl_scope, scope)
+            callee.type = _decl_type(decl, callee)
+        else:
+            self.check_expr(callee, None, env, scope)
+        fn_t = callee.type
+        if not isinstance(fn_t, ct.FnType) or not fn_t.is_returning():
+            raise TypeError_(f"cannot call a value of type {fn_t}", expr.loc)
+        # CPS convention: (mem, params..., ret)
+        param_types = fn_t.param_types[1:-1]
+        ret_fn = fn_t.param_types[-1]
+        assert isinstance(ret_fn, ct.FnType)
+        if len(expr.args) != len(param_types):
+            raise TypeError_(
+                f"call expects {len(param_types)} arguments, got "
+                f"{len(expr.args)}", expr.loc,
+            )
+        for arg, pt in zip(expr.args, param_types):
+            at = self.check_expr(arg, pt, env, scope)
+            if at is not pt:
+                raise TypeError_(
+                    f"argument type mismatch: expected {pt}, found {at}",
+                    arg.loc,
+                )
+        if len(ret_fn.param_types) == 1:
+            return None
+        return ret_fn.param_types[1]
+
+    def _check_builtin_call(self, expr: ast.Call, decl: BuiltinDecl,
+                            env, scope):
+        if decl.name in _MATH_BUILTINS:
+            if len(expr.args) != 1:
+                raise TypeError_(f"{decl.name} takes one argument", expr.loc)
+            t = self.check_expr(expr.args[0], ct.F64, env, scope)
+            if not (isinstance(t, ct.PrimType) and t.is_float):
+                raise TypeError_(f"{decl.name} needs a float, found {t}",
+                                 expr.loc)
+            return t
+        if len(expr.args) != len(decl.param_types):
+            raise TypeError_(
+                f"{decl.name} takes {len(decl.param_types)} arguments",
+                expr.loc,
+            )
+        for arg, pt in zip(expr.args, decl.param_types):
+            at = self.check_expr(arg, pt, env, scope)
+            if at is not pt:
+                raise TypeError_(
+                    f"argument type mismatch: expected {pt}, found {at}",
+                    arg.loc,
+                )
+        return decl.ret_type
+
+    def _check_lambda(self, expr: ast.Lambda, expected, env, scope):
+        param_types = []
+        for param in expr.params:
+            param.type = self.resolve_type(param.type_expr)
+            param_types.append(param.type)
+        ret_type = (self.resolve_type(expr.ret_type_expr)
+                    if expr.ret_type_expr is not None else None)
+        if ret_type is ct.UNIT:
+            ret_type = None
+        if ret_type is None and isinstance(expected, ct.FnType):
+            # Infer the result from the expected type's return continuation.
+            ret_fn = expected.param_types[-1]
+            if isinstance(ret_fn, ct.FnType) and len(ret_fn.param_types) == 2:
+                ret_type = ret_fn.param_types[1]
+        inner_scope = FnScope(expr, scope)
+        inner_scope.ret_type = ret_type
+        inner_scope.ret_declared = ret_type is not None
+        inner_env = Env(env)
+        for param in expr.params:
+            inner_env.define(param.name, param, inner_scope)
+        body_t = self.check_block(expr.body, ret_type, inner_env, inner_scope,
+                                  result_expected=ret_type)
+        if ret_type is None and not _diverges(expr.body):
+            ret_type = body_t
+        elif (ret_type is not None and body_t is not ret_type
+              and not _diverges(expr.body)):
+            raise TypeError_(
+                f"lambda body produces {body_t}, expected {ret_type}",
+                expr.loc,
+            )
+        expr.ret_type = ret_type
+        expr.fn_type = value_fn_type(tuple(param_types), ret_type)
+        return expr.fn_type
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_name(self, expr: ast.Name, env: Env, scope: FnScope):
+        hit = env.lookup(expr.ident)
+        if hit is None:
+            if expr.ident in BUILTINS:
+                raise TypeError_(
+                    f"builtin '{expr.ident}' can only be called", expr.loc
+                )
+            raise TypeError_(f"unknown name '{expr.ident}'", expr.loc)
+        decl, decl_scope = hit
+        expr.decl = decl
+        self._check_capture(expr, decl, decl_scope, scope)
+        return decl, decl_scope
+
+    def _check_capture(self, expr: ast.Name, decl, decl_scope,
+                       scope: FnScope) -> None:
+        if decl_scope is None or decl_scope is scope:
+            return  # global or same function
+        # Reading across a function boundary: capture by value.
+        if isinstance(decl, ast.LetStmt) and (decl.mutable or decl.is_slot):
+            raise TypeError_(
+                f"cannot capture mutable variable '{expr.ident}' "
+                f"(capture is by value)", expr.loc,
+            )
+        if isinstance(decl, ast.ForStmt):
+            raise TypeError_(
+                f"cannot capture loop variable '{expr.ident}'", expr.loc
+            )
+
+    def _expect_bool(self, expr: ast.Expr, env: Env, scope: FnScope) -> None:
+        t = self.check_expr(expr, ct.BOOL, env, scope)
+        if t is not ct.BOOL:
+            raise TypeError_(f"expected bool, found {t}", expr.loc)
+
+
+def _decl_type(decl, expr: ast.Name):
+    if isinstance(decl, ast.LetStmt):
+        return decl.var_type
+    if isinstance(decl, ast.ParamDecl):
+        return decl.type
+    if isinstance(decl, ast.FnDecl):
+        return decl.type
+    if isinstance(decl, ast.ForStmt):
+        return decl.var_type
+    if isinstance(decl, BuiltinDecl):
+        raise TypeError_(
+            f"builtin '{decl.name}' is not a first-class value", expr.loc
+        )
+    raise AssertionError(f"unhandled decl {decl!r}")
+
+
+_INT_ONLY_OPS = frozenset({"%", "&", "|", "^", "<<", ">>"})
+
+
+def _binary_result(op: str, t, loc) -> ct.Type:
+    if not isinstance(t, ct.PrimType):
+        raise TypeError_(f"operator '{op}' on non-scalar {t}", loc)
+    if t.is_bool:
+        if op in ("&", "|", "^"):
+            return t
+        raise TypeError_(f"operator '{op}' on bool", loc)
+    if op in _INT_ONLY_OPS and not t.is_int:
+        raise TypeError_(f"operator '{op}' needs integers, found {t}", loc)
+    return t
+
+
+def _diverges(block: ast.Block) -> bool:
+    """Conservative: does the block end in return/break/continue?"""
+    if block.result is not None:
+        return False
+    if not block.stmts:
+        return False
+    last = block.stmts[-1]
+    return isinstance(last, (ast.ReturnStmt, ast.BreakStmt, ast.ContinueStmt))
+
+
+def analyze(module: ast.Module) -> ast.Module:
+    """Type check and annotate the module in place."""
+    return Sema(module).run()

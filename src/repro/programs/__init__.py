@@ -1,0 +1,21 @@
+"""The benchmark program suite (Impala-lite sources).
+
+Two families, mirroring the paper's evaluation mix:
+
+* **imperative kernels** (shootout-style): show that the CPS graph IR
+  compiles classical imperative code with no penalty — loops become
+  continuations, phis become parameters, and the generated code matches
+  the classical SSA pipeline;
+* **higher-order / PE workloads**: show closure elimination and
+  ``@``-driven specialization producing first-order residual programs.
+
+Every program records its entry point, a default (small) argument set
+with the expected result for correctness tests, and a benchmark-sized
+argument set for the run-time experiments.
+"""
+
+from __future__ import annotations
+
+from .suite import ALL_PROGRAMS, Program, by_name, by_tag
+
+__all__ = ["ALL_PROGRAMS", "Program", "by_name", "by_tag"]

@@ -1,0 +1,561 @@
+"""Program definitions for the evaluation suite."""
+
+from __future__ import annotations
+
+
+class Program:
+    """One suite program: source, entry point, test & bench configs."""
+
+    def __init__(self, name: str, source: str, entry: str,
+                 test_args: tuple, test_expect, bench_args: tuple,
+                 tags: tuple[str, ...] = ()):
+        self.name = name
+        self.source = source
+        self.entry = entry
+        self.test_args = test_args
+        self.test_expect = test_expect
+        self.bench_args = bench_args
+        self.tags = tags
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Program {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# imperative kernels
+# ---------------------------------------------------------------------------
+
+FANNKUCH = Program(
+    "fannkuch",
+    """
+// Fannkuch-redux kernel: max pancake flips over all permutations of n.
+fn fannkuch(n: i64) -> i64 {
+    let perm = new_buf_i64(16);
+    let count = new_buf_i64(16);
+    let mut max_flips = 0;
+    for i in 0..n { perm[i] = i; }
+    let mut r = n;
+    let mut done = false;
+    while !done {
+        // count flips of the current permutation
+        let work = new_buf_i64(16);
+        for i in 0..n { work[i] = perm[i]; }
+        let mut flips = 0;
+        let mut k = work[0];
+        while k != 0 {
+            let mut lo = 0;
+            let mut hi = k;
+            while lo < hi {
+                let t = work[lo];
+                work[lo] = work[hi];
+                work[hi] = t;
+                lo += 1;
+                hi -= 1;
+            }
+            flips += 1;
+            k = work[0];
+        }
+        if flips > max_flips { max_flips = flips; }
+        // next permutation (counting QR algorithm)
+        while r != 1 {
+            count[r - 1] = r;
+            r -= 1;
+        }
+        let mut rotating = true;
+        while rotating {
+            if r == n { done = true; rotating = false; }
+            else {
+                let first = perm[0];
+                for i in 0..r { perm[i] = perm[i + 1]; }
+                perm[r] = first;
+                count[r] -= 1;
+                if count[r] > 0 { rotating = false; }
+                else { r += 1; }
+            }
+        }
+    }
+    max_flips
+}
+fn main(n: i64) -> i64 { fannkuch(n) }
+""",
+    "main", (6,), 10, (8,), ("imperative", "arrays"),
+)
+
+
+NBODY = Program(
+    "nbody",
+    """
+// Jovian planets n-body simulation (flat f64 buffers, 5 bodies).
+fn advance(pos: &[f64], vel: &[f64], mass: &[f64], n: i64, dt: f64) -> () {
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = pos[i * 3] - pos[j * 3];
+            let dy = pos[i * 3 + 1] - pos[j * 3 + 1];
+            let dz = pos[i * 3 + 2] - pos[j * 3 + 2];
+            let d2 = dx * dx + dy * dy + dz * dz;
+            let mag = dt / (d2 * sqrt(d2));
+            vel[i * 3] -= dx * mass[j] * mag;
+            vel[i * 3 + 1] -= dy * mass[j] * mag;
+            vel[i * 3 + 2] -= dz * mass[j] * mag;
+            vel[j * 3] += dx * mass[i] * mag;
+            vel[j * 3 + 1] += dy * mass[i] * mag;
+            vel[j * 3 + 2] += dz * mass[i] * mag;
+        }
+    }
+    for i in 0..n {
+        pos[i * 3] += dt * vel[i * 3];
+        pos[i * 3 + 1] += dt * vel[i * 3 + 1];
+        pos[i * 3 + 2] += dt * vel[i * 3 + 2];
+    }
+}
+
+fn energy(pos: &[f64], vel: &[f64], mass: &[f64], n: i64) -> f64 {
+    let mut e = 0.0;
+    for i in 0..n {
+        let vx = vel[i * 3];
+        let vy = vel[i * 3 + 1];
+        let vz = vel[i * 3 + 2];
+        e += 0.5 * mass[i] * (vx * vx + vy * vy + vz * vz);
+        for j in (i + 1)..n {
+            let dx = pos[i * 3] - pos[j * 3];
+            let dy = pos[i * 3 + 1] - pos[j * 3 + 1];
+            let dz = pos[i * 3 + 2] - pos[j * 3 + 2];
+            e -= mass[i] * mass[j] / sqrt(dx * dx + dy * dy + dz * dz);
+        }
+    }
+    e
+}
+
+fn main(steps: i64) -> f64 {
+    let n = 5;
+    let pi = 3.141592653589793;
+    let solar_mass = 4.0 * pi * pi;
+    let days = 365.24;
+    let pos = new_buf_f64(15);
+    let vel = new_buf_f64(15);
+    let mass = new_buf_f64(5);
+    // sun
+    pos[0] = 0.0; pos[1] = 0.0; pos[2] = 0.0;
+    vel[0] = 0.0; vel[1] = 0.0; vel[2] = 0.0;
+    mass[0] = solar_mass;
+    // jupiter
+    pos[3] = 4.84143144246472090; pos[4] = -1.16032004402742839;
+    pos[5] = -0.103622044471123109;
+    vel[3] = 0.00166007664274403694 * days;
+    vel[4] = 0.00769901118419740425 * days;
+    vel[5] = -0.0000690460016972063023 * days;
+    mass[1] = 0.000954791938424326609 * solar_mass;
+    // saturn
+    pos[6] = 8.34336671824457987; pos[7] = 4.12479856412430479;
+    pos[8] = -0.403523417114321381;
+    vel[6] = -0.00276742510726862411 * days;
+    vel[7] = 0.00499852801234917238 * days;
+    vel[8] = 0.0000230417297573763929 * days;
+    mass[2] = 0.000285885980666130812 * solar_mass;
+    // uranus
+    pos[9] = 12.8943695621391310; pos[10] = -15.1111514016986312;
+    pos[11] = -0.223307578892655734;
+    vel[9] = 0.00296460137564761618 * days;
+    vel[10] = 0.00237847173959480950 * days;
+    vel[11] = -0.0000296589568540237556 * days;
+    mass[3] = 0.0000436624404335156298 * solar_mass;
+    // neptune
+    pos[12] = 15.3796971148509165; pos[13] = -25.9193146099879641;
+    pos[14] = 0.179258772950371181;
+    vel[12] = 0.00268067772490389322 * days;
+    vel[13] = 0.00162824170038242295 * days;
+    vel[14] = -0.0000951592254519715870 * days;
+    mass[4] = 0.0000517138990464035365 * solar_mass;
+    // offset sun momentum
+    let mut px = 0.0; let mut py = 0.0; let mut pz = 0.0;
+    for i in 0..n {
+        px += vel[i * 3] * mass[i];
+        py += vel[i * 3 + 1] * mass[i];
+        pz += vel[i * 3 + 2] * mass[i];
+    }
+    vel[0] = -px / solar_mass;
+    vel[1] = -py / solar_mass;
+    vel[2] = -pz / solar_mass;
+    for s in 0..steps { advance(pos, vel, mass, n, 0.01); }
+    energy(pos, vel, mass, n)
+}
+""",
+    "main", (10,), None, (300,), ("imperative", "float"),
+)
+
+
+SPECTRAL_NORM = Program(
+    "spectral_norm",
+    """
+// Spectral norm of the infinite matrix A[i,j] = 1/((i+j)(i+j+1)/2+i+1).
+fn a(i: i64, j: i64) -> f64 {
+    1.0 / (((i + j) * (i + j + 1) / 2 + i + 1) as f64)
+}
+
+fn mult_av(v: &[f64], out: &[f64], n: i64) -> () {
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n { s += a(i, j) * v[j]; }
+        out[i] = s;
+    }
+}
+
+fn mult_atv(v: &[f64], out: &[f64], n: i64) -> () {
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n { s += a(j, i) * v[j]; }
+        out[i] = s;
+    }
+}
+
+fn main(n: i64) -> f64 {
+    let u = new_buf_f64(n);
+    let v = new_buf_f64(n);
+    let tmp = new_buf_f64(n);
+    for i in 0..n { u[i] = 1.0; }
+    for it in 0..10 {
+        mult_av(u, tmp, n);
+        mult_atv(tmp, v, n);
+        mult_av(v, tmp, n);
+        mult_atv(tmp, u, n);
+    }
+    let mut vbv = 0.0;
+    let mut vv = 0.0;
+    for i in 0..n {
+        vbv += u[i] * v[i];
+        vv += v[i] * v[i];
+    }
+    sqrt(vbv / vv)
+}
+""",
+    "main", (16,), None, (40,), ("imperative", "float"),
+)
+
+
+MANDELBROT = Program(
+    "mandelbrot",
+    """
+// Count of points inside the Mandelbrot set on a size x size grid.
+fn main(size: i64) -> i64 {
+    let mut inside = 0;
+    for y in 0..size {
+        for x in 0..size {
+            let cr = 2.0 * (x as f64) / (size as f64) - 1.5;
+            let ci = 2.0 * (y as f64) / (size as f64) - 1.0;
+            let mut zr = 0.0;
+            let mut zi = 0.0;
+            let mut i = 0;
+            let mut bailed = false;
+            while i < 50 && !bailed {
+                let nzr = zr * zr - zi * zi + cr;
+                let nzi = 2.0 * zr * zi + ci;
+                zr = nzr;
+                zi = nzi;
+                if zr * zr + zi * zi > 4.0 { bailed = true; }
+                i += 1;
+            }
+            if !bailed { inside += 1; }
+        }
+    }
+    inside
+}
+""",
+    "main", (16,), 104, (48,), ("imperative", "float"),
+)
+
+
+NQUEENS = Program(
+    "nqueens",
+    """
+// Count n-queens solutions with bitmask backtracking.
+fn solve(cols: i64, diag1: i64, diag2: i64, all: i64) -> i64 {
+    if cols == all { return 1; }
+    let mut count = 0;
+    let mut free = all & !(cols | diag1 | diag2);
+    while free != 0 {
+        let bit = free & (0 - free);
+        free -= bit;
+        count += solve(cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1, all);
+    }
+    count
+}
+fn main(n: i64) -> i64 { solve(0, 0, 0, (1 << n) - 1) }
+""",
+    "main", (6,), 4, (8,), ("imperative", "recursion", "bitops"),
+)
+
+
+ACKERMANN = Program(
+    "ackermann",
+    """
+fn ack(m: i64, n: i64) -> i64 {
+    if m == 0 { n + 1 }
+    else if n == 0 { ack(m - 1, 1) }
+    else { ack(m - 1, ack(m, n - 1)) }
+}
+fn main(m: i64, n: i64) -> i64 { ack(m, n) }
+""",
+    "main", (2, 3), 9, (2, 6), ("imperative", "recursion"),
+)
+
+
+SIEVE = Program(
+    "sieve",
+    """
+// Count primes below n with the sieve of Eratosthenes.
+fn main(n: i64) -> i64 {
+    let flags = new_buf_i64(n);
+    for i in 2..n { flags[i] = 1; }
+    let mut i = 2;
+    while i * i < n {
+        if flags[i] == 1 {
+            let mut j = i * i;
+            while j < n {
+                flags[j] = 0;
+                j += i;
+            }
+        }
+        i += 1;
+    }
+    let mut count = 0;
+    for k in 2..n { count += flags[k]; }
+    count
+}
+""",
+    "main", (100,), 25, (2000,), ("imperative", "arrays"),
+)
+
+
+QUICKSORT = Program(
+    "quicksort",
+    """
+// In-place quicksort of LCG pseudo-random data; returns a checksum.
+fn sort(buf: &[i64], lo: i64, hi: i64) -> () {
+    if lo >= hi { return; }
+    let pivot = buf[(lo + hi) / 2];
+    let mut i = lo;
+    let mut j = hi;
+    while i <= j {
+        while buf[i] < pivot { i += 1; }
+        while buf[j] > pivot { j -= 1; }
+        if i <= j {
+            let t = buf[i];
+            buf[i] = buf[j];
+            buf[j] = t;
+            i += 1;
+            j -= 1;
+        }
+    }
+    sort(buf, lo, j);
+    sort(buf, i, hi);
+}
+
+fn main(n: i64) -> i64 {
+    let buf = new_buf_i64(n);
+    let mut seed = 42;
+    for i in 0..n {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        buf[i] = seed % 10000;
+    }
+    sort(buf, 0, n - 1);
+    // checksum: weighted sum detects wrong order
+    let mut check = 0;
+    for i in 0..n { check += buf[i] * (i % 7 + 1); }
+    let mut sorted = 1;
+    for i in 1..n { if buf[i - 1] > buf[i] { sorted = 0; } }
+    check * sorted
+}
+""",
+    "main", (50,), None, (600,), ("imperative", "recursion", "arrays"),
+)
+
+
+MATMUL = Program(
+    "matmul",
+    """
+// Dense i64 matrix multiplication, returns a checksum.
+fn main(n: i64) -> i64 {
+    let a = new_buf_i64(n * n);
+    let b = new_buf_i64(n * n);
+    let c = new_buf_i64(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = (i + j) % 17;
+            b[i * n + j] = (i * 3 + j * 2) % 13;
+        }
+    }
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    let mut check = 0;
+    for i in 0..n { check += c[i * n + (i * 7 % n)]; }
+    check
+}
+""",
+    "main", (8,), None, (24,), ("imperative", "arrays"),
+)
+
+
+# ---------------------------------------------------------------------------
+# higher-order / partial-evaluation workloads
+# ---------------------------------------------------------------------------
+
+POW = Program(
+    "pow",
+    """
+// The classic PE example: exponentiation specialized on the exponent.
+fn pow(x: i64, n: i64) -> i64 {
+    if n == 0 { 1 }
+    else if n % 2 == 0 { let h = pow(x, n / 2); h * h }
+    else { x * pow(x, n - 1) }
+}
+extern fn pow13(x: i64) -> i64 { @pow(x, 13) }
+fn main(x: i64) -> i64 { pow13(x) }
+""",
+    "main", (3,), 1594323, (7,), ("higher-order", "pe"),
+)
+
+
+DOT_GENERIC = Program(
+    "dot_generic",
+    """
+// A generic reduction-with-map combinator, instantiated for dot product.
+fn reduce_map(n: i64, f: fn(i64) -> i64, init: i64,
+              combine: fn(i64, i64) -> i64) -> i64 {
+    let mut acc = init;
+    for i in 0..n { acc = combine(acc, f(i)); }
+    acc
+}
+
+fn main(n: i64) -> i64 {
+    let a = new_buf_i64(n);
+    let b = new_buf_i64(n);
+    for i in 0..n {
+        a[i] = i % 23;
+        b[i] = (i * i) % 19;
+    }
+    reduce_map(n, |i: i64| a[i] * b[i], 0, |x: i64, y: i64| x + y)
+}
+""",
+    "main", (64,), None, (4000,), ("higher-order",),
+)
+
+
+FILTER_IMAGE = Program(
+    "filter_image",
+    """
+// 1D stencil with a weight function — the image-filter motif of the
+// paper's DSL follow-ups.  The filter is generic over the kernel; the
+// call instantiates it with a concrete 3-tap kernel lambda.
+fn filter1d(src: &[f64], dst: &[f64], n: i64, radius: i64,
+            weight: fn(i64) -> f64) -> () {
+    for i in 0..n {
+        let mut acc = 0.0;
+        for k in (0 - radius)..(radius + 1) {
+            let mut idx = i + k;
+            if idx < 0 { idx = 0; }
+            if idx >= n { idx = n - 1; }
+            acc += src[idx] * weight(k);
+        }
+        dst[i] = acc;
+    }
+}
+
+fn main(n: i64) -> f64 {
+    let src = new_buf_f64(n);
+    let dst = new_buf_f64(n);
+    for i in 0..n { src[i] = ((i * 37 % 256) as f64) / 255.0; }
+    let w = |k: i64| -> f64 {
+        if k == 0 { 0.5 } else { 0.25 }
+    };
+    @filter1d(src, dst, n, 1, w);
+    let mut s = 0.0;
+    for i in 0..n { s += dst[i]; }
+    s
+}
+""",
+    "main", (64,), None, (4000,), ("higher-order", "pe", "float"),
+)
+
+
+SORT_HOF = Program(
+    "sort_hof",
+    """
+// Insertion sort parameterized by an ordering — higher-order argument
+// eliminated by specialization.
+fn isort(buf: &[i64], n: i64, less: fn(i64, i64) -> bool) -> () {
+    for i in 1..n {
+        let x = buf[i];
+        let mut j = i - 1;
+        let mut moving = true;
+        while moving {
+            if j < 0 { moving = false; }
+            else if less(x, buf[j]) {
+                buf[j + 1] = buf[j];
+                j -= 1;
+            } else { moving = false; }
+        }
+        buf[j + 1] = x;
+    }
+}
+
+fn main(n: i64) -> i64 {
+    let buf = new_buf_i64(n);
+    let mut seed = 7;
+    for i in 0..n {
+        seed = (seed * 48271) % 2147483647;
+        buf[i] = seed % 1000;
+    }
+    isort(buf, n, |x: i64, y: i64| x > y);  // descending
+    let mut check = 0;
+    for i in 1..n { if buf[i - 1] < buf[i] { check += 1000000; } }
+    for i in 0..n { check += buf[i] * (i % 5 + 1); }
+    check
+}
+""",
+    "main", (40,), None, (250,), ("higher-order", "arrays"),
+)
+
+
+COMPOSE = Program(
+    "compose",
+    """
+// Deep composition of closures — stress for closure elimination.
+fn apply_n(n: i64, f: fn(i64) -> i64, x: i64) -> i64 {
+    let mut acc = x;
+    for i in 0..n { acc = f(acc); }
+    acc
+}
+
+fn main(n: i64) -> i64 {
+    let a = 3;
+    let b = 7;
+    let g = |x: i64| (x * a + b) % 1000003;
+    apply_n(n, g, 1)
+}
+""",
+    "main", (100,), None, (30000,), ("higher-order",),
+)
+
+
+ALL_PROGRAMS: list[Program] = [
+    FANNKUCH, NBODY, SPECTRAL_NORM, MANDELBROT, NQUEENS, ACKERMANN,
+    SIEVE, QUICKSORT, MATMUL,
+    POW, DOT_GENERIC, FILTER_IMAGE, SORT_HOF, COMPOSE,
+]
+
+
+def by_name(name: str) -> Program:
+    for program in ALL_PROGRAMS:
+        if program.name == name:
+            return program
+    raise KeyError(name)
+
+
+def by_tag(tag: str) -> list[Program]:
+    return [p for p in ALL_PROGRAMS if tag in p.tags]

@@ -1,0 +1,19 @@
+"""Transformations over the Thorin graph.
+
+The star is :mod:`~repro.transform.mangle` (lambda mangling); everything
+else — inlining, partial evaluation, closure elimination, lambda
+dropping — is built on top of it, plus the supporting cleanup passes.
+"""
+
+from .cleanup import cleanup
+from .mangle import Mangler, clone, drop, inline_call, lift, mangle
+
+__all__ = [
+    "Mangler",
+    "cleanup",
+    "clone",
+    "drop",
+    "inline_call",
+    "lift",
+    "mangle",
+]

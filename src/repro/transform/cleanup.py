@@ -1,0 +1,129 @@
+"""Cleanup: garbage collection and jump simplification.
+
+In a graph IR, "dead code elimination" is mostly *non-work*: anything
+not reachable from the external continuations is garbage by definition.
+This pass:
+
+* collects garbage (continuations and primops unreachable from the
+  externals through operand edges),
+* simplifies jumps: re-folds branches whose condition became a literal,
+  eta-reduces forwarder continuations (``f(x...) = g(x...)`` makes every
+  use of ``f`` a use of ``g``), and threads jumps through empty
+  forwarders — the graph-IR counterpart of SimplifyCFG, with **no phi
+  repair** anywhere.
+"""
+
+from __future__ import annotations
+
+from ..core.defs import Continuation, Def, Intrinsic
+from ..core.primops import EvalOp
+from ..core.rewrite import rewrite_uses
+from ..core.scope import Scope
+from ..core.world import World
+
+
+def reachable_defs(world: World) -> set[Def]:
+    """All defs reachable from the external continuations."""
+    live: set[Def] = set()
+    queue: list[Def] = list(world.externals())
+    while queue:
+        d = queue.pop()
+        if d in live:
+            continue
+        live.add(d)
+        queue.extend(op for op in d.ops if op not in live)
+        if isinstance(d, Continuation):
+            queue.extend(p for p in d.params if p not in live)
+    return live
+
+
+def collect_garbage(world: World) -> int:
+    """Drop unreachable continuations/primops; returns #removed conts."""
+    live = reachable_defs(world)
+    removed = 0
+    for cont in world.continuations():
+        if cont not in live and not cont.is_intrinsic():
+            cont.unset_body()  # detach use edges out of the dead region
+            removed += 1
+    # Detach dead primops as well: a lingering use edge would keep a
+    # dead node inside some live def's recovered scope (and in print
+    # dumps) forever.
+    for op in world.dead_primops(live):
+        op._set_ops(())
+    world._prune_continuations(
+        {c for c in world.continuations() if c in live or c.is_intrinsic()}
+    )
+    world._prune_primops(live)
+    return removed
+
+
+def _peel(d: Def) -> Def:
+    while isinstance(d, EvalOp):
+        d = d.value
+    return d
+
+
+def eta_reduce(world: World) -> int:
+    """Replace forwarder continuations by their targets.
+
+    ``f(p1, ..., pn) = g(p1, ..., pn)`` (exactly, in order) makes ``f``
+    an alias of ``g`` — provided ``g`` is not ``f`` itself, is not a
+    parameter bound inside ``f``, and ``f`` is not external.  Jump
+    threading through empty blocks falls out.
+    """
+    replaced = 0
+    for cont in world.continuations():
+        if cont.is_external or cont.is_intrinsic() or not cont.has_body():
+            continue
+        callee = cont.callee
+        target = _peel(callee)
+        if target is cont:
+            continue
+        if len(cont.args) != cont.num_params:
+            continue
+        if not all(a is p for a, p in zip(cont.args, cont.params)):
+            continue
+        if isinstance(target, Continuation):
+            if target.intrinsic is not None:
+                continue
+            # The forwarder's own scope must not contain the target
+            # (otherwise the "alias" would leak scope-internal state).
+            if target in Scope(cont):
+                continue
+        elif target in Scope(cont):
+            continue
+        if callee.type is not cont.type:
+            continue
+        rewrite_uses(world, {cont: callee})
+        # Detach the forwarder so it cannot match again (it is garbage
+        # now; collect_garbage prunes it).
+        cont.unset_body()
+        replaced += 1
+    return replaced
+
+
+def refold_jumps(world: World) -> int:
+    """Re-run jump-level folding on every body (branch → direct, etc.)."""
+    changed = 0
+    for cont in world.continuations():
+        if not cont.has_body():
+            continue
+        callee, args = cont.callee, cont.args
+        world.jump(cont, callee, args)
+        if cont.callee is not callee or cont.args != args:
+            changed += 1
+    return changed
+
+
+def cleanup(world: World) -> dict[str, int]:
+    """Run jump simplification to a fixed point, then collect garbage."""
+    stats = {"eta_reduced": 0, "jumps_refolded": 0, "continuations_removed": 0}
+    while True:
+        changed = refold_jumps(world)
+        stats["jumps_refolded"] += changed
+        reduced = eta_reduce(world)
+        stats["eta_reduced"] += reduced
+        if not changed and not reduced:
+            break
+    stats["continuations_removed"] = collect_garbage(world)
+    return stats

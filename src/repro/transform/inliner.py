@@ -1,0 +1,94 @@
+"""The inliner: a thin heuristic layer over lambda mangling.
+
+Inlining in Thorin is a degenerate mangle (drop *all* parameters, jump
+to the copy) — see :func:`repro.transform.mangle.inline_call`.  This
+pass only decides *where*:
+
+* functions with exactly one call site and no other uses are always
+  inlined (the copy replaces the original, which becomes garbage);
+* small functions (scope size below a threshold) are inlined at every
+  call site, within a budget;
+* recursive targets and sites inside the target's own scope are left
+  alone — specialization of recursion is the partial evaluator's job.
+"""
+
+from __future__ import annotations
+
+from ..core.defs import Continuation, Def
+from ..core.primops import EvalOp
+from ..core.scope import Scope
+from ..core.world import World
+from .mangle import MangleStats, inline_call
+
+
+def _peel(d: Def) -> Def:
+    while isinstance(d, EvalOp):
+        d = d.value
+    return d
+
+
+def _call_sites(cont: Continuation) -> tuple[list[Continuation], int]:
+    """(callers that jump directly to *cont*, #first-class uses)."""
+    sites: list[Continuation] = []
+    first_class = 0
+    for use in cont.uses:
+        user = use.user
+        if isinstance(user, Continuation) and use.index == 0:
+            sites.append(user)
+        elif isinstance(user, EvalOp):
+            for wrapped_use in user.uses:
+                wrapper_user = wrapped_use.user
+                if isinstance(wrapper_user, Continuation) and wrapped_use.index == 0:
+                    sites.append(wrapper_user)
+                else:
+                    first_class += 1
+        else:
+            first_class += 1
+    return sites, first_class
+
+
+def _is_recursive(cont: Continuation, scope: Scope) -> bool:
+    for use in cont.uses:
+        if use.user in scope:
+            return True
+    return False
+
+
+def inline_small_functions(world: World, *, size_threshold: int = 40,
+                           budget: int = 256) -> dict[str, int]:
+    """Inline once-called and small functions; returns activity counters."""
+    inlined = 0
+    once_called = 0
+    stats_sink: list[MangleStats] = []
+    for cont in world.continuations():
+        if budget <= 0:
+            break
+        if cont.is_external or cont.is_intrinsic() or not cont.has_body():
+            continue
+        sites, first_class = _call_sites(cont)
+        if not sites or first_class:
+            continue
+        scope = Scope(cont)
+        if _is_recursive(cont, scope):
+            continue
+        is_once = len(sites) == 1
+        is_small = len(scope) <= size_threshold
+        if not (is_once or is_small):
+            continue
+        for site in sites:
+            if budget <= 0:
+                break
+            if site in scope or not site.has_body():
+                continue
+            if _peel(site.callee) is not cont:
+                continue  # rewritten by an earlier inline this round
+            if inline_call(site, stats_sink):
+                inlined += 1
+                once_called += 1 if is_once else 0
+                budget -= 1
+    return {
+        "inlined": inlined,
+        "once_called": once_called,
+        "budget_left": budget,
+        "primops_rebuilt": sum(s.primops_rebuilt for s in stats_sink),
+    }

@@ -1,0 +1,66 @@
+"""The standard optimization pipeline.
+
+Mirrors the order the paper's compiler uses:
+
+1. construction-time folding already happened in the world;
+2. **partial evaluation** of ``run``-marked calls (specialization by
+   lambda mangling);
+3. **closure elimination**: mangle higher-order call sites until the
+   program is in control-flow form;
+4. **inlining** of small/once-called functions (also mangling);
+5. **lambda dropping** of scope-invariant parameters;
+6. cleanup (jump threading, eta reduction, garbage collection) after
+   every step.
+"""
+
+from __future__ import annotations
+
+from ..core.world import World
+from .cleanup import cleanup
+
+
+class PipelineStats:
+    def __init__(self) -> None:
+        self.rounds = 0
+        self.details: list[tuple[str, dict]] = []
+
+    def record(self, phase: str, stats: dict) -> None:
+        self.details.append((phase, dict(stats)))
+
+
+def optimize(world: World, *, max_rounds: int = 8) -> PipelineStats:
+    """Run the full pipeline to a fixed point (bounded by *max_rounds*)."""
+    from .closure_elim import eliminate_closures
+    from .inliner import inline_small_functions
+    from .lambda_dropping import drop_invariant_params
+    from .partial_eval import partial_eval
+
+    stats = PipelineStats()
+    stats.record("cleanup", cleanup(world))
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        changed = 0
+
+        pe_stats = partial_eval(world)
+        stats.record("partial_eval", pe_stats)
+        changed += pe_stats.get("specialized", 0)
+        stats.record("cleanup", cleanup(world))
+
+        ce_stats = eliminate_closures(world)
+        stats.record("closure_elim", ce_stats)
+        changed += ce_stats.get("mangled", 0)
+        stats.record("cleanup", cleanup(world))
+
+        inline_stats = inline_small_functions(world)
+        stats.record("inline", inline_stats)
+        changed += inline_stats.get("inlined", 0)
+        stats.record("cleanup", cleanup(world))
+
+        ld_stats = drop_invariant_params(world)
+        stats.record("lambda_drop", ld_stats)
+        changed += ld_stats.get("dropped", 0)
+        stats.record("cleanup", cleanup(world))
+
+        if not changed:
+            break
+    return stats

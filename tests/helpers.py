@@ -1,0 +1,62 @@
+"""Shared helpers for the test suite: tiny IR builders used everywhere."""
+
+from __future__ import annotations
+
+from repro.core import types as ct
+from repro.core.defs import Continuation
+from repro.core.world import World
+
+RET_I64 = ct.fn_type((ct.MEM, ct.I64))
+FN_I64 = ct.fn_type((ct.MEM, ct.I64, RET_I64))
+
+
+def make_identity(world: World, name: str = "id") -> Continuation:
+    """fn id(mem, x, ret) = ret(mem, x)"""
+    cont = world.continuation(FN_I64, name)
+    mem, x, ret = cont.params
+    world.jump(cont, ret, (mem, x))
+    return cont
+
+
+def make_add_const(world: World, constant: int, name: str = "addc") -> Continuation:
+    """fn addc(mem, x, ret) = ret(mem, x + constant)"""
+    cont = world.continuation(FN_I64, name)
+    mem, x, ret = cont.params
+    world.jump(cont, ret, (mem, world.add(x, world.literal(ct.I64, constant))))
+    return cont
+
+
+def make_fib(world: World, name: str = "fib") -> Continuation:
+    """The classic doubly recursive fib, built directly as a graph."""
+    fib = world.continuation(FN_I64, name)
+    mem, n, ret = fib.params
+    then_bb = world.basic_block((ct.MEM,), "then")
+    else_bb = world.basic_block((ct.MEM,), "else")
+    world.jump(fib, world.branch(),
+               (mem, world.lt(n, world.literal(ct.I64, 2)), then_bb, else_bb))
+    world.jump(then_bb, ret, (then_bb.params[0], n))
+    k1 = world.continuation(RET_I64, "k1")
+    k2 = world.continuation(RET_I64, "k2")
+    world.jump(else_bb, fib,
+               (else_bb.params[0], world.sub(n, world.one(ct.I64)), k1))
+    world.jump(k1, fib,
+               (k1.params[0], world.sub(n, world.literal(ct.I64, 2)), k2))
+    world.jump(k2, ret, (k2.params[0], world.add(k1.params[1], k2.params[1])))
+    return fib
+
+
+def make_loop_sum(world: World, name: str = "sum_to") -> Continuation:
+    """fn sum_to(mem, n, ret): sum of 0..n-1 via a loop of blocks."""
+    f = world.continuation(FN_I64, name)
+    mem, n, ret = f.params
+    head = world.basic_block((ct.I64, ct.I64, ct.MEM), "head")
+    i, acc, hmem = head.params
+    body = world.basic_block((ct.MEM,), "body")
+    exit_ = world.basic_block((ct.MEM,), "exit")
+    world.jump(f, head, (world.zero(ct.I64), world.zero(ct.I64), mem))
+    world.jump(head, world.branch(), (hmem, world.lt(i, n), body, exit_))
+    world.jump(body, head,
+               (world.add(i, world.one(ct.I64)), world.add(acc, i),
+                body.params[0]))
+    world.jump(exit_, ret, (exit_.params[0], acc))
+    return f

@@ -1,0 +1,189 @@
+"""Unit tests for the SSA and nested-CPS baseline compilers."""
+
+import pytest
+
+from repro.backend.interp import Interpreter
+from repro import compile_source
+from repro.baselines.ssa import (
+    BaselineError,
+    CompiledSSA,
+    compile_source_ssa,
+    print_module,
+)
+from repro.baselines.ssa.ir import Opcode, Phi
+from repro.baselines.nested_cps import (
+    cps_convert_expr,
+    count_nodes,
+    evaluate,
+    free_vars,
+    inline_function,
+    pretty,
+)
+from repro.core import fold
+
+
+def run_ssa(source, *args, optimize=True, entry="main"):
+    return CompiledSSA(compile_source_ssa(source, optimize=optimize)).call(
+        entry, *args
+    )
+
+
+class TestSSABuilder:
+    def test_simple(self):
+        assert run_ssa("fn main(a: i64) -> i64 { a * 2 + 1 }", 20) == 41
+
+    def test_loops_and_phis(self):
+        src = """
+fn main(n: i64) -> i64 {
+    let mut a = 0;
+    let mut b = 1;
+    for i in 0..n {
+        let t = a + b;
+        a = b;
+        b = t;
+    }
+    a
+}
+"""
+        assert run_ssa(src, 10) == 55
+
+    def test_minimal_phi_count(self):
+        module = compile_source_ssa("""
+fn main(n: i64) -> i64 {
+    let mut i = 0;
+    let constant = 7;
+    while i < n { i += constant; }
+    i
+}
+""", optimize=False)
+        fn = module.functions["main"]
+        phis = [p for b in fn.blocks for p in b.phis]
+        assert len(phis) == 1  # only i merges; `constant` must not
+
+    def test_closures_rejected(self):
+        with pytest.raises(BaselineError):
+            compile_source_ssa(
+                "fn main() -> i64 { let f = |x: i64| x; f(1) }"
+            )
+
+    def test_function_values_rejected(self):
+        with pytest.raises(BaselineError):
+            compile_source_ssa("""
+fn g(x: i64) -> i64 { x }
+fn main() -> i64 { let h = g; 0 }
+""")
+
+    def test_printer(self):
+        module = compile_source_ssa("fn main(a: i64) -> i64 { a + 1 }",
+                                    optimize=False)
+        text = print_module(module)
+        assert "fn main" in text and "ret" in text
+
+
+class TestSSAPasses:
+    def test_constant_fold_and_branch_fold(self):
+        stats_out = []
+        module = compile_source_ssa("""
+fn main() -> i64 {
+    let x = 2 + 3;
+    if x > 4 { x * 10 } else { 0 }
+}
+""", stats_out=stats_out)
+        assert stats_out[0].folded >= 1
+        assert CompiledSSA(module).call("main") == 50
+
+    def test_jump_threading_repairs_phis(self):
+        stats_out = []
+        compile_source_ssa("""
+fn main(a: i64, b: i64) -> i64 {
+    let v = if a > 0 { a } else { b };
+    v + 1
+}
+""", stats_out=stats_out)
+        assert stats_out[0].total_bookkeeping() > 0
+
+    def test_inlining_preserves_semantics(self):
+        src = """
+fn square(x: i64) -> i64 { x * x }
+fn main(a: i64) -> i64 { square(a) + square(a + 1) }
+"""
+        assert run_ssa(src, 4) == run_ssa(src, 4, optimize=False) == 41
+
+    def test_optimized_matches_thorin(self):
+        src = """
+fn gcd(a: i64, b: i64) -> i64 {
+    let mut x = a;
+    let mut y = b;
+    while y != 0 { let t = y; y = x % y; x = t; }
+    x
+}
+fn main(a: i64, b: i64) -> i64 { gcd(a, b) }
+"""
+        thorin = Interpreter(compile_source(src)).call("main", 252, 105)
+        assert run_ssa(src, 252, 105) == thorin == 21
+
+
+class TestNestedCPS:
+    FIB = ("letfun", "fib", ["n"],
+           ("if", ("<", "n", 2), "n",
+            ("+", ("call", "fib", ("-", "n", 1)),
+                  ("call", "fib", ("-", "n", 2)))),
+           ("call", "fib", 10))
+
+    def test_convert_and_evaluate(self):
+        term = cps_convert_expr(self.FIB)
+        assert fold.to_signed(evaluate(term), 64) == 55
+
+    def test_if_and_arith(self):
+        term = cps_convert_expr(("if", ("<", 3, 5), ("*", 6, 7), 0))
+        assert evaluate(term) == 42
+
+    def test_free_vars(self):
+        term = cps_convert_expr(("+", "x", 1))
+        assert "x" in free_vars(term)
+
+    def test_inline_preserves_semantics_and_counts_renames(self):
+        term = cps_convert_expr(self.FIB)
+        inlined, stats = inline_function(term, "fib")
+        assert fold.to_signed(evaluate(inlined), 64) == 55
+        assert stats.alpha_renames > 0
+        assert stats.substitutions > 0
+        assert count_nodes(inlined) > count_nodes(term)
+
+    def test_pretty_prints(self):
+        text = pretty(cps_convert_expr(self.FIB))
+        assert "letfun fib" in text
+        assert "halt" in text
+
+    def test_division_trap(self):
+        from repro.baselines.nested_cps.interp import CPSRuntimeError
+
+        term = cps_convert_expr(("/", 1, 0))
+        with pytest.raises(CPSRuntimeError):
+            evaluate(term)
+
+
+class TestEvalStats:
+    def test_source_loc(self):
+        from repro.eval import source_loc
+
+        assert source_loc("// comment\n\nfn f() {}\n  // x\ncode\n") == 2
+
+    def test_world_stats_fields(self):
+        from repro.eval import collect_world_stats
+
+        world = compile_source("""
+fn apply(f: fn(i64) -> i64, x: i64) -> i64 { f(x) }
+fn main(a: i64) -> i64 { apply(|v: i64| v + 1, a) }
+""", optimize=False)
+        stats = collect_world_stats(world)
+        assert stats.higher_order_params >= 1
+        assert stats.continuations > 0
+        report = stats.as_dict()
+        assert set(report) == set(stats.FIELDS)
+        after = collect_world_stats(compile_source("""
+fn apply(f: fn(i64) -> i64, x: i64) -> i64 { f(x) }
+fn main(a: i64) -> i64 { apply(|v: i64| v + 1, a) }
+"""))
+        assert after.higher_order_params == 0
+        assert after.cff_violations == 0

@@ -1,0 +1,132 @@
+"""Tests for the def/use machinery and continuation surgery (defs.py)."""
+
+import pytest
+
+from repro.core import types as ct
+from repro.core.defs import Continuation, Use
+from repro.core.world import World
+
+from .helpers import FN_I64
+
+
+@pytest.fixture()
+def world():
+    return World("test")
+
+
+class TestUseLists:
+    def test_uses_recorded_per_operand(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        node = world.add(x, x)
+        uses = list(x.uses)
+        assert Use(node, 0) in uses and Use(node, 1) in uses
+
+    def test_jump_registers_uses(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        world.jump(f, ret, (mem, x))
+        assert Use(f, 0) in list(ret.uses)
+        assert Use(f, 1) in list(mem.uses)
+        assert Use(f, 2) in list(x.uses)
+
+    def test_rejump_unregisters_old_uses(self, world):
+        f = world.continuation(FN_I64, "f")
+        g = world.continuation(FN_I64, "g")
+        mem, x, ret = f.params
+        world.jump(f, ret, (mem, x))
+        world.jump(f, g, (mem, x, ret))
+        # ret is now an argument (index 3), not the callee
+        indices = {u.index for u in ret.uses if u.user is f}
+        assert indices == {3}
+
+    def test_unset_body_detaches(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        world.jump(f, ret, (mem, x))
+        f.unset_body()
+        assert not f.has_body()
+        assert all(u.user is not f for u in x.uses)
+
+    def test_num_uses_shared_node(self, world):
+        f = world.continuation(FN_I64, "f")
+        x = f.params[1]
+        a = world.add(x, world.one(ct.I64))
+        b = world.mul(a, a)
+        assert a.num_uses == 2  # both operand slots of b
+        assert not a.is_unused()
+
+
+class TestContinuationSurgery:
+    def test_append_param_updates_type(self, world):
+        bb = world.basic_block((), "bb")
+        p = bb.append_param(ct.I64, "x")
+        assert bb.fn_type.param_types == (ct.I64,)
+        assert p.index == 0
+        q = bb.append_param(ct.BOOL, "y")
+        assert bb.fn_type.param_types == (ct.I64, ct.BOOL)
+        assert q.index == 1
+
+    def test_remove_param_shifts_indices(self, world):
+        bb = world.basic_block((), "bb")
+        p0 = bb.append_param(ct.I64)
+        p1 = bb.append_param(ct.BOOL)
+        p2 = bb.append_param(ct.F64)
+        bb.remove_param(1)
+        assert bb.params == [p0, p2]
+        assert p2.index == 1
+        assert bb.fn_type.param_types == (ct.I64, ct.F64)
+
+    def test_arity_checked_on_jump(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        with pytest.raises(AssertionError):
+            f.jump(ret, (mem,))  # ret wants (mem, i64)
+
+    def test_callee_must_be_fn_typed(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        with pytest.raises(AssertionError):
+            f.jump(x, ())
+
+    def test_update_arg_and_callee(self, world):
+        f = world.continuation(FN_I64, "f")
+        g = world.continuation(FN_I64, "g")
+        mem, x, ret = f.params
+        world.jump(f, g, (mem, x, ret))
+        f.update_arg(1, world.literal(ct.I64, 9))
+        assert f.arg(1).value == 9
+        h = world.continuation(FN_I64, "h")
+        f.update_callee(h)
+        assert f.callee is h
+
+    def test_classification(self, world):
+        f = world.continuation(FN_I64, "f")
+        bb = world.basic_block((ct.MEM, ct.I64), "bb")
+        assert f.is_returning() and not f.is_basic_block_like()
+        assert bb.is_basic_block_like() and not bb.is_returning()
+        assert world.branch().is_intrinsic()
+        assert f.order() == 2 and bb.order() == 1
+
+
+class TestWorldRegistry:
+    def test_externals_listing(self, world):
+        f = world.continuation(FN_I64, "f")
+        world.make_external(f)
+        assert world.externals() == [f]
+        assert world.find_external("f") is f
+        world.remove_external(f)
+        assert world.externals() == []
+        assert not f.is_external
+
+    def test_intrinsics_are_singletons(self, world):
+        assert world.branch() is world.branch()
+        assert world.print_i64() is world.print_i64()
+        assert world.match(ct.I64) is world.match(ct.I64)
+        assert world.match(ct.I64) is not world.match(ct.I32)
+
+    def test_gids_strictly_increase(self, world):
+        a = world.literal(ct.I64, 1)
+        b = world.literal(ct.I64, 2)
+        c = world.add(a, b)
+        assert a.gid < b.gid < c.gid

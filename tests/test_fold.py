@@ -1,0 +1,237 @@
+"""Property tests for the scalar reference semantics (core/fold.py).
+
+These pin down the arithmetic contract shared by the constant folder,
+the interpreter and the VM: canonical representations, wrapping,
+division/shift corner cases, IEEE behaviour.
+"""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import fold
+from repro.core import types as ct
+from repro.core.primops import ArithKind, CmpRel, MathKind
+
+INT_TYPES = [ct.I8, ct.I16, ct.I32, ct.I64, ct.U8, ct.U16, ct.U32, ct.U64]
+
+
+def int_values(prim):
+    return st.integers(min_value=0, max_value=(1 << prim.bitwidth) - 1)
+
+
+class TestCanonical:
+    @given(st.integers())
+    def test_canonical_int_range(self, value):
+        for width in (8, 16, 32, 64):
+            c = fold.canonical_int(value, width)
+            assert 0 <= c < (1 << width)
+
+    @given(st.integers())
+    def test_signed_roundtrip(self, value):
+        width = 32
+        c = fold.canonical_int(value, width)
+        s = fold.to_signed(c, width)
+        assert -(1 << 31) <= s < (1 << 31)
+        assert fold.canonical_int(s, width) == c
+
+    def test_canonicalize_bool(self):
+        assert fold.canonicalize(ct.PrimTypeKind.BOOL, 2) is True
+        assert fold.canonicalize(ct.PrimTypeKind.BOOL, 0) is False
+
+    def test_canonicalize_f32_rounds(self):
+        pi32 = fold.canonicalize(ct.PrimTypeKind.F32, math.pi)
+        assert pi32 != math.pi
+        assert pi32 == struct.unpack("<f", struct.pack("<f", math.pi))[0]
+
+    @given(st.floats(allow_nan=False))
+    def test_round_f32_idempotent(self, x):
+        once = fold.round_f32(x)
+        assert fold.round_f32(once) == once or math.isnan(once)
+
+
+class TestIntArith:
+    @given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
+    def test_add_matches_wrapping(self, a, b):
+        assert fold.arith(ArithKind.ADD, ct.U32, a, b) == (a + b) % 2**32
+        assert fold.arith(ArithKind.ADD, ct.I32, a, b) == (a + b) % 2**32
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_mul_wraps_u8(self, a, b):
+        assert fold.arith(ArithKind.MUL, ct.U8, a, b) == (a * b) % 256
+
+    @given(a=st.integers(-(2**31), 2**31 - 1), b=st.integers(-(2**31), 2**31 - 1))
+    def test_signed_div_truncates_toward_zero(self, a, b):
+        if b == 0:
+            return
+        ca = fold.canonical_int(a, 32)
+        cb = fold.canonical_int(b, 32)
+        got = fold.to_signed(fold.arith(ArithKind.DIV, ct.I32, ca, cb), 32)
+        want = fold.canonical_int(int(a / b), 32)
+        assert fold.canonical_int(got, 32) == want
+
+    @given(a=st.integers(-(2**31), 2**31 - 1), b=st.integers(-(2**31), 2**31 - 1))
+    def test_signed_rem_sign_of_dividend(self, a, b):
+        if b == 0:
+            return
+        ca = fold.canonical_int(a, 32)
+        cb = fold.canonical_int(b, 32)
+        got = fold.to_signed(fold.arith(ArithKind.REM, ct.I32, ca, cb), 32)
+        want = a - int(a / b) * b
+        assert got == want
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(fold.EvalError):
+            fold.arith(ArithKind.DIV, ct.I32, 1, 0)
+        with pytest.raises(fold.EvalError):
+            fold.arith(ArithKind.REM, ct.U64, 1, 0)
+
+    def test_int_min_div_minus_one_wraps(self):
+        int_min = fold.canonical_int(-(2**31), 32)
+        minus_one = fold.canonical_int(-1, 32)
+        assert fold.arith(ArithKind.DIV, ct.I32, int_min, minus_one) == int_min
+
+    @given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 255))
+    def test_shift_amount_masked(self, a, b):
+        got = fold.arith(ArithKind.SHL, ct.U16, a, b)
+        assert got == (a << (b & 15)) % 2**16
+
+    def test_arithmetic_shift_right_sign_fills(self):
+        minus_8 = fold.canonical_int(-8, 32)
+        got = fold.arith(ArithKind.SHR, ct.I32, minus_8, 2)
+        assert fold.to_signed(got, 32) == -2
+
+    def test_logical_shift_right_zero_fills(self):
+        high = 0x8000_0000
+        assert fold.arith(ArithKind.SHR, ct.U32, high, 4) == 0x0800_0000
+
+    @given(a=st.integers(0, 2**64 - 1), b=st.integers(0, 2**64 - 1))
+    def test_bitops(self, a, b):
+        assert fold.arith(ArithKind.AND, ct.U64, a, b) == a & b
+        assert fold.arith(ArithKind.OR, ct.U64, a, b) == a | b
+        assert fold.arith(ArithKind.XOR, ct.U64, a, b) == a ^ b
+
+
+class TestBoolArith:
+    @given(a=st.booleans(), b=st.booleans())
+    def test_bool_table(self, a, b):
+        assert fold.arith(ArithKind.AND, ct.BOOL, a, b) == (a and b)
+        assert fold.arith(ArithKind.OR, ct.BOOL, a, b) == (a or b)
+        assert fold.arith(ArithKind.XOR, ct.BOOL, a, b) == (a != b)
+
+
+class TestFloatArith:
+    @given(a=st.floats(allow_nan=False, allow_infinity=False),
+           b=st.floats(allow_nan=False, allow_infinity=False))
+    def test_f64_matches_python(self, a, b):
+        assert fold.arith(ArithKind.ADD, ct.F64, a, b) == a + b
+        assert fold.arith(ArithKind.MUL, ct.F64, a, b) == a * b
+
+    def test_div_by_zero_gives_inf(self):
+        assert fold.arith(ArithKind.DIV, ct.F64, 1.0, 0.0) == math.inf
+        assert fold.arith(ArithKind.DIV, ct.F64, -1.0, 0.0) == -math.inf
+        assert math.isnan(fold.arith(ArithKind.DIV, ct.F64, 0.0, 0.0))
+
+    def test_rem_nan_cases(self):
+        assert math.isnan(fold.arith(ArithKind.REM, ct.F64, 1.0, 0.0))
+        assert math.isnan(fold.arith(ArithKind.REM, ct.F64, math.inf, 2.0))
+
+    @given(a=st.floats(width=32, allow_nan=False),
+           b=st.floats(width=32, allow_nan=False))
+    def test_f32_results_are_f32(self, a, b):
+        got = fold.arith(ArithKind.ADD, ct.F32, a, b)
+        assert got == fold.round_f32(got) or math.isnan(got)
+
+
+class TestCompare:
+    @given(a=st.integers(-(2**63), 2**63 - 1), b=st.integers(-(2**63), 2**63 - 1))
+    def test_signed_compare(self, a, b):
+        ca, cb = fold.canonical_int(a, 64), fold.canonical_int(b, 64)
+        assert fold.compare(CmpRel.LT, ct.I64, ca, cb) == (a < b)
+        assert fold.compare(CmpRel.GE, ct.I64, ca, cb) == (a >= b)
+        assert fold.compare(CmpRel.EQ, ct.I64, ca, cb) == (a == b)
+
+    @given(a=st.integers(0, 2**64 - 1), b=st.integers(0, 2**64 - 1))
+    def test_unsigned_compare(self, a, b):
+        assert fold.compare(CmpRel.LT, ct.U64, a, b) == (a < b)
+
+    def test_nan_compares(self):
+        nan = math.nan
+        assert not fold.compare(CmpRel.EQ, ct.F64, nan, nan)
+        assert not fold.compare(CmpRel.LT, ct.F64, nan, 1.0)
+        assert fold.compare(CmpRel.NE, ct.F64, nan, nan)
+
+    def test_rel_swap_negate(self):
+        assert CmpRel.LT.swap() is CmpRel.GT
+        assert CmpRel.LE.swap() is CmpRel.GE
+        assert CmpRel.EQ.swap() is CmpRel.EQ
+        assert CmpRel.LT.negate() is CmpRel.GE
+        assert CmpRel.EQ.negate() is CmpRel.NE
+
+
+class TestCasts:
+    def test_float_to_int_truncates(self):
+        assert fold.cast(ct.I32, ct.F64, 2.9) == 2
+        assert fold.to_signed(fold.cast(ct.I32, ct.F64, -2.9), 32) == -2
+
+    def test_float_to_int_wraps(self):
+        got = fold.cast(ct.I8, ct.F64, 300.0)
+        assert got == 300 % 256
+
+    def test_nan_to_int_is_zero(self):
+        assert fold.cast(ct.I64, ct.F64, math.nan) == 0
+
+    @given(v=st.integers(0, 2**32 - 1))
+    def test_int_widen_sign_extends(self, v):
+        got = fold.cast(ct.I64, ct.I32, v)
+        assert fold.to_signed(got, 64) == fold.to_signed(v, 32)
+
+    @given(v=st.integers(0, 2**32 - 1))
+    def test_int_widen_zero_extends_unsigned(self, v):
+        assert fold.cast(ct.U64, ct.U32, v) == v
+
+    @given(v=st.integers(0, 2**64 - 1))
+    def test_int_narrow_truncates(self, v):
+        assert fold.cast(ct.U8, ct.U64, v) == v % 256
+
+    def test_bool_conversions(self):
+        assert fold.cast(ct.I32, ct.BOOL, True) == 1
+        assert fold.cast(ct.BOOL, ct.I32, 7) is True
+        assert fold.cast(ct.BOOL, ct.F64, 0.0) is False
+
+    @given(v=st.integers(0, 2**32 - 1))
+    def test_bitcast_roundtrip_i32_f32(self, v):
+        f = fold.bitcast(ct.F32, ct.U32, v)
+        back = fold.bitcast(ct.U32, ct.F32, f)
+        # NaN payloads may not round-trip bit-exactly through Python
+        # floats; everything else must.
+        if not math.isnan(f):
+            assert back == v
+
+    @given(v=st.floats(allow_nan=False))
+    def test_bitcast_roundtrip_f64_u64(self, v):
+        bits = fold.bitcast(ct.U64, ct.F64, v)
+        assert fold.bitcast(ct.F64, ct.U64, bits) == v
+
+
+class TestMath:
+    def test_sqrt(self):
+        assert fold.math_op(MathKind.SQRT, ct.F64, 9.0) == 3.0
+        assert math.isnan(fold.math_op(MathKind.SQRT, ct.F64, -1.0))
+
+    def test_floor_returns_float(self):
+        got = fold.math_op(MathKind.FLOOR, ct.F64, 2.7)
+        assert got == 2.0 and isinstance(got, float)
+
+    def test_log_edge_cases(self):
+        assert fold.math_op(MathKind.LOG, ct.F64, 0.0) == -math.inf
+        assert math.isnan(fold.math_op(MathKind.LOG, ct.F64, -1.0))
+
+    def test_exp_overflow_is_inf(self):
+        assert fold.math_op(MathKind.EXP, ct.F64, 1e10) == math.inf
+
+    @given(v=st.floats(min_value=0.0, max_value=1e300))
+    def test_sqrt_matches_python(self, v):
+        assert fold.math_op(MathKind.SQRT, ct.F64, v) == math.sqrt(v)

@@ -1,0 +1,141 @@
+"""Property-based semantic preservation.
+
+Hypothesis generates random (but well-typed) Impala-lite programs from
+a small expression grammar; every program must produce identical
+results on: the unoptimized interpreter, the optimized interpreter,
+the bytecode VM, and the SSA baseline — including identical trapping
+behaviour (division by zero).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import compile_source
+from repro.backend.codegen import compile_world
+from repro.backend.interp import Interpreter, InterpError
+from repro.backend.bytecode import VMError
+from repro.baselines.ssa import CompiledSSA, compile_source_ssa
+
+# ---------------------------------------------------------------------------
+# expression generator: i64 expressions over variables a, b, c
+# ---------------------------------------------------------------------------
+
+VARS = ("a", "b", "c")
+
+
+def _binop(children):
+    ops = st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"])
+    return st.tuples(ops, children, children).map(
+        lambda t: f"({t[1]} {t[0]} {t[2]})"
+    )
+
+
+def _cond(children):
+    rel = st.sampled_from(["<", "<=", "==", "!=", ">", ">="])
+    return st.tuples(rel, children, children, children, children).map(
+        lambda t: f"(if {t[1]} {t[0]} {t[2]} {{ {t[3]} }} else {{ {t[4]} }})"
+    )
+
+
+exprs = st.recursive(
+    st.sampled_from(VARS) | st.integers(-50, 50).map(str),
+    lambda children: _binop(children) | _cond(children),
+    max_leaves=20,
+)
+
+
+@st.composite
+def programs(draw):
+    body = draw(exprs)
+    loop_var = draw(st.sampled_from(["a", "b"]))
+    loop_expr = draw(exprs)
+    return f"""
+fn main(a: i64, b: i64, c: i64) -> i64 {{
+    let mut acc = 0;
+    for i in 0..(({loop_var} & 7) + 1) {{
+        acc += {loop_expr};
+        acc ^= i;
+    }}
+    acc + {body}
+}}
+"""
+
+
+class Trap(Exception):
+    pass
+
+
+def _run(fn, *args):
+    try:
+        return fn(*args)
+    except (InterpError, VMError):
+        return "<trap>"
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(source=programs(), a=st.integers(-100, 100),
+       b=st.integers(-100, 100), c=st.integers(-100, 100))
+def test_random_programs_agree_everywhere(source, a, b, c):
+    unopt = compile_source(source, optimize=False)
+    reference = _run(Interpreter(unopt).call, "main", a, b, c)
+
+    opt = compile_source(source)
+    assert _run(Interpreter(opt).call, "main", a, b, c) == reference
+
+    compiled = compile_world(opt)
+    assert _run(compiled.call, "main", a, b, c) == reference
+
+    ssa = CompiledSSA(compile_source_ssa(source))
+    assert _run(ssa.call, "main", a, b, c) == reference
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(source=programs(), a=st.integers(-20, 20))
+def test_folding_off_agrees(source, a):
+    reference = _run(
+        Interpreter(compile_source(source, optimize=False)).call,
+        "main", a, 3, 5,
+    )
+    nofold = compile_source(source, optimize=False, folding=False)
+    assert _run(Interpreter(nofold).call, "main", a, 3, 5) == reference
+
+
+# ---------------------------------------------------------------------------
+# arithmetic-only agreement between the VM's fast paths and fold
+# ---------------------------------------------------------------------------
+
+from repro.backend import bytecode as bc
+from repro.core import fold
+from repro.core import types as ct
+from repro.core.primops import ArithKind, CmpRel
+
+
+@given(kind=st.sampled_from(list(ArithKind)),
+       prim=st.sampled_from([ct.I8, ct.I32, ct.I64, ct.U8, ct.U32, ct.U64]),
+       a=st.integers(0, 2**64 - 1), b=st.integers(0, 2**64 - 1))
+def test_vm_fast_arith_matches_fold(kind, prim, a, b):
+    a &= (1 << prim.bitwidth) - 1
+    b &= (1 << prim.bitwidth) - 1
+    fast = bc.arith_fn(kind, prim)
+    try:
+        expected = fold.arith(kind, prim, a, b)
+    except fold.EvalError:
+        with pytest.raises(bc.VMError):
+            fast(a, b)
+        return
+    assert fast(a, b) == expected
+
+
+@given(rel=st.sampled_from(list(CmpRel)),
+       prim=st.sampled_from([ct.I8, ct.I64, ct.U8, ct.U64, ct.BOOL]),
+       a=st.integers(0, 2**64 - 1), b=st.integers(0, 2**64 - 1))
+def test_vm_fast_cmp_matches_fold(rel, prim, a, b):
+    mask = (1 << prim.bitwidth) - 1
+    a, b = a & mask, b & mask
+    if prim.is_bool:
+        a, b = bool(a), bool(b)
+    assert bc.cmp_fn(rel, prim)(a, b) == fold.compare(rel, prim, a, b)

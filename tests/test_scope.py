@@ -1,0 +1,144 @@
+"""Unit tests for implicit scope recovery — the paper's core structure."""
+
+import pytest
+
+from repro.core import types as ct
+from repro.core.scope import Scope, top_level_continuations
+from repro.core.world import World
+
+from .helpers import FN_I64, RET_I64, make_add_const, make_fib, make_identity
+
+
+@pytest.fixture()
+def world():
+    return World("test")
+
+
+class TestScopeMembership:
+    def test_entry_and_params_always_in_scope(self, world):
+        f = make_identity(world)
+        scope = Scope(f)
+        assert f in scope
+        for p in f.params:
+            assert p in scope
+
+    def test_param_users_in_scope(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        doubled = world.add(x, x)
+        world.jump(f, ret, (mem, doubled))
+        scope = Scope(f)
+        assert doubled in scope
+
+    def test_constants_shared_not_in_scope(self, world):
+        f = make_add_const(world, 5)
+        scope = Scope(f)
+        five = world.literal(ct.I64, 5)
+        assert five not in scope
+
+    def test_param_free_ops_not_in_scope(self, world):
+        # g() = ret-independent computation: stays outside f's scope
+        f = world.continuation(FN_I64, "f")
+        g = world.continuation(FN_I64, "g")
+        shared = world.add(world.literal(ct.I64, 1), g.params[1])
+        world.jump(g, g.params[2], (g.params[0], shared))
+        world.jump(f, g, tuple(f.params))
+        scope_f = Scope(f)
+        assert shared not in scope_f
+        assert g not in scope_f
+        assert shared in Scope(g)
+
+    def test_inner_blocks_in_scope(self, world):
+        fib = make_fib(world)
+        scope = Scope(fib)
+        names = {c.name for c in scope.continuations()}
+        assert names == {"fib", "then", "else", "k1", "k2"}
+
+    def test_callers_not_pulled_in(self, world):
+        callee = make_identity(world, "callee")
+        caller = world.continuation(FN_I64, "caller")
+        world.jump(caller, callee, tuple(caller.params))
+        assert caller not in Scope(callee)
+
+    def test_mutually_recursive_top_level(self, world):
+        # even/odd: calling each other must not merge their scopes
+        even = world.continuation(FN_I64, "even")
+        odd = world.continuation(FN_I64, "odd")
+        world.jump(even, odd, tuple(even.params))
+        world.jump(odd, even, tuple(odd.params))
+        assert odd not in Scope(even)
+        assert even not in Scope(odd)
+
+    def test_entry_listed_first(self, world):
+        fib = make_fib(world)
+        assert Scope(fib).continuations()[0] is fib
+
+
+class TestFreeDefs:
+    def test_closed_function_has_no_free_defs(self, world):
+        f = make_add_const(world, 3)
+        assert Scope(f).free_defs() == []
+        assert not Scope(f).has_free_params()
+
+    def test_nested_continuation_sees_outer_param(self, world):
+        outer = world.continuation(FN_I64, "outer")
+        mem, x, ret = outer.params
+        inner = world.continuation(RET_I64, "inner")
+        # inner uses outer's x: inner is in outer's scope
+        world.jump(inner, ret, (inner.params[0], world.add(inner.params[1], x)))
+        world.jump(outer, inner, (mem, x))
+        assert inner in Scope(outer)
+        free = Scope(inner).free_params()
+        assert x in free and ret in free
+
+    def test_free_params_transitive_through_closure(self, world):
+        outer = world.continuation(FN_I64, "outer")
+        mem, x, ret = outer.params
+        # leaf captures x; mid only calls leaf
+        leaf = world.continuation(RET_I64, "leaf")
+        world.jump(leaf, ret, (leaf.params[0], world.add(leaf.params[1], x)))
+        mid = world.continuation(RET_I64, "mid")
+        world.jump(mid, leaf, tuple(mid.params))
+        free = Scope(mid).free_params()
+        assert x in free
+
+    def test_literals_never_free(self, world):
+        f = make_add_const(world, 9)
+        assert all(d.name != "9" for d in Scope(f).free_defs())
+
+
+class TestTopLevel:
+    def test_top_level_excludes_nested(self, world):
+        fib = make_fib(world)
+        world.make_external(fib)
+        tops = top_level_continuations(world)
+        assert fib in tops
+        names = {c.name for c in tops}
+        assert "k1" not in names and "then" not in names
+
+    def test_mutual_recursion_both_top_level(self, world):
+        even = world.continuation(FN_I64, "even")
+        odd = world.continuation(FN_I64, "odd")
+        world.jump(even, odd, tuple(even.params))
+        world.jump(odd, even, tuple(odd.params))
+        tops = top_level_continuations(world)
+        assert even in tops and odd in tops
+
+    def test_intrinsics_not_top_level(self, world):
+        world.branch()
+        assert all(not c.is_intrinsic() for c in top_level_continuations(world))
+
+
+class TestScopeAfterMangling:
+    def test_specialized_scope_disjoint_from_original(self, world):
+        from repro.transform.mangle import drop
+
+        fib = make_fib(world)
+        spec = drop(Scope(fib), {fib.params[1]: world.literal(ct.I64, 7)})
+        orig = set(Scope(fib).continuations())
+        new = set(Scope(spec).continuations())
+        # The copy references fib (recursive calls with changed args go
+        # to the generic version), but shares none of fib's blocks as
+        # its own members except fib itself.
+        assert spec not in orig
+        assert not (new - {fib}) & orig

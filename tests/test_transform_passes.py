@@ -1,0 +1,217 @@
+"""Unit tests for the optimization passes (cleanup, PE, closure elim,
+inliner, lambda dropping) and the generic rewriter."""
+
+import pytest
+
+from repro import compile_source
+from repro.backend.interp import Interpreter
+from repro.core import types as ct
+from repro.core.rewrite import replace_def, rewrite_uses
+from repro.core.scope import Scope
+from repro.core.verify import cff_violations
+from repro.core.world import World
+from repro.transform.cleanup import cleanup, collect_garbage, eta_reduce
+from repro.transform.closure_elim import eliminate_closures
+from repro.transform.inliner import inline_small_functions
+from repro.transform.lambda_dropping import drop_invariant_params
+from repro.transform.partial_eval import is_static, partial_eval
+
+from .helpers import FN_I64, RET_I64, make_add_const, make_fib
+
+
+@pytest.fixture()
+def world():
+    return World("test")
+
+
+class TestRewrite:
+    def test_replace_rebuilds_users(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        doubled = world.add(x, x)
+        world.jump(f, ret, (mem, doubled))
+        five = world.literal(ct.I64, 5)
+        rewrite_uses(world, {x: five})
+        # the body was rebuilt and folded: add(5, 5) -> 10
+        assert f.arg(1).value == 10
+
+    def test_type_mismatch_rejected(self, world):
+        f = world.continuation(FN_I64, "f")
+        with pytest.raises(AssertionError):
+            replace_def(f.params[1], world.literal(ct.F64, 1.0))
+
+    def test_transitive_rebuild(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        a = world.add(x, world.one(ct.I64))
+        b = world.mul(a, a)
+        world.jump(f, ret, (mem, b))
+        rewrite_uses(world, {x: world.literal(ct.I64, 3)})
+        assert f.arg(1).value == 16
+
+
+class TestCleanup:
+    def test_garbage_collected(self, world):
+        live = make_add_const(world, 1, "live")
+        world.make_external(live)
+        dead = make_add_const(world, 2, "dead")
+        removed = collect_garbage(world)
+        assert removed >= 1
+        assert dead not in world.continuations()
+        assert live in world.continuations()
+
+    def test_eta_reduction(self, world):
+        target = make_add_const(world, 3, "target")
+        forwarder = world.continuation(FN_I64, "fwd")
+        world.jump(forwarder, target, tuple(forwarder.params))
+        caller = world.continuation(FN_I64, "caller")
+        world.make_external(caller)
+        world.jump(caller, forwarder, tuple(caller.params))
+        assert eta_reduce(world) >= 1
+        assert caller.callee is target
+
+    def test_eta_skips_externals(self, world):
+        target = make_add_const(world, 3, "target")
+        forwarder = world.continuation(FN_I64, "fwd")
+        world.make_external(forwarder)
+        world.jump(forwarder, target, tuple(forwarder.params))
+        eta_reduce(world)
+        assert forwarder.callee is target  # body intact, not replaced
+
+    def test_cleanup_preserves_semantics(self):
+        world = compile_source("""
+fn helper(x: i64) -> i64 { x * 3 }
+fn main(a: i64) -> i64 { helper(a) + helper(a + 1) }
+""", optimize=False)
+        before = Interpreter(world).call("main", 5)
+        cleanup(world)
+        assert Interpreter(world).call("main", 5) == before == 33
+
+
+class TestPartialEval:
+    def test_pow_unrolls(self):
+        world = compile_source("""
+fn pow(x: i64, n: i64) -> i64 { if n == 0 { 1 } else { x * pow(x, n-1) } }
+fn main(x: i64) -> i64 { @pow(x, 4) }
+""", optimize=False)
+        stats = partial_eval(world)
+        assert stats["specialized"] >= 4
+        cleanup(world)
+        assert Interpreter(world).call("main", 3) == 81
+
+    def test_hlt_blocks_specialization(self):
+        world = compile_source("""
+fn pow(x: i64, n: i64) -> i64 { if n == 0 { 1 } else { x * pow(x, n-1) } }
+fn main(x: i64) -> i64 { $pow(x, 4) }
+""", optimize=False)
+        stats = partial_eval(world)
+        assert stats["specialized"] == 0
+        assert Interpreter(world).call("main", 3) == 81
+
+    def test_budget_terminates_dynamic_recursion(self):
+        # a loop whose bound is dynamic cannot be fully unfolded; the
+        # budget must stop the evaluator and leave a correct residual.
+        world = compile_source("""
+fn count(n: i64) -> i64 { if n == 0 { 0 } else { 1 + count(n - 1) } }
+fn main(n: i64) -> i64 { @count(n + 1) }
+""", optimize=False)
+        stats = partial_eval(world, budget=16)
+        assert stats["budget_left"] >= 0
+        cleanup(world)
+        assert Interpreter(world).call("main", 5) == 6
+
+    def test_cache_shares_specializations(self):
+        world = compile_source("""
+fn pow(x: i64, n: i64) -> i64 { if n == 0 { 1 } else { x * pow(x, n-1) } }
+fn main(x: i64) -> i64 { @pow(x, 3) + @pow(x + 1, 3) }
+""", optimize=False)
+        stats = partial_eval(world)
+        assert stats["cache_hits"] >= 1  # pow_3..pow_0 shared across sites
+
+    def test_is_static(self, world):
+        assert is_static(world.literal(ct.I64, 1))
+        assert is_static(world.bottom(ct.I64))
+        assert is_static(world.tuple_((world.literal(ct.I64, 1),)))
+        f = world.continuation(FN_I64, "f")
+        assert not is_static(f.params[1])
+        closed = make_add_const(world, 1)
+        assert is_static(closed)
+        assert not is_static(world.hlt(closed))
+
+
+class TestClosureElim:
+    def test_hof_reaches_cff(self):
+        world = compile_source("""
+fn apply(f: fn(i64) -> i64, x: i64) -> i64 { f(x) }
+fn main(a: i64) -> i64 { apply(|v: i64| v * 2, a) }
+""")
+        assert cff_violations(world) == []
+        assert Interpreter(world).call("main", 21) == 42
+
+    def test_recursive_closure_lifted(self):
+        # a recursive inner function capturing its environment
+        world = compile_source("""
+fn main(n: i64) -> i64 {
+    let step = n + 1;
+    let mut total = 0;
+    let mut i = 0;
+    while i < 10 {
+        total += step;
+        i += 1;
+    }
+    total
+}
+""")
+        assert cff_violations(world) == []
+        assert Interpreter(world).call("main", 2) == 30
+
+    def test_escaping_closure_eliminated(self):
+        world = compile_source("""
+fn make(n: i64) -> fn(i64) -> i64 { |x: i64| x + n }
+fn main() -> i64 { make(5)(6) }
+""")
+        assert cff_violations(world) == []
+        assert Interpreter(world).call("main") == 11
+
+
+class TestInliner:
+    def test_once_called_inlined(self):
+        world = compile_source("""
+fn helper(a: i64) -> i64 { a * 7 }
+fn main(x: i64) -> i64 { helper(x) }
+""", optimize=False)
+        stats = inline_small_functions(world)
+        assert stats["inlined"] >= 1
+        cleanup(world)
+        assert Interpreter(world).call("main", 3) == 21
+        # helper is garbage after inlining
+        names = {c.name for c in world.continuations()}
+        assert "helper" not in names
+
+    def test_recursive_not_inlined(self, world):
+        fib = make_fib(world)
+        world.make_external(fib)
+        stats = inline_small_functions(world)
+        # fib's internal call sites are recursive: left alone
+        assert Interpreter(world).call("fib", 10) == 55
+
+
+class TestLambdaDropping:
+    def test_invariant_param_dropped(self):
+        world = compile_source("""
+fn scaled(x: i64, factor: i64) -> i64 { x * factor }
+fn main(a: i64) -> i64 { scaled(a, 3) + scaled(a + 1, 3) }
+""", optimize=False)
+        stats = drop_invariant_params(world)
+        assert stats["params_removed"] >= 1
+        cleanup(world)
+        assert Interpreter(world).call("main", 5) == 33
+
+    def test_divergent_args_kept(self):
+        world = compile_source("""
+fn scaled(x: i64, factor: i64) -> i64 { x * factor }
+fn main(a: i64) -> i64 { scaled(a, 3) + scaled(a, 4) }
+""", optimize=False)
+        stats = drop_invariant_params(world)
+        cleanup(world)
+        assert Interpreter(world).call("main", 2) == 14

@@ -1,0 +1,95 @@
+"""Unit tests for the interned type system."""
+
+from repro.core import types as ct
+
+
+class TestInterning:
+    def test_prim_types_are_singletons(self):
+        assert ct.prim_type("i32") is ct.I32
+        assert ct.prim_type(ct.PrimTypeKind.F64) is ct.F64
+
+    def test_fn_type_interned(self):
+        a = ct.fn_type((ct.MEM, ct.I64))
+        b = ct.fn_type([ct.MEM, ct.I64])
+        assert a is b
+
+    def test_tuple_type_interned(self):
+        assert ct.tuple_type((ct.I32, ct.BOOL)) is ct.tuple_type((ct.I32, ct.BOOL))
+        assert ct.tuple_type((ct.I32,)) is not ct.tuple_type((ct.I64,))
+
+    def test_nested_structural_identity(self):
+        a = ct.ptr_type(ct.definite_array_type(ct.F32, 4))
+        b = ct.ptr_type(ct.definite_array_type(ct.F32, 4))
+        assert a is b
+        assert a is not ct.ptr_type(ct.definite_array_type(ct.F32, 5))
+
+    def test_struct_types_nominal(self):
+        a = ct.struct_type("Point", ("x", "y"), (ct.F64, ct.F64))
+        b = ct.struct_type("Point", ("x", "y"), (ct.F64, ct.F64))
+        c = ct.struct_type("Vec2", ("x", "y"), (ct.F64, ct.F64))
+        assert a is b
+        assert a is not c
+
+    def test_unit_is_empty_tuple(self):
+        assert ct.UNIT is ct.tuple_type(())
+
+
+class TestPrimProperties:
+    def test_int_classification(self):
+        assert ct.I8.is_int and ct.I8.is_signed and not ct.I8.is_unsigned
+        assert ct.U64.is_int and ct.U64.is_unsigned
+        assert not ct.F32.is_int and ct.F32.is_float
+        assert ct.BOOL.is_bool and not ct.BOOL.is_int
+
+    def test_bitwidths(self):
+        assert ct.I8.bitwidth == 8
+        assert ct.U16.bitwidth == 16
+        assert ct.I32.bitwidth == 32
+        assert ct.F64.bitwidth == 64
+        assert ct.BOOL.bitwidth == 1
+
+
+class TestOrder:
+    def test_scalars_are_order_zero(self):
+        assert ct.I64.order() == 0
+        assert ct.tuple_type((ct.I32, ct.F64)).order() == 0
+        assert ct.ptr_type(ct.I8).order() == 0
+
+    def test_basic_block_type_is_order_one(self):
+        bb = ct.fn_type((ct.MEM, ct.I64))
+        assert bb.order() == 1
+        assert bb.is_basic_block()
+
+    def test_function_type_is_order_two(self):
+        fn = ct.fn_type((ct.MEM, ct.I64, ct.fn_type((ct.MEM, ct.I64))))
+        assert fn.order() == 2
+        assert fn.is_returning()
+        assert not fn.is_basic_block()
+
+    def test_higher_order_function(self):
+        inner = ct.fn_type((ct.MEM, ct.I64, ct.fn_type((ct.MEM, ct.I64))))
+        hof = ct.fn_type((ct.MEM, inner, ct.fn_type((ct.MEM, ct.I64))))
+        assert hof.order() == 3
+
+    def test_tuple_of_functions_takes_max(self):
+        bb = ct.fn_type((ct.MEM,))
+        assert ct.tuple_type((ct.I64, bb)).order() == 1
+
+    def test_ret_type_finds_last_fn_param(self):
+        ret = ct.fn_type((ct.MEM, ct.I64))
+        fn = ct.fn_type((ct.MEM, ct.I64, ret))
+        assert fn.ret_type() is ret
+        assert ct.fn_type((ct.MEM, ct.I64)).ret_type() is None
+
+
+class TestPrinting:
+    def test_prim_str(self):
+        assert str(ct.I32) == "i32"
+        assert str(ct.BOOL) == "bool"
+
+    def test_compound_str(self):
+        assert str(ct.fn_type((ct.MEM, ct.I64))) == "fn(mem, i64)"
+        assert str(ct.ptr_type(ct.I8)) == "ptr[i8]"
+        assert str(ct.definite_array_type(ct.F32, 3)) == "[f32 * 3]"
+        assert str(ct.indefinite_array_type(ct.I64)) == "[i64]"
+        assert str(ct.tuple_type((ct.I32, ct.BOOL))) == "(i32, bool)"

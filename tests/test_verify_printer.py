@@ -1,0 +1,118 @@
+"""Tests for the IR verifier, the CFF checker, and the printers."""
+
+import pytest
+
+from repro import compile_source
+from repro.core import types as ct
+from repro.core.printer import def_ref, print_scope, print_world, to_dot
+from repro.core.scope import Scope
+from repro.core.verify import VerifyError, cff_violations, is_cff, verify
+from repro.core.world import World
+
+from .helpers import FN_I64, RET_I64, make_add_const, make_fib
+
+
+@pytest.fixture()
+def world():
+    return World("test")
+
+
+class TestVerify:
+    def test_wellformed_world_passes(self, world):
+        make_fib(world)
+        verify(world)
+
+    def test_wrong_arg_type_caught(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        bad = world.literal(ct.F64, 1.5)
+        # bypass the smart factory's checks via the raw jump
+        f._set_ops((ret, mem, bad))
+        with pytest.raises(VerifyError):
+            verify(world)
+
+    def test_arity_mismatch_caught(self, world):
+        f = world.continuation(FN_I64, "f")
+        mem, x, ret = f.params
+        f._set_ops((ret, mem))
+        with pytest.raises(VerifyError):
+            verify(world)
+
+    def test_whole_suite_verifies(self):
+        from repro.programs import ALL_PROGRAMS
+
+        for program in ALL_PROGRAMS[:6]:
+            verify(compile_source(program.source))
+
+
+class TestCFF:
+    def test_first_order_program_is_cff(self, world):
+        f = make_add_const(world, 1)
+        world.make_external(f)
+        assert is_cff(world)
+
+    def test_higher_order_param_violates(self, world):
+        hof_t = ct.fn_type((ct.MEM, FN_I64, RET_I64))
+        hof = world.continuation(hof_t, "hof")
+        world.make_external(hof)
+        mem, f, ret = hof.params
+        world.jump(hof, f, (mem, world.literal(ct.I64, 1), ret))
+        violations = cff_violations(world)
+        assert violations
+        assert any("order-3" in v or "callee" in v for v in violations)
+
+    def test_inner_closure_violates(self, world):
+        outer = world.continuation(FN_I64, "outer")
+        world.make_external(outer)
+        mem, x, ret = outer.params
+        inner = world.continuation(RET_I64, "inner")
+        world.jump(inner, ret, (inner.params[0],
+                                world.add(inner.params[1], x)))
+        # pass inner (a closure over x) to another function: escaping
+        callee = world.continuation(ct.fn_type((ct.MEM, RET_I64, RET_I64)),
+                                    "callee")
+        world.jump(callee, callee.params[1],
+                   (callee.params[0], world.literal(ct.I64, 0)))
+        world.jump(outer, callee, (mem, inner, ret))
+        assert not is_cff(world)
+
+    def test_suite_reaches_cff_after_pipeline(self):
+        from repro.programs import by_tag
+
+        for program in by_tag("higher-order"):
+            world = compile_source(program.source)
+            assert is_cff(world), program.name
+
+
+class TestPrinter:
+    def test_def_ref_forms(self, world):
+        assert def_ref(world.literal(ct.I64, 3)) == "i64:3"
+        assert def_ref(world.literal(ct.I8, -1)) == "i8:-1"
+        assert def_ref(world.bottom(ct.BOOL)) == "bot[bool]"
+        f = world.continuation(FN_I64, "f")
+        assert def_ref(f).startswith("f_")
+
+    def test_print_scope_contains_structure(self, world):
+        fib = make_fib(world)
+        text = print_scope(Scope(fib))
+        assert "fn fib_" in text
+        assert "jump branch" in text
+        assert "cmp.lt" in text
+
+    def test_print_world_lists_externals(self, world):
+        fib = make_fib(world)
+        world.make_external(fib)
+        text = print_world(world)
+        assert "extern fn fib" in text
+
+    def test_dot_export(self, world):
+        fib = make_fib(world)
+        dot = to_dot(Scope(fib))
+        assert dot.startswith("digraph")
+        assert "->" in dot and dot.rstrip().endswith("}")
+
+    def test_roundtrip_stability(self, world):
+        fib = make_fib(world)
+        once = print_scope(Scope(fib))
+        twice = print_scope(Scope(fib))
+        assert once == twice

@@ -1,0 +1,333 @@
+"""Unit tests for the world: hash-consing (GVN) and construction folding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import types as ct
+from repro.core.defs import Intrinsic
+from repro.core.primops import (
+    ArithKind,
+    ArithOp,
+    Bottom,
+    Cmp,
+    CmpRel,
+    Insert,
+    Literal,
+    Select,
+)
+from repro.core.world import World
+
+from .helpers import FN_I64
+
+
+@pytest.fixture()
+def world():
+    return World("test")
+
+
+@pytest.fixture()
+def xy(world):
+    f = world.continuation(ct.fn_type((ct.I64, ct.I64)), "f")
+    return f.params
+
+
+class TestHashConsing:
+    def test_literals_unique(self, world):
+        assert world.literal(ct.I64, 7) is world.literal(ct.I64, 7)
+        assert world.literal(ct.I64, 7) is not world.literal(ct.I32, 7)
+
+    def test_literal_canonicalized(self, world):
+        assert world.literal(ct.I8, -1) is world.literal(ct.I8, 255)
+        assert world.literal(ct.I8, -1).public_value() == -1
+        assert world.literal(ct.U8, 255).public_value() == 255
+
+    def test_arith_gvn(self, world, xy):
+        x, y = xy
+        assert world.add(x, y) is world.add(x, y)
+        assert world.add(x, y) is not world.sub(x, y)
+
+    def test_commutative_normalization(self, world, xy):
+        x, _ = xy
+        c = world.literal(ct.I64, 3)
+        assert world.add(c, x) is world.add(x, c)
+        assert world.mul(c, x) is world.mul(x, c)
+        # Non-commutative ops keep operand order.
+        assert world.sub(c, x) is not world.sub(x, c)
+
+    def test_cmp_swap_normalization(self, world, xy):
+        x, _ = xy
+        c = world.literal(ct.I64, 3)
+        # 3 < x normalizes to x > 3
+        node = world.lt(c, x)
+        assert isinstance(node, Cmp)
+        assert node.rel is CmpRel.GT
+        assert node.lhs is x
+
+    def test_gvn_stats(self, world, xy):
+        x, y = xy
+        before = world.stats.gvn_hits
+        world.mul(x, y)
+        world.mul(x, y)
+        assert world.stats.gvn_hits == before + 1
+
+
+class TestConstantFolding:
+    @given(a=st.integers(-100, 100), b=st.integers(-100, 100))
+    def test_fold_add(self, a, b):
+        world = World()
+        got = world.add(world.literal(ct.I64, a), world.literal(ct.I64, b))
+        assert isinstance(got, Literal)
+        assert got.public_value() == a + b
+
+    def test_fold_through_chain(self, world):
+        one = world.literal(ct.I64, 1)
+        two = world.add(one, one)
+        four = world.mul(two, two)
+        assert isinstance(four, Literal) and four.value == 4
+
+    def test_div_by_zero_not_folded(self, world):
+        node = world.div(world.literal(ct.I64, 1), world.literal(ct.I64, 0))
+        assert isinstance(node, ArithOp)  # the trap stays in the program
+
+    def test_bottom_propagates(self, world, xy):
+        x, _ = xy
+        bot = world.bottom(ct.I64)
+        assert isinstance(world.add(x, bot), Bottom)
+        assert isinstance(world.eq(bot, x), Bottom)
+        assert isinstance(world.cast(ct.F64, bot), Bottom)
+
+
+class TestAlgebraicSimplification:
+    def test_add_zero(self, world, xy):
+        x, _ = xy
+        assert world.add(x, world.zero(ct.I64)) is x
+        assert world.add(world.zero(ct.I64), x) is x
+
+    def test_sub_self_and_zero(self, world, xy):
+        x, _ = xy
+        assert world.sub(x, world.zero(ct.I64)) is x
+        assert world.sub(x, x) is world.zero(ct.I64)
+
+    def test_mul_identities(self, world, xy):
+        x, _ = xy
+        assert world.mul(x, world.one(ct.I64)) is x
+        assert world.mul(x, world.zero(ct.I64)) is world.zero(ct.I64)
+
+    def test_float_zero_not_removed(self, world):
+        # -0.0 + 0.0 == 0.0, so x + 0.0 is NOT an identity on floats.
+        f = world.continuation(ct.fn_type((ct.F64,)), "g")
+        x = f.params[0]
+        node = world.add(x, world.literal(ct.F64, 0.0))
+        assert isinstance(node, ArithOp)
+
+    def test_bit_identities(self, world, xy):
+        x, _ = xy
+        zero = world.zero(ct.I64)
+        ones = world.literal(ct.I64, -1)
+        assert world.and_(x, zero) is zero
+        assert world.and_(x, ones) is x
+        assert world.and_(x, x) is x
+        assert world.or_(x, zero) is x
+        assert world.or_(x, x) is x
+        assert world.xor(x, x) is zero
+        assert world.xor(x, zero) is x
+        assert world.shl(x, zero) is x
+
+    def test_cmp_self(self, world, xy):
+        x, _ = xy
+        assert world.eq(x, x) is world.true_()
+        assert world.ne(x, x) is world.false_()
+        assert world.le(x, x) is world.true_()
+        assert world.lt(x, x) is world.false_()
+
+    def test_float_cmp_self_not_folded(self, world):
+        f = world.continuation(ct.fn_type((ct.F64,)), "g")
+        x = f.params[0]
+        assert isinstance(world.eq(x, x), Cmp)  # NaN != NaN
+
+    def test_double_negation(self, world):
+        f = world.continuation(ct.fn_type((ct.BOOL,)), "g")
+        b = f.params[0]
+        assert world.not_(world.not_(b)) is b
+
+
+class TestSelect:
+    def test_literal_cond(self, world, xy):
+        x, y = xy
+        assert world.select(world.true_(), x, y) is x
+        assert world.select(world.false_(), x, y) is y
+
+    def test_same_arms(self, world, xy):
+        x, _ = xy
+        f = world.continuation(ct.fn_type((ct.BOOL,)), "g")
+        assert world.select(f.params[0], x, x) is x
+
+    def test_negated_cond_swaps(self, world, xy):
+        x, y = xy
+        f = world.continuation(ct.fn_type((ct.BOOL,)), "g")
+        c = f.params[0]
+        assert world.select(world.not_(c), x, y) is world.select(c, y, x)
+
+    def test_bool_shortcuts(self, world):
+        f = world.continuation(ct.fn_type((ct.BOOL,)), "g")
+        c = f.params[0]
+        assert world.select(c, world.true_(), world.false_()) is c
+        assert world.select(c, world.false_(), world.true_()) is world.not_(c)
+
+
+class TestAggregates:
+    def test_extract_of_tuple(self, world, xy):
+        x, y = xy
+        t = world.tuple_((x, y))
+        assert world.extract(t, 0) is x
+        assert world.extract(t, 1) is y
+
+    def test_extract_of_insert(self, world, xy):
+        x, y = xy
+        arr = world.definite_array(ct.I64, [world.zero(ct.I64)] * 3)
+        ins = world.insert(arr, 1, x)
+        assert world.extract(ins, 1) is x
+        assert world.extract(ins, 0) is world.zero(ct.I64)
+
+    def test_insert_into_literal_array(self, world, xy):
+        x, _ = xy
+        arr = world.definite_array(ct.I64, [world.zero(ct.I64)] * 2)
+        ins = world.insert(arr, 0, x)
+        # folded into a fresh array value
+        assert not isinstance(ins, Insert)
+        assert world.extract(ins, 0) is x
+
+    def test_dynamic_index_not_folded(self, world, xy):
+        x, y = xy
+        arr = world.definite_array(ct.I64, [x, x, x])
+        got = world.extract(arr, y)
+        assert not isinstance(got, Literal)
+
+    def test_out_of_bounds_literal_index_is_bottom(self, world, xy):
+        x, _ = xy
+        arr = world.definite_array(ct.I64, [x, x])
+        assert isinstance(world.extract(arr, 5), Bottom)
+
+    def test_insert_chain_same_index(self, world, xy):
+        x, y = xy
+        f = world.continuation(ct.fn_type((ct.definite_array_type(ct.I64, 2),)), "g")
+        base = f.params[0]
+        ins1 = world.insert(base, 0, x)
+        ins2 = world.insert(ins1, 0, y)
+        # the overwritten insert is elided
+        assert ins2.op(0) is base
+
+
+class TestMemory:
+    def test_store_load_forwarding(self, world):
+        f = world.continuation(ct.fn_type((ct.MEM, ct.I64)), "g")
+        mem0, x = f.params
+        mem1, frame = world.enter(mem0)
+        ptr = world.slot(ct.I64, frame)
+        mem2 = world.store(mem1, ptr, x)
+        mem3, value = world.load(mem2, ptr)
+        assert value is x
+        assert mem3 is mem2
+
+    def test_dead_store_elimination(self, world):
+        f = world.continuation(ct.fn_type((ct.MEM, ct.I64, ct.I64)), "g")
+        mem0, x, y = f.params
+        mem1, frame = world.enter(mem0)
+        ptr = world.slot(ct.I64, frame)
+        s1 = world.store(mem1, ptr, x)
+        s2 = world.store(s1, ptr, y)
+        # the first store is dead: s2 rebuilt directly over mem1
+        assert s2.mem is mem1
+
+    def test_slots_are_unique(self, world):
+        f = world.continuation(ct.fn_type((ct.MEM,)), "g")
+        _, frame = world.enter(f.params[0])
+        assert world.slot(ct.I64, frame) is not world.slot(ct.I64, frame)
+
+    def test_immutable_global_load_folds(self, world):
+        init = world.literal(ct.I64, 42)
+        g = world.global_(init, is_mutable=False)
+        f = world.continuation(ct.fn_type((ct.MEM,)), "g")
+        mem, value = world.load(f.params[0], g)
+        assert value is init
+
+    def test_mutable_global_load_not_folded(self, world):
+        init = world.literal(ct.I64, 42)
+        g = world.global_(init, is_mutable=True)
+        f = world.continuation(ct.fn_type((ct.MEM,)), "g")
+        _, value = world.load(f.params[0], g)
+        assert value is not init
+
+    def test_mutable_globals_distinct(self, world):
+        init = world.literal(ct.I64, 0)
+        assert world.global_(init) is not world.global_(init)
+        assert world.global_(init, is_mutable=False) is world.global_(
+            init, is_mutable=False
+        )
+
+
+class TestEvalMarkers:
+    def test_run_idempotent(self, world):
+        f = world.continuation(FN_I64, "f")
+        assert world.run(world.run(f)) is world.run(f)
+
+    def test_hlt_wins(self, world):
+        f = world.continuation(FN_I64, "f")
+        assert world.hlt(world.run(f)).value is f
+        assert world.run(world.hlt(f)) is world.hlt(f)
+
+
+class TestJumpFolding:
+    def test_branch_on_literal_becomes_direct(self, world):
+        f = world.continuation(ct.fn_type((ct.MEM,)), "f")
+        t = world.basic_block((ct.MEM,), "t")
+        e = world.basic_block((ct.MEM,), "e")
+        world.jump(f, world.branch(), (f.params[0], world.true_(), t, e))
+        assert f.callee is t
+        assert f.args == (f.params[0],)
+
+    def test_branch_same_targets_becomes_direct(self, world):
+        f = world.continuation(ct.fn_type((ct.MEM, ct.BOOL)), "f")
+        t = world.basic_block((ct.MEM,), "t")
+        world.jump(f, world.branch(), (f.params[0], f.params[1], t, t))
+        assert f.callee is t
+
+    def test_branch_dynamic_cond_stays(self, world):
+        f = world.continuation(ct.fn_type((ct.MEM, ct.BOOL)), "f")
+        t = world.basic_block((ct.MEM,), "t")
+        e = world.basic_block((ct.MEM,), "e")
+        world.jump(f, world.branch(), (f.params[0], f.params[1], t, e))
+        assert f.callee.intrinsic == Intrinsic.BRANCH
+
+
+class TestFoldingDisabled:
+    def test_no_fold_when_disabled(self):
+        world = World(folding=False)
+        node = world.add(world.literal(ct.I64, 1), world.literal(ct.I64, 2))
+        assert isinstance(node, ArithOp)
+
+    def test_gvn_still_active(self):
+        world = World(folding=False)
+        a = world.literal(ct.I64, 1)
+        b = world.literal(ct.I64, 2)
+        assert world.add(a, b) is world.add(a, b)
+
+
+class TestRebuild:
+    def test_rebuild_refolds(self, world, xy):
+        x, y = xy
+        node = world.add(x, y)
+        rebuilt = world.rebuild(node, (world.literal(ct.I64, 2),
+                                       world.literal(ct.I64, 3)))
+        assert isinstance(rebuilt, Literal) and rebuilt.value == 5
+
+    def test_rebuild_preserves_slot_identity(self, world):
+        f = world.continuation(ct.fn_type((ct.MEM, ct.MEM)), "g")
+        _, frame = world.enter(f.params[0])
+        slot = world.slot(ct.I64, frame)
+        same = world.rebuild(slot, (frame,))
+        assert same is slot
+        _, frame2 = world.enter(f.params[1])
+        other = world.rebuild(slot, (frame2,))
+        assert other is not slot
+        assert other.slot_id == slot.slot_id
