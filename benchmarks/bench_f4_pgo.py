@@ -1,0 +1,111 @@
+"""F4 — profile-guided optimization: static pipeline vs PGO pipeline.
+
+Two compiles of every suite program, both measured by retired VM
+instructions on the *bench* inputs:
+
+* **static** — the standard pipeline with default options;
+* **pgo** — the two-phase driver: optimize statically, run the *test*
+  inputs against an instrumented image (training), then re-optimize
+  with the collected profile (hot-loop peeling + hot-site inlining)
+  and recompile.
+
+Train/test discipline: the profile only ever sees ``test_args``; all
+reported counts are measured on ``bench_args``.  Expected shape: PGO
+beats static (strictly fewer instructions) on at least 3 programs and
+never loses — peeling is only applied where entry values fold, and
+cold sites are left alone.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the program list for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import compile_source
+from repro.backend import bytecode as bc
+from repro.backend.codegen import compile_world
+from repro.eval import summarize_profile
+from repro.profile import compile_profiled
+from repro.programs.suite import ALL_PROGRAMS
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+_SMOKE_NAMES = ("fannkuch", "mandelbrot", "matmul", "nqueens", "filter_image")
+PROGRAMS = ([p for p in ALL_PROGRAMS if p.name in _SMOKE_NAMES]
+            if _SMOKE else ALL_PROGRAMS)
+
+_rows: dict[str, dict] = {}
+_initialized = False
+
+
+def _instructions(compiled, program) -> tuple[int, object]:
+    """(retired instructions, result) for a bench run on a fresh VM."""
+    from repro.core import fold
+    from repro.core import types as ct
+
+    param_types, _ = compiled.fn_types[program.entry]
+    vm_args = [fold.canonicalize(t.kind, a) if isinstance(t, ct.PrimType)
+               else a
+               for a, t in zip(program.bench_args, param_types)]
+    fresh_vm = bc.VM(compiled.program)
+    result = fresh_vm.call(compiled.program, program.entry, *vm_args)
+    return fresh_vm.executed, result
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+def test_f4_pgo(program, report, benchmark):
+    table = report("F4_pgo")
+    global _initialized
+    if not _initialized:
+        table.columns("program", "static_instructions", "pgo_instructions",
+                      "saved", "saved_pct", "loop_iterations_trained")
+        table.note(
+            "trained on test_args, measured on bench_args; pgo uses "
+            "hot-loop peeling + profile-driven inlining on top of the "
+            "static pipeline.  Shape check: pgo < static on >= 3 "
+            "programs, never worse."
+        )
+        _initialized = True
+
+    static_world = compile_source(program.source, optimize=True)
+    static_compiled = compile_world(static_world)
+    static_instr, static_result = _instructions(static_compiled, program)
+
+    pgo_world = compile_source(program.source, optimize=False)
+
+    def workload(compiled, _p=program):
+        compiled.call(_p.entry, *_p.test_args)
+
+    pgo_compiled, profile, _stats = compile_profiled(pgo_world, workload)
+    pgo_instr, pgo_result = _instructions(pgo_compiled, program)
+
+    assert pgo_result == static_result, (
+        f"{program.name}: PGO changed the program result"
+    )
+
+    benchmark.pedantic(pgo_compiled.call,
+                       args=(program.entry, *program.bench_args),
+                       rounds=3, iterations=1)
+    benchmark.extra_info["static_instructions"] = static_instr
+    benchmark.extra_info["pgo_instructions"] = pgo_instr
+
+    saved = static_instr - pgo_instr
+    summary = summarize_profile(profile)
+    table.row(program.name, static_instr, pgo_instr, saved,
+              100.0 * saved / static_instr if static_instr else 0.0,
+              summary["loop_iterations"])
+    _rows[program.name] = {"static": static_instr, "pgo": pgo_instr}
+
+
+def test_f4_shape(report, benchmark):
+    """After all programs ran: PGO wins on >= 3 and never loses."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = report("F4_pgo")
+    wins = sum(1 for c in _rows.values() if c["pgo"] < c["static"])
+    losses = sum(1 for c in _rows.values() if c["pgo"] > c["static"])
+    table.note(f"pgo < static on {wins}/{len(_rows)} programs, "
+               f"{losses} regressions")
+    assert wins >= 3, f"PGO won on only {wins} programs"
+    assert losses == 0, f"PGO regressed on {losses} programs"

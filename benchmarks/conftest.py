@@ -3,11 +3,15 @@
 Every ``bench_*`` module regenerates one table or figure of the
 (reconstructed) evaluation — see DESIGN.md §4 and EXPERIMENTS.md.  Each
 test contributes rows to a session-wide report; at session end the
-tables are printed and written to ``benchmarks/results/``.
+tables are printed and written to ``benchmarks/results/`` twice: a
+human-readable ``<ID>.txt`` table and a machine-readable ``<ID>.json``
+(columns, per-row records with raw values, notes) so the perf
+trajectory can be tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from collections import defaultdict
 
@@ -16,7 +20,7 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 _tables: dict[str, dict] = defaultdict(
-    lambda: {"columns": None, "rows": [], "notes": []}
+    lambda: {"columns": None, "rows": [], "raw_rows": [], "notes": []}
 )
 
 
@@ -30,9 +34,9 @@ class Reporter:
         _tables[self.experiment]["columns"] = list(names)
 
     def row(self, *values) -> None:
-        _tables[self.experiment]["rows"].append(
-            [_format(v) for v in values]
-        )
+        table = _tables[self.experiment]
+        table["rows"].append([_format(v) for v in values])
+        table["raw_rows"].append(list(values))
 
     def note(self, text: str) -> None:
         _tables[self.experiment]["notes"].append(text)
@@ -68,6 +72,17 @@ def _render(experiment: str, table: dict) -> str:
     return "\n".join(lines)
 
 
+def _json_payload(experiment: str, table: dict) -> dict:
+    columns = table["columns"] or []
+    records = [dict(zip(columns, row)) for row in table["raw_rows"]]
+    return {
+        "experiment": experiment,
+        "columns": columns,
+        "records": records,
+        "notes": table["notes"],
+    }
+
+
 def pytest_sessionfinish(session):
     if not _tables:
         return
@@ -78,6 +93,11 @@ def pytest_sessionfinish(session):
         path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
         with open(path, "w") as f:
             f.write(text + "\n")
+        json_path = os.path.join(RESULTS_DIR, f"{experiment}.json")
+        with open(json_path, "w") as f:
+            json.dump(_json_payload(experiment, _tables[experiment]), f,
+                      indent=2)
+            f.write("\n")
         if reporter is not None:
             reporter.write_line("")
             for line in text.splitlines():

@@ -23,6 +23,18 @@ Instructions are tuples ``(opcode, ...)``; the dispatch loop is a plain
 ``if/elif`` chain ordered by dynamic frequency.  ``VM.executed`` counts
 retired instructions — the architecture-neutral "cycles" metric used in
 the experiments alongside wall-clock time.
+
+Profiling (experiment F4): ``VM(program, profile=collector)`` switches
+execution to an *instrumented* dispatch loop that additionally counts
+function entries, call-site executions and taken control-flow edges
+(from which loop back-edge frequencies are derived).  The collector is
+duck-typed — any object with ``entries``/``calls``/``edges`` mappings
+that support ``+= 1`` works; :class:`repro.profile.collector.
+ProfileCollector` is the canonical one.  The instrumentation lives in a
+*separate* loop (:meth:`VM._run_profiled`) so that the uninstrumented
+path — and the emitted instruction stream, which carries only inert
+site metadata (:attr:`VMFunction.sites`) — is exactly what it was
+without profiling: zero overhead when disabled.
 """
 
 from __future__ import annotations
@@ -238,6 +250,11 @@ class VMFunction:
         self.num_results = num_results
         self.num_regs = num_params
         self.code: list[tuple] = []
+        # Site metadata for PGO (experiment F4): stable labels mapping VM
+        # locations back to Thorin continuations.  ``entry`` is the source
+        # continuation's unique name; ``blocks`` maps block-start pcs to
+        # basic-block unique names.  Inert during execution.
+        self.sites: dict = {"entry": None, "blocks": {}}
 
     def new_reg(self) -> int:
         reg = self.num_regs
@@ -297,7 +314,7 @@ class VM:
     """Executes :class:`VMProgram` code."""
 
     def __init__(self, program: "VMProgram | None" = None, *,
-                 heap_limit: int = 64_000_000):
+                 heap_limit: int = 64_000_000, profile=None):
         # Word 0 is reserved (null); globals follow.
         self.heap: list = [0]
         if program is not None:
@@ -305,6 +322,9 @@ class VM:
         self.heap_limit = heap_limit
         self.output: list[str] = []
         self.executed = 0
+        # Optional profile collector (see module docstring).  ``None``
+        # selects the plain dispatch loop — the disabled path is untouched.
+        self.profile = profile
 
     def output_text(self) -> str:
         return "".join(self.output)
@@ -326,7 +346,8 @@ class VM:
             raise VMError(
                 f"{name} expects {fn.num_params} arguments, got {len(args)}"
             )
-        results = self._run(program, findex, list(args))
+        runner = self._run if self.profile is None else self._run_profiled
+        results = runner(program, findex, list(args))
         if fn.num_results == 0:
             return None
         if fn.num_results == 1:
@@ -498,6 +519,222 @@ class VM:
                 elif op == OP_MATCH:
                     _, value_reg, table, default_pc = instr
                     pc = table.get(regs[value_reg], default_pc)
+                elif op == OP_PRINT_I64:
+                    self.output.append(str(fold.to_signed(regs[instr[1]], 64)))
+                    pc += 1
+                elif op == OP_PRINT_F64:
+                    self.output.append(repr(regs[instr[1]]))
+                    pc += 1
+                elif op == OP_PRINT_CHAR:
+                    self.output.append(chr(regs[instr[1]]))
+                    pc += 1
+                elif op == OP_TRAP:
+                    raise VMError(instr[1])
+                else:  # pragma: no cover
+                    raise VMError(f"bad opcode {op}")
+        except IndexError:
+            raise VMError("memory access out of bounds") from None
+        except TypeError:
+            raise VMError("operation on undef value") from None
+        finally:
+            self.executed += executed
+
+    def _run_profiled(self, program: VMProgram, findex: int,
+                      args: list) -> list:
+        """Instrumented twin of :meth:`_run`.
+
+        Kept as a *separate* loop so the uninstrumented path pays nothing.
+        Executes the same instruction stream and must retire exactly the
+        same number of instructions as :meth:`_run`; additionally it
+        records, into ``self.profile``:
+
+        * ``entries[findex] += 1`` per function activation,
+        * ``calls[(findex, pc)] += 1`` per executed call/tail-call site,
+        * ``edges[(findex, src_pc, dst_pc)] += 1`` per taken control-flow
+          transfer (br/jmp/match) — back-edges (``dst_pc <= src_pc``)
+          give loop iteration counts.
+        """
+        prof = self.profile
+        prof_entries = prof.entries
+        prof_calls = prof.calls
+        prof_edges = prof.edges
+        functions = program.functions
+        fn = functions[findex]
+        regs: list = list(args) + [None] * (fn.num_regs - fn.num_params)
+        code = fn.code
+        pc = 0
+        heap = self.heap
+        # call stack: (findex, code, regs, pc_to_resume, ret_dsts)
+        stack: list[tuple] = []
+        executed = 0
+        prof_entries[findex] += 1
+        try:
+            while True:
+                instr = code[pc]
+                executed += 1
+                op = instr[0]
+                if op == OP_ARITH:
+                    _, dst, f, a, b = instr
+                    regs[dst] = f(regs[a], regs[b])
+                    pc += 1
+                elif op == OP_BR:
+                    _, cond, pc_t, pc_f = instr
+                    value = regs[cond]
+                    if value is None:
+                        raise VMError("branch on undef")
+                    taken = pc_t if value else pc_f
+                    prof_edges[(findex, pc, taken)] += 1
+                    pc = taken
+                elif op == OP_JMP:
+                    taken = instr[1]
+                    prof_edges[(findex, pc, taken)] += 1
+                    pc = taken
+                elif op == OP_MOV:
+                    regs[instr[1]] = regs[instr[2]]
+                    pc += 1
+                elif op == OP_CONST:
+                    regs[instr[1]] = instr[2]
+                    pc += 1
+                elif op == OP_LOAD:
+                    _, dst, addr = instr
+                    regs[dst] = heap[regs[addr]]
+                    pc += 1
+                elif op == OP_STORE:
+                    _, addr, src = instr
+                    heap[regs[addr]] = regs[src]
+                    pc += 1
+                elif op == OP_LEA:
+                    _, dst, base, index, scale = instr
+                    regs[dst] = regs[base] + regs[index] * scale
+                    pc += 1
+                elif op == OP_LEA_CONST:
+                    _, dst, base, offset = instr
+                    regs[dst] = regs[base] + offset
+                    pc += 1
+                elif op == OP_UNOP:
+                    _, dst, f, a = instr
+                    regs[dst] = f(regs[a])
+                    pc += 1
+                elif op == OP_SELECT:
+                    _, dst, cond, a, b = instr
+                    value = regs[cond]
+                    if value is None:
+                        raise VMError("select on undef")
+                    regs[dst] = regs[a] if value else regs[b]
+                    pc += 1
+                elif op == OP_CALL:
+                    _, target, arg_regs, ret_dsts = instr
+                    prof_calls[(findex, pc)] += 1
+                    prof_entries[target] += 1
+                    callee = functions[target]
+                    new_regs = [None] * callee.num_regs
+                    for i, r in enumerate(arg_regs):
+                        new_regs[i] = regs[r]
+                    stack.append((findex, code, regs, pc + 1, ret_dsts))
+                    findex = target
+                    code = callee.code
+                    regs = new_regs
+                    pc = 0
+                elif op == OP_TAILCALL:
+                    _, target, arg_regs = instr
+                    prof_calls[(findex, pc)] += 1
+                    prof_entries[target] += 1
+                    callee = functions[target]
+                    new_regs = [None] * callee.num_regs
+                    for i, r in enumerate(arg_regs):
+                        new_regs[i] = regs[r]
+                    findex = target
+                    code = callee.code
+                    regs = new_regs
+                    pc = 0
+                elif op == OP_RET:
+                    values = [regs[r] for r in instr[1]]
+                    if not stack:
+                        return values
+                    findex, code, regs, pc, ret_dsts = stack.pop()
+                    for dst, value in zip(ret_dsts, values):
+                        regs[dst] = value
+                elif op == OP_TUPLE:
+                    _, dst, parts = instr
+                    out: list = []
+                    for r, size in parts:
+                        value = regs[r]
+                        if size == 1 and type(value) is not list:
+                            out.append(value)
+                        else:
+                            out.extend(value)
+                    regs[dst] = out
+                    pc += 1
+                elif op == OP_EXTRACT:
+                    _, dst, src, offset, size = instr
+                    agg = regs[src]
+                    if size == 1:
+                        regs[dst] = agg[offset]
+                    else:
+                        regs[dst] = agg[offset:offset + size]
+                    pc += 1
+                elif op == OP_EXTRACT_DYN:
+                    _, dst, src, index, scale, size = instr
+                    agg = regs[src]
+                    offset = regs[index] * scale
+                    if offset < 0 or offset + size > len(agg):
+                        raise VMError("aggregate index out of bounds")
+                    if size == 1:
+                        regs[dst] = agg[offset]
+                    else:
+                        regs[dst] = agg[offset:offset + size]
+                    pc += 1
+                elif op == OP_INSERT:
+                    _, dst, src, offset, size, value_reg = instr
+                    agg = list(regs[src])
+                    value = regs[value_reg]
+                    if size == 1 and type(value) is not list:
+                        agg[offset] = value
+                    else:
+                        agg[offset:offset + size] = value
+                    regs[dst] = agg
+                    pc += 1
+                elif op == OP_INSERT_DYN:
+                    _, dst, src, index, scale, size, value_reg = instr
+                    agg = list(regs[src])
+                    offset = regs[index] * scale
+                    if offset < 0 or offset + size > len(agg):
+                        raise VMError("aggregate index out of bounds")
+                    value = regs[value_reg]
+                    if size == 1 and type(value) is not list:
+                        agg[offset] = value
+                    else:
+                        agg[offset:offset + size] = value
+                    regs[dst] = agg
+                    pc += 1
+                elif op == OP_LOAD_AGG:
+                    _, dst, addr, size = instr
+                    base = regs[addr]
+                    regs[dst] = heap[base:base + size]
+                    pc += 1
+                elif op == OP_STORE_AGG:
+                    _, addr, src, size = instr
+                    base = regs[addr]
+                    value = regs[src]
+                    if type(value) is not list:
+                        heap[base] = value
+                    else:
+                        heap[base:base + size] = value
+                    pc += 1
+                elif op == OP_ALLOC:
+                    _, dst, count_reg, elem_size, fixed = instr
+                    if count_reg is None:
+                        words = fixed
+                    else:
+                        words = regs[count_reg] * elem_size + fixed
+                    regs[dst] = self.alloc_words(words)
+                    heap = self.heap
+                    pc += 1
+                elif op == OP_MATCH:
+                    _, value_reg, table, default_pc = instr
+                    taken = table.get(regs[value_reg], default_pc)
+                    prof_edges[(findex, pc, taken)] += 1
+                    pc = taken
                 elif op == OP_PRINT_I64:
                     self.output.append(str(fold.to_signed(regs[instr[1]], 64)))
                     pc += 1

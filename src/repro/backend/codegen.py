@@ -129,6 +129,7 @@ class WorldCodegen:
             # Ensure unique names for lookup.
             if fn.name in self.program.by_name:
                 fn.name = f"{fn.name}.{cont.gid}"
+            fn.sites["entry"] = cont.unique_name()
             index = self.program.add(fn)
             self._indices[cont] = index
             self._queue.append(cont)
@@ -230,6 +231,11 @@ class FunctionCodegen:
             self._fixups = [(index + offset, fixup)
                             for index, fixup in self._fixups]
         self._apply_fixups()
+        # Site metadata for PGO: block-start pcs keyed back to the source
+        # continuations' stable names (pcs are final after the prologue
+        # shift above).
+        fn.sites["blocks"] = {pc: block.unique_name()
+                              for block, pc in self._block_pcs.items()}
 
     # ------------------------------------------------------------------
     # operands & registers
@@ -656,11 +662,12 @@ class FunctionCodegen:
 class CompiledWorld:
     """A compiled world plus a VM, with Python-typed call/return."""
 
-    def __init__(self, world: World, *, placement: Placement = Placement.SMART):
+    def __init__(self, world: World, *, placement: Placement = Placement.SMART,
+                 profile=None):
         codegen = WorldCodegen(world, placement=placement)
         self.program = codegen.run()
         self.fn_types = codegen.fn_types
-        self.vm = bc.VM(self.program)
+        self.vm = bc.VM(self.program, profile=profile)
 
     def call(self, name: str, *args):
         param_types, result_types = self.fn_types[name]
@@ -704,9 +711,14 @@ def _from_vm_value(value, t: Type):
 
 
 def compile_world(world: World, *,
-                  placement: Placement = Placement.SMART) -> CompiledWorld:
-    """Compile all externals of a CFF world; returns a callable image."""
-    return CompiledWorld(world, placement=placement)
+                  placement: Placement = Placement.SMART,
+                  profile=None) -> CompiledWorld:
+    """Compile all externals of a CFF world; returns a callable image.
+
+    Pass ``profile=`` a :class:`repro.profile.collector.ProfileCollector`
+    to run the image under the instrumented VM dispatch loop.
+    """
+    return CompiledWorld(world, placement=placement, profile=profile)
 
 
 def agg_index_literal(index: Def) -> int:

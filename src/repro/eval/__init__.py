@@ -1,5 +1,11 @@
 """Measurement helpers for the experiment harness (benchmarks/)."""
 
-from .stats import WorldStatsReport, collect_world_stats, source_loc
+from .stats import (
+    WorldStatsReport,
+    collect_world_stats,
+    source_loc,
+    summarize_profile,
+)
 
-__all__ = ["WorldStatsReport", "collect_world_stats", "source_loc"]
+__all__ = ["WorldStatsReport", "collect_world_stats", "source_loc",
+           "summarize_profile"]

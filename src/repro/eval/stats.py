@@ -104,6 +104,32 @@ def collect_world_stats(world: World) -> WorldStatsReport:
     return report
 
 
+def summarize_profile(profile) -> dict:
+    """Headline numbers of a :class:`repro.profile.model.Profile`.
+
+    Used by the F4 experiment tables: how much the training workload
+    exercised, and where the heat concentrated.
+    """
+    call_total = profile.total_call_count()
+    loop_total = profile.total_loop_count()
+    hottest_site = max(profile.call_sites, key=lambda s: s.count,
+                       default=None)
+    hottest_loop = max(profile.loops, key=lambda s: s.count, default=None)
+    return {
+        "functions_entered": len(profile.entries),
+        "activations": sum(profile.entries.values()),
+        "call_sites": len(profile.call_sites),
+        "call_executions": call_total,
+        "loops": len(profile.loops),
+        "loop_iterations": loop_total,
+        "hottest_call_site": None if hottest_site is None else
+            f"{hottest_site.block}->{hottest_site.callee}"
+            f" x{hottest_site.count}",
+        "hottest_loop": None if hottest_loop is None else
+            f"{hottest_loop.header} x{hottest_loop.count}",
+    }
+
+
 def source_loc(source: str) -> int:
     """Non-blank, non-comment source lines (the LoC column of T1)."""
     count = 0

@@ -1,0 +1,278 @@
+"""The :class:`Profile` data model: stable, serializable run-time counts.
+
+A profile is the hand-off between the two phases of PGO: phase one runs
+an instrumented image and fills a :class:`~repro.profile.collector.
+ProfileCollector` with VM-level counters; :meth:`Profile.from_collector`
+resolves those counters against the ``sites`` metadata codegen attached
+to each :class:`~repro.backend.bytecode.VMFunction` and produces records
+keyed by **stable site IDs** — the ``unique_name()`` of the source
+continuation (``name_gid``, deterministic for a given compile).  Phase
+two (:mod:`repro.transform.pgo`) resolves those names back to live
+continuations in the world and steers mangling with the counts.
+
+Everything is plain data: profiles serialize to/from JSON, merge by
+summing counts, and order their records deterministically so that two
+identical runs produce byte-identical serializations (property-tested).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..backend import bytecode as bc
+
+PROFILE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CallSiteProfile:
+    """One executed call/tail-call site, resolved to IR names."""
+
+    function: str   # unique name of the caller's entry continuation
+    block: str      # unique name of the basic block containing the call
+    callee: str     # unique name of the called function's entry
+    count: int
+    tail: bool
+
+    @property
+    def key(self) -> tuple:
+        return (self.function, self.block, self.callee, self.tail)
+
+
+@dataclass(frozen=True)
+class LoopProfile:
+    """One loop header, with its aggregate back-edge count."""
+
+    function: str   # unique name of the enclosing function's entry
+    header: str     # unique name of the loop-header basic block
+    count: int      # total back-edge executions (≈ loop iterations)
+
+    @property
+    def key(self) -> tuple:
+        return (self.function, self.header)
+
+
+@dataclass(frozen=True)
+class EdgeProfile:
+    """One taken block-to-block control-flow edge."""
+
+    function: str
+    src_block: str
+    dst_block: str
+    count: int
+    back: bool      # dst_pc <= src_pc at the VM level
+
+    @property
+    def key(self) -> tuple:
+        return (self.function, self.src_block, self.dst_block, self.back)
+
+
+@dataclass
+class Profile:
+    """Aggregated run-time behaviour of one (or more merged) workloads."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+    call_sites: list[CallSiteProfile] = field(default_factory=list)
+    loops: list[LoopProfile] = field(default_factory=list)
+    edges: list[EdgeProfile] = field(default_factory=list)
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_collector(cls, collector, program: bc.VMProgram,
+                       meta: dict | None = None) -> "Profile":
+        """Resolve VM-level counters against the program's site metadata."""
+        functions = program.functions
+
+        def block_of(findex: int, pc: int) -> str | None:
+            """Label of the block whose range contains *pc*."""
+            blocks = functions[findex].sites["blocks"]
+            best_pc, best = -1, None
+            for start, label in blocks.items():
+                if best_pc < start <= pc:
+                    best_pc, best = start, label
+            return best
+
+        entries: dict[str, int] = {}
+        for findex, count in collector.entries.items():
+            label = functions[findex].sites["entry"]
+            if label is not None:
+                entries[label] = entries.get(label, 0) + count
+
+        call_sites: dict[tuple, int] = {}
+        for (findex, pc), count in collector.calls.items():
+            fn = functions[findex]
+            instr = fn.code[pc]
+            tail = instr[0] == bc.OP_TAILCALL
+            callee = functions[instr[1]].sites["entry"]
+            function = fn.sites["entry"]
+            block = block_of(findex, pc)
+            if function is None or block is None or callee is None:
+                continue
+            key = (function, block, callee, tail)
+            call_sites[key] = call_sites.get(key, 0) + count
+
+        edge_counts: dict[tuple, int] = {}
+        loop_counts: dict[tuple, int] = {}
+        for (findex, src_pc, dst_pc), count in collector.edges.items():
+            fn = functions[findex]
+            function = fn.sites["entry"]
+            src_block = block_of(findex, src_pc)
+            dst_block = fn.sites["blocks"].get(dst_pc)
+            if function is None or src_block is None or dst_block is None:
+                continue
+            back = dst_pc <= src_pc
+            key = (function, src_block, dst_block, back)
+            edge_counts[key] = edge_counts.get(key, 0) + count
+            if back:
+                hkey = (function, dst_block)
+                loop_counts[hkey] = loop_counts.get(hkey, 0) + count
+
+        profile = cls(
+            entries=dict(sorted(entries.items())),
+            call_sites=[
+                CallSiteProfile(function=k[0], block=k[1], callee=k[2],
+                                count=c, tail=k[3])
+                for k, c in call_sites.items()
+            ],
+            loops=[LoopProfile(function=k[0], header=k[1], count=c)
+                   for k, c in loop_counts.items()],
+            edges=[EdgeProfile(function=k[0], src_block=k[1], dst_block=k[2],
+                               count=c, back=k[3])
+                   for k, c in edge_counts.items()],
+            meta=dict(meta or {}),
+        )
+        profile._sort()
+        return profile
+
+    def _sort(self) -> None:
+        self.entries = dict(sorted(self.entries.items()))
+        self.call_sites.sort(key=lambda s: s.key)
+        self.loops.sort(key=lambda s: s.key)
+        self.edges.sort(key=lambda s: s.key)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def total_call_count(self) -> int:
+        return sum(s.count for s in self.call_sites)
+
+    def total_loop_count(self) -> int:
+        return sum(s.count for s in self.loops)
+
+    def hot_call_sites(self, *, min_count: int = 1,
+                       min_fraction: float = 0.0) -> list[CallSiteProfile]:
+        """Call sites at or above both thresholds, hottest first."""
+        total = self.total_call_count()
+        floor = max(min_count, min_fraction * total)
+        hot = [s for s in self.call_sites if s.count >= floor]
+        hot.sort(key=lambda s: (-s.count, s.key))
+        return hot
+
+    def hot_loops(self, *, min_count: int = 1) -> list[LoopProfile]:
+        """Loop headers at or above the threshold, hottest first."""
+        hot = [s for s in self.loops if s.count >= min_count]
+        hot.sort(key=lambda s: (-s.count, s.key))
+        return hot
+
+    # ------------------------------------------------------------------
+    # merging
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Profile") -> "Profile":
+        """A new profile with this one's and *other*'s counts summed."""
+        entries = dict(self.entries)
+        for label, count in other.entries.items():
+            entries[label] = entries.get(label, 0) + count
+
+        def merged(a, b, make):
+            acc: dict[tuple, int] = {}
+            proto: dict[tuple, object] = {}
+            for rec in list(a) + list(b):
+                acc[rec.key] = acc.get(rec.key, 0) + rec.count
+                proto[rec.key] = rec
+            return [make(proto[k], c) for k, c in acc.items()]
+
+        result = Profile(
+            entries=entries,
+            call_sites=merged(
+                self.call_sites, other.call_sites,
+                lambda r, c: CallSiteProfile(r.function, r.block, r.callee,
+                                             c, r.tail)),
+            loops=merged(self.loops, other.loops,
+                         lambda r, c: LoopProfile(r.function, r.header, c)),
+            edges=merged(self.edges, other.edges,
+                         lambda r, c: EdgeProfile(r.function, r.src_block,
+                                                  r.dst_block, c, r.back)),
+            meta={**self.meta, **other.meta},
+        )
+        result._sort()
+        return result
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PROFILE_FORMAT_VERSION,
+            "meta": self.meta,
+            "entries": self.entries,
+            "call_sites": [
+                {"function": s.function, "block": s.block,
+                 "callee": s.callee, "count": s.count, "tail": s.tail}
+                for s in self.call_sites
+            ],
+            "loops": [
+                {"function": s.function, "header": s.header, "count": s.count}
+                for s in self.loops
+            ],
+            "edges": [
+                {"function": s.function, "src_block": s.src_block,
+                 "dst_block": s.dst_block, "count": s.count, "back": s.back}
+                for s in self.edges
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Profile":
+        version = data.get("version", PROFILE_FORMAT_VERSION)
+        if version != PROFILE_FORMAT_VERSION:
+            raise ValueError(f"unsupported profile version {version}")
+        profile = cls(
+            entries=dict(data.get("entries", {})),
+            call_sites=[CallSiteProfile(**rec)
+                        for rec in data.get("call_sites", [])],
+            loops=[LoopProfile(**rec) for rec in data.get("loops", [])],
+            edges=[EdgeProfile(**rec) for rec in data.get("edges", [])],
+            meta=dict(data.get("meta", {})),
+        )
+        profile._sort()
+        return profile
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Profile":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "Profile":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Profile fns={len(self.entries)} "
+                f"call_sites={len(self.call_sites)} loops={len(self.loops)} "
+                f"edges={len(self.edges)}>")

@@ -65,6 +65,11 @@ def inline_small_functions(world: World, *, size_threshold: int = 40,
             break
         if cont.is_external or cont.is_intrinsic() or not cont.has_body():
             continue
+        if not cont.params:
+            # A parameterless target binds nothing: "inlining" it would
+            # clone an isomorphic copy (and re-trigger every round — no
+            # fixed point).  It is already just a block of its caller.
+            continue
         sites, first_class = _call_sites(cont)
         if not sites or first_class:
             continue

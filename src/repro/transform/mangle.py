@@ -205,6 +205,35 @@ def clone(scope: Scope, stats_out: list | None = None) -> Continuation:
     return mangle(scope, {}, (), stats_out)
 
 
+class PeelMangler(Mangler):
+    """A mangler whose copy *never* ties the recursive knot.
+
+    The base mangler redirects self-specializing recursive jumps to the
+    new entry.  For loop peeling we want the opposite: the copy executes
+    the *first* iteration (with the specialized/rewritten values) and
+    every back-edge falls through to the old, generic entry.  Used by the
+    PGO hot-loop specializer (:mod:`repro.transform.pgo`).
+    """
+
+    def _is_self_specializing(self, args: tuple[Def, ...]) -> bool:
+        return False
+
+
+def peel(scope: Scope, spec: dict[Param, Def] | None = None,
+         stats_out: list | None = None) -> Continuation:
+    """Peel one iteration of the scope (optionally specializing params).
+
+    Returns a new entry that runs the entry's body once — with ``spec``
+    substituted, so folding re-fires in the copy — and then continues to
+    the *original* entry on any recursive jump.
+    """
+    mangler = PeelMangler(scope, spec or {})
+    result = mangler.mangle()
+    if stats_out is not None:
+        stats_out.append(mangler.stats)
+    return result
+
+
 def lift(scope: Scope, defs: tuple[Def, ...],
          stats_out: list | None = None) -> Continuation:
     """Abstract the scope over ``defs``: they become new parameters."""

@@ -11,12 +11,45 @@ Mirrors the order the paper's compiler uses:
 5. **lambda dropping** of scope-invariant parameters;
 6. cleanup (jump threading, eta reduction, garbage collection) after
    every step.
+
+All knobs live on :class:`OptimizeOptions`; ``optimize(world,
+options=...)`` threads them through to the individual passes.
+
+Profile-guided mode (experiment F4): ``optimize(world, profile=...)``
+first runs the static rounds to a fixed point, then applies the PGO
+passes (:mod:`repro.transform.pgo`) — hot-loop peeling *before* PGO
+inlining, so peeled loops inside hot callees are carried along by the
+inline copy — and finally re-runs the static rounds to clean up and
+exploit what specialization exposed.  The profile is normally collected
+by :func:`repro.profile.driver.compile_profiled`, the two-phase
+instrument → run → recompile driver.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..core.world import World
 from .cleanup import cleanup
+
+
+@dataclass
+class OptimizeOptions:
+    """Every pipeline knob in one place (shared with the PGO driver)."""
+
+    # static rounds
+    max_rounds: int = 8
+    inline_size_threshold: int = 40
+    inline_budget: int = 256
+    pe_budget: int = 512
+    closure_budget: int = 512
+    drop_budget: int = 256
+    # PGO thresholds (used only when a profile is supplied)
+    pgo_call_min_count: int = 4
+    pgo_hot_call_fraction: float = 0.05
+    pgo_inline_budget: int = 32
+    pgo_loop_min_count: int = 32
+    pgo_loop_budget: int = 16
 
 
 class PipelineStats:
@@ -27,40 +60,85 @@ class PipelineStats:
     def record(self, phase: str, stats: dict) -> None:
         self.details.append((phase, dict(stats)))
 
+    def phases(self) -> list[str]:
+        return [phase for phase, _ in self.details]
 
-def optimize(world: World, *, max_rounds: int = 8) -> PipelineStats:
-    """Run the full pipeline to a fixed point (bounded by *max_rounds*)."""
+
+def _run_static_rounds(world: World, options: OptimizeOptions,
+                       stats: PipelineStats) -> None:
+    """The classic fixed-point loop (bounded by ``options.max_rounds``)."""
     from .closure_elim import eliminate_closures
     from .inliner import inline_small_functions
     from .lambda_dropping import drop_invariant_params
     from .partial_eval import partial_eval
 
-    stats = PipelineStats()
-    stats.record("cleanup", cleanup(world))
-    for _ in range(max_rounds):
+    for _ in range(options.max_rounds):
         stats.rounds += 1
         changed = 0
 
-        pe_stats = partial_eval(world)
+        pe_stats = partial_eval(world, budget=options.pe_budget)
         stats.record("partial_eval", pe_stats)
         changed += pe_stats.get("specialized", 0)
         stats.record("cleanup", cleanup(world))
 
-        ce_stats = eliminate_closures(world)
+        ce_stats = eliminate_closures(world, budget=options.closure_budget)
         stats.record("closure_elim", ce_stats)
         changed += ce_stats.get("mangled", 0)
         stats.record("cleanup", cleanup(world))
 
-        inline_stats = inline_small_functions(world)
+        inline_stats = inline_small_functions(
+            world, size_threshold=options.inline_size_threshold,
+            budget=options.inline_budget)
         stats.record("inline", inline_stats)
         changed += inline_stats.get("inlined", 0)
         stats.record("cleanup", cleanup(world))
 
-        ld_stats = drop_invariant_params(world)
+        ld_stats = drop_invariant_params(world, budget=options.drop_budget)
         stats.record("lambda_drop", ld_stats)
         changed += ld_stats.get("dropped", 0)
         stats.record("cleanup", cleanup(world))
 
         if not changed:
             break
+
+
+def optimize(world: World, *, options: OptimizeOptions | None = None,
+             profile=None, max_rounds: int | None = None) -> PipelineStats:
+    """Run the full pipeline to a fixed point.
+
+    ``options`` bundles every knob; ``max_rounds`` is kept as a direct
+    keyword for convenience and overrides the option of the same name.
+    Passing a :class:`repro.profile.model.Profile` as ``profile``
+    appends the profile-guided phase (see module docstring).
+    """
+    options = options if options is not None else OptimizeOptions()
+    if max_rounds is not None:
+        from dataclasses import replace
+        options = replace(options, max_rounds=max_rounds)
+
+    stats = PipelineStats()
+    stats.record("cleanup", cleanup(world))
+    _run_static_rounds(world, options, stats)
+
+    if profile is not None:
+        from .pgo import pgo_inline, specialize_hot_loops
+
+        loop_stats = specialize_hot_loops(
+            world, profile,
+            min_count=options.pgo_loop_min_count,
+            budget=options.pgo_loop_budget)
+        stats.record("pgo_loops", loop_stats)
+        stats.record("cleanup", cleanup(world))
+
+        inline_stats = pgo_inline(
+            world, profile,
+            min_count=options.pgo_call_min_count,
+            min_fraction=options.pgo_hot_call_fraction,
+            budget=options.pgo_inline_budget)
+        stats.record("pgo_inline", inline_stats)
+        stats.record("cleanup", cleanup(world))
+
+        if (loop_stats.get("loops_peeled", 0)
+                or inline_stats.get("pgo_inlined", 0)):
+            _run_static_rounds(world, options, stats)
     return stats
