@@ -59,12 +59,17 @@ __all__ = [
 
 
 def compile_source(source: str, *, optimize: bool = True,
-                   world_name: str = "module", folding: bool = True):
-    """Compile Impala-lite *source* into a (by default optimized) world."""
+                   world_name: str = "module", folding: bool = True,
+                   options=None):
+    """Compile Impala-lite *source* into a (by default optimized) world.
+
+    ``options`` (an :class:`~repro.transform.pipeline.OptimizeOptions`)
+    is threaded through to the optimization pipeline.
+    """
     from .frontend import compile_source as _compile
 
     return _compile(source, optimize=optimize, world_name=world_name,
-                    folding=folding)
+                    folding=folding, options=options)
 
 
 def run_function(world, name: str, *args, backend: str = "vm"):

@@ -1,10 +1,20 @@
 """IR well-formedness and control-flow-form (CFF) checking.
 
-Two layers:
+Three layers:
 
 * :func:`verify` — structural sanity of a world: jump arities and types,
   intrinsic call shapes, parameter ownership.  Transformations call this
-  in tests after every pass.
+  in tests after every pass.  ``verify(world, full=True)`` additionally
+  runs the deep graph invariants below.
+* :func:`verify_uses` / :func:`verify_scopes` — deep graph invariants:
+  the def↔use edges must agree in both directions; no live def may
+  reference a continuation (or a parameter of a continuation) that a
+  rewrite pruned from the world; every parameter referenced from live
+  code must have a *value-reachable* owner (binder liveness); and the
+  recovered scope of every external function is closed.  These catch
+  the classic mangling bugs: a dangling ``_peel`` target kept alive
+  through an ``EvalOp`` wrapper, or a specialized continuation whose
+  body still points into the scope of its mangled-away original.
 * :func:`cff_violations` / :func:`is_cff` — the paper's *control-flow
   form* criterion.  A program is in CFF when every continuation is
   either a **basic block** (order-1 type: first-order parameters only)
@@ -18,7 +28,7 @@ Two layers:
 
 from __future__ import annotations
 
-from .defs import Continuation, Def, Intrinsic, Param
+from .defs import Continuation, Def, Intrinsic, Param, Use
 from .primops import EvalOp
 from .scope import Scope, top_level_continuations
 from .types import FnType
@@ -35,12 +45,20 @@ def _peel(d: Def) -> Def:
     return d
 
 
-def verify(world: World) -> None:
-    """Check structural well-formedness; raises :class:`VerifyError`."""
+def verify(world: World, *, full: bool = False) -> None:
+    """Check structural well-formedness; raises :class:`VerifyError`.
+
+    With ``full=True``, also run the deep graph invariants
+    (:func:`verify_uses`, :func:`verify_scopes`) — slower, intended for
+    ``verify_each_pass`` pipelines and the fuzzing oracle.
+    """
     for cont in world.continuations():
         _verify_params(cont)
         if cont.has_body():
             _verify_jump(cont)
+    if full:
+        verify_uses(world)
+        verify_scopes(world)
 
 
 def _verify_params(cont: Continuation) -> None:
@@ -104,6 +122,166 @@ def _verify_match(cont: Continuation, callee: Continuation,
             raise VerifyError(
                 f"{cont.unique_name()}: match operand {index} typed "
                 f"{arg.type}, expected {t}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# deep graph invariants: use-lists, dangling defs, scope containment
+# ---------------------------------------------------------------------------
+
+
+def _rooted_continuations(world: World) -> set[Continuation]:
+    """Continuations reachable *as values* from the external roots.
+
+    The walk follows operand edges only — a reference to a parameter
+    does **not** pull its owning continuation in.  A continuation in
+    this set can actually be jumped to at run time; one outside it can
+    never be invoked, so its parameters can never be bound.  Mirrors
+    cleanup's garbage collection: passes may legally leave unreachable
+    garbage behind, so the deep scope checks apply to this set only.
+    """
+    rooted: set[Continuation] = set()
+    queue: list[Continuation] = list(world.externals())
+    seen: set[Def] = set()
+    while queue:
+        cont = queue.pop()
+        if cont in rooted:
+            continue
+        rooted.add(cont)
+        stack: list[Def] = list(cont.ops)
+        while stack:
+            d = stack.pop()
+            if d in seen:
+                continue
+            seen.add(d)
+            if isinstance(d, Continuation):
+                if d not in rooted:
+                    queue.append(d)
+                continue
+            if isinstance(d, Param):
+                continue  # a use of a binder, not a way to invoke it
+            stack.extend(d.ops)
+    return rooted
+
+
+def _reachable_defs(world: World, roots=None) -> list[Def]:
+    """Every def reachable from *roots* (default: all registered
+    continuations) — operands, parameters, and transitive operands
+    thereof — in deterministic order."""
+    seen: dict[Def, None] = {}
+    queue: list[Def] = []
+    for cont in (world.continuations() if roots is None else roots):
+        if cont not in seen:
+            seen[cont] = None
+            queue.append(cont)
+    while queue:
+        d = queue.pop()
+        children = list(d.ops)
+        if isinstance(d, Continuation):
+            children.extend(d.params)
+        for child in children:
+            if child not in seen:
+                seen[child] = None
+                queue.append(child)
+    return list(seen)
+
+
+def verify_uses(world: World) -> None:
+    """Check def↔use edges agree in both directions for the whole graph.
+
+    Every operand edge ``user.ops[i] is d`` must be mirrored by a
+    ``Use(user, i)`` entry in ``d``'s use-list, and every use-list entry
+    must point back at a def that still holds the edge.  A one-sided
+    edge means some rewrite forgot to detach (stale use) or re-attach
+    (lost use) — the root cause of phantom scope members.
+    """
+    for d in _reachable_defs(world):
+        for index, op in enumerate(d.ops):
+            if Use(d, index) not in op._uses:
+                raise VerifyError(
+                    f"{d.unique_name()}: operand {index} "
+                    f"({op.unique_name()}) does not record the use edge"
+                )
+        for use in d.uses:
+            ops = use.user.ops
+            if use.index >= len(ops) or ops[use.index] is not d:
+                raise VerifyError(
+                    f"{d.unique_name()}: stale use by "
+                    f"{use.user.unique_name()} at operand {use.index}"
+                )
+
+
+def verify_scopes(world: World) -> None:
+    """Check that the live program resolves inside the live graph.
+
+    "Live" means value-reachable from the external roots
+    (:func:`_rooted_continuations`): passes may leave unreachable
+    garbage behind (the next cleanup collects it), and garbage is
+    exempt — only code that can actually execute has to resolve.
+
+    * No live def may reference a continuation that was pruned from the
+      world — a dangling ``_peel`` target left behind by a rewrite.
+    * No live def may reference a parameter whose owning continuation is
+      dead or unregistered, or that the owner no longer lists (a
+      ``remove_param``/mangle leftover).
+    * **Binder liveness**: every parameter referenced from live code
+      must be bound by a continuation that live code can invoke — the
+      owner must itself be value-reachable.  A rewrite that redirects
+      calls to a specialized copy but leaves body references into the
+      original's parameters breaks exactly this.
+    * **Closedness of externals**: the recovered scope of an external
+      (bodied) function has no free parameters — everything an entry
+      point depends on is bound within it.  (Scope membership is a
+      use-closure, so this is not implied by the previous checks.)
+    """
+    live = set(world.continuations())
+    rooted = _rooted_continuations(world)
+
+    def check_continuation(d: Continuation, via: Def) -> None:
+        if d not in live and not d.is_intrinsic():
+            raise VerifyError(
+                f"{via.unique_name()}: references continuation "
+                f"{d.unique_name()} that was rewritten away"
+            )
+
+    def check_param(p: Param, via: Def) -> None:
+        owner = p.continuation
+        if owner.is_intrinsic():
+            return
+        if owner not in live:
+            raise VerifyError(
+                f"{via.unique_name()}: references parameter "
+                f"{p.unique_name()} of dead continuation "
+                f"{owner.unique_name()}"
+            )
+        if p.index >= len(owner.params) or owner.params[p.index] is not p:
+            raise VerifyError(
+                f"{via.unique_name()}: references removed parameter "
+                f"{p.unique_name()} of {owner.unique_name()}"
+            )
+        if owner not in rooted:
+            raise VerifyError(
+                f"{via.unique_name()}: references parameter "
+                f"{p.unique_name()} whose owner {owner.unique_name()} "
+                f"is unreachable — the binder can never be invoked"
+            )
+
+    for d in _reachable_defs(world, roots=rooted):
+        for op in d.ops:
+            if isinstance(op, Continuation):
+                check_continuation(op, d)
+            elif isinstance(op, Param):
+                check_param(op, d)
+
+    for cont in world.externals():
+        if not cont.has_body():
+            continue
+        free = Scope(cont).free_params()
+        if free:
+            names = ", ".join(p.unique_name() for p in free[:4])
+            raise VerifyError(
+                f"{cont.unique_name()}: external scope is not closed — "
+                f"free parameter(s) {names}"
             )
 
 

@@ -18,11 +18,14 @@ def compile_to_ast(source: str):
 
 
 def compile_source(source: str, *, optimize: bool = True,
-                   world_name: str = "module", folding: bool = True) -> World:
+                   world_name: str = "module", folding: bool = True,
+                   options=None) -> World:
     """Compile Impala-lite source text into a Thorin world.
 
     ``folding=False`` disables construction-time folding/simplification
-    (ablation A1); value numbering itself stays on.
+    (ablation A1); value numbering itself stays on.  ``options`` is an
+    :class:`~repro.transform.pipeline.OptimizeOptions` threaded through
+    to the pipeline (e.g. ``verify_each_pass=True`` for checked builds).
     """
     module = compile_to_ast(source)
     world = World(world_name, folding=folding)
@@ -30,7 +33,7 @@ def compile_source(source: str, *, optimize: bool = True,
     if optimize:
         from ..transform.pipeline import optimize as run_pipeline
 
-        run_pipeline(world)
+        run_pipeline(world, options=options)
     else:
         from ..transform.cleanup import cleanup
 

@@ -1,0 +1,37 @@
+"""Differential fuzzing for the Thorin reproduction.
+
+Three cooperating pieces (ISSUE 2's generative testing layer):
+
+* :mod:`repro.fuzz.gen` — a seeded, deterministic generator of
+  well-typed Impala-lite programs (scalars, tuples, buffers,
+  higher-order helpers, loops, recursion, branching), with size and
+  feature knobs on :class:`~repro.fuzz.gen.GenConfig`.
+* :mod:`repro.fuzz.oracle` — the differential oracle: every generated
+  program runs through the graph interpreter, the bytecode VM, the
+  C-emitter path and the classical baselines, at every optimization
+  level (none, static ``optimize()``, PGO via ``compile_profiled``),
+  under pass-level IR verification; any output or ``VerifyError``
+  divergence is a failure.
+* :mod:`repro.fuzz.shrink` — an AST-level minimizing shrinker: a
+  failing program is reduced while the failure signature is preserved,
+  and the repro is written to ``tests/corpus/``.
+
+``python -m repro.fuzz --seed 0 --n 500`` runs a campaign from the
+command line (see :mod:`repro.fuzz.cli`).
+"""
+
+from .gen import FuzzProgram, GenConfig, generate_program
+from .oracle import FuzzFailure, OracleConfig, run_oracle
+from .shrink import shrink, shrink_failure, write_repro
+
+__all__ = [
+    "FuzzFailure",
+    "FuzzProgram",
+    "GenConfig",
+    "OracleConfig",
+    "generate_program",
+    "run_oracle",
+    "shrink",
+    "shrink_failure",
+    "write_repro",
+]

@@ -1,0 +1,104 @@
+"""Campaign driver: ``python -m repro.fuzz --seed 0 --n 500``.
+
+Generates ``n`` programs from consecutive seeds, runs each through the
+differential oracle (every execution path at every opt level), and
+reports throughput plus any divergence.  A failing program is shrunk to
+a minimal repro and persisted under ``tests/corpus/`` before the
+campaign continues; the exit code is the number of divergent seeds
+(0 = clean campaign).
+
+Every ``--expr-only-every``-th seed uses the restricted expression-only
+generator so the nested-CPS baseline is exercised too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .gen import GenConfig, generate_program
+from .oracle import OracleConfig, run_oracle
+from .shrink import shrink_failure, write_repro
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing campaign over every backend "
+                    "and optimization level")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="first seed (default 0)")
+    parser.add_argument("--n", type=int, default=100,
+                        help="number of programs (default 100)")
+    parser.add_argument("--expr-only-every", type=int, default=5,
+                        metavar="K",
+                        help="every K-th seed uses the expression-only "
+                             "generator (0 disables; default 5)")
+    parser.add_argument("--no-c", action="store_true",
+                        help="skip the C-emitter path")
+    parser.add_argument("--no-pgo", action="store_true",
+                        help="skip the profile-guided path")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip pass-level IR verification")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
+    parser.add_argument("--corpus", default="tests/corpus",
+                        help="where to write shrunk repros")
+    parser.add_argument("--stop-after", type=int, default=5,
+                        metavar="N",
+                        help="abort the campaign after N divergent "
+                             "seeds (default 5)")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    record: dict = {}
+    expr_cfg = GenConfig(expr_only=True)
+    failures = []
+    started = time.perf_counter()
+
+    for index in range(args.n):
+        seed = args.seed + index
+        expr_only = (args.expr_only_every
+                     and index % args.expr_only_every
+                     == args.expr_only_every - 1)
+        prog = generate_program(seed, expr_cfg if expr_only else None)
+        config = OracleConfig(run_c=not args.no_c,
+                              run_pgo=not args.no_pgo,
+                              verify_each_pass=not args.no_verify,
+                              record=record)
+        failure = run_oracle(prog, config)
+        if failure is not None:
+            failures.append(failure)
+            print(f"seed {seed}: DIVERGENCE", file=sys.stderr)
+            print(failure.describe(), file=sys.stderr)
+            if not args.no_shrink:
+                small = shrink_failure(prog, failure, config)
+                path = write_repro(small, failure, args.corpus)
+                print(f"  shrunk to {len(small.render().splitlines())} "
+                      f"lines -> {path}", file=sys.stderr)
+            if len(failures) >= args.stop_after:
+                print(f"stopping after {len(failures)} divergent seeds",
+                      file=sys.stderr)
+                break
+        if (index + 1) % 50 == 0:
+            elapsed = time.perf_counter() - started
+            print(f"  ... {index + 1}/{args.n} programs, "
+                  f"{(index + 1) / elapsed:.1f} programs/sec")
+
+    elapsed = time.perf_counter() - started
+    checked = index + 1
+    paths = ", ".join(sorted(record.get("paths", ())))
+    print(f"{checked} programs in {elapsed:.1f}s "
+          f"({checked / elapsed:.1f} programs/sec), "
+          f"{len(failures)} divergence(s)")
+    print(f"paths exercised: {paths}")
+    for path, why in sorted(record.get("skipped", {}).items()):
+        print(f"  skipped {path}: {why}")
+    return len(failures)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,953 @@
+"""Seeded random generator of well-typed Impala-lite programs.
+
+The generator builds programs in a small structural AST (the same
+representation the shrinker reduces), then renders them to Impala-lite
+source.  Programs are *total by construction*:
+
+* loop bounds and recursion depths are masked to small ranges;
+* division/modulo right-hand sides are wrapped into a guaranteed
+  non-zero, non-``-1`` guard expression (unless ``allow_traps``);
+* shift amounts are masked to ``& 63`` (the IR's own semantics);
+* buffer indices are masked to the buffer size.
+
+so every backend — including the C-emitter path, where a trap would be
+undefined behaviour — observes the same defined execution.
+
+Determinism: one :class:`random.Random` seeded by the caller drives all
+choices; the same ``(seed, config)`` pair always yields the same
+program, which is what makes campaign failures replayable.
+
+A restricted ``expr_only`` mode generates pure integer expression
+programs that additionally render to the S-expression language of the
+nested-CPS baseline (:mod:`repro.baselines.nested_cps`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+I64 = "i64"
+F64 = "f64"
+BOOL = "bool"
+
+BUF_SIZE = 16  # every buffer is new_buf_i64(16); indices are masked
+
+INT_CMPS = ("==", "!=", "<", "<=", ">", ">=")
+INT_BINOPS = ("+", "-", "*", "&", "|", "^", "<<", ">>", "/", "%")
+FLOAT_BINOPS = ("+", "-", "*", "/")
+BOOL_BINOPS = ("&&", "||", "&", "|", "^")
+
+
+def fn_t(param_types: tuple, ret: str) -> tuple:
+    """A function type as a structural key, e.g. ``("fn", ("i64",), "i64")``."""
+    return ("fn", tuple(param_types), ret)
+
+
+# ---------------------------------------------------------------------------
+# expression nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit:
+    t: str
+    value: object
+
+
+@dataclass(frozen=True)
+class Var:
+    t: object  # str or fn type tuple
+    name: str
+
+
+@dataclass(frozen=True)
+class Bin:
+    t: str
+    op: str
+    lhs: object
+    rhs: object
+
+
+@dataclass(frozen=True)
+class Un:
+    t: str
+    op: str  # "-" or "!"
+    operand: object
+
+
+@dataclass(frozen=True)
+class IfE:
+    t: str
+    cond: object
+    then: object
+    els: object
+
+
+@dataclass(frozen=True)
+class Call:
+    t: str
+    name: str
+    args: tuple
+    pe: bool = False
+
+
+@dataclass(frozen=True)
+class Lam:
+    t: tuple  # fn type
+    params: tuple  # ((name, type), ...)
+    body: object
+
+
+@dataclass(frozen=True)
+class Cast:
+    t: str
+    operand: object
+
+
+@dataclass(frozen=True)
+class Tup:
+    t: tuple  # ("tuple", (elem_t, ...))
+    elems: tuple
+
+
+@dataclass(frozen=True)
+class Field:
+    t: str
+    base: str  # a tuple-typed variable name
+    index: int
+
+
+@dataclass(frozen=True)
+class Index:
+    t: str
+    buf: str
+    index: object  # expression; rendered masked
+
+
+# ---------------------------------------------------------------------------
+# statement nodes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LetS:
+    name: str
+    t: object
+    mut: bool
+    init: object
+
+
+@dataclass(frozen=True)
+class NewBufS:
+    name: str
+
+
+@dataclass(frozen=True)
+class AssignS:
+    name: str
+    op: object  # None for plain "=", else "+", "-", ...
+    value: object
+
+
+@dataclass(frozen=True)
+class StoreS:
+    buf: str
+    index: object
+    value: object
+
+
+@dataclass(frozen=True)
+class ForS:
+    var: str
+    bound: object
+    body: tuple
+
+
+@dataclass(frozen=True)
+class WhileS:
+    ctr: str
+    bound: object
+    body: tuple
+
+
+@dataclass(frozen=True)
+class IfS:
+    cond: object
+    then: tuple
+    els: tuple
+
+
+@dataclass(frozen=True)
+class PrintS:
+    value: object
+
+
+@dataclass(frozen=True)
+class FuzzFn:
+    name: str
+    params: tuple  # ((name, type), ...)
+    ret: str
+    stmts: tuple
+    result: object
+    extern: bool = False
+    recursive: bool = False
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    fns: tuple
+    entry: str
+    arg_sets: tuple  # tuple of argument tuples to call the entry with
+    expr_only: bool = False
+    seed: object = None
+
+    @property
+    def entry_fn(self) -> FuzzFn:
+        for fn in self.fns:
+            if fn.name == self.entry:
+                return fn
+        raise KeyError(self.entry)
+
+    @property
+    def first_order(self) -> bool:
+        """True when nothing fn-typed crosses a function boundary."""
+
+        def expr_first_order(e) -> bool:
+            if isinstance(e, Lam):
+                return False
+            for child in _expr_children(e):
+                if not expr_first_order(child):
+                    return False
+            return True
+
+        for fn in self.fns:
+            if any(isinstance(t, tuple) and t and t[0] == "fn"
+                   for _, t in fn.params):
+                return False
+            for stmt in _walk_stmts(fn.stmts):
+                for e in _stmt_exprs(stmt):
+                    if not expr_first_order(e):
+                        return False
+            if not expr_first_order(fn.result):
+                return False
+        return True
+
+    def render(self) -> str:
+        return render_program(self)
+
+    def to_sexpr(self, args: tuple):
+        """The nested-CPS S-expression form (``expr_only`` programs only)."""
+        assert self.expr_only, "only expr_only programs have an S-expr form"
+        entry = self.entry_fn
+        env = {name: int(value)
+               for (name, _t), value in zip(entry.params, args)}
+        body = _expr_to_sexpr(entry.result, env)
+        for fn in reversed([f for f in self.fns if f.name != self.entry]):
+            body = ("letfun", fn.name, [p for p, _ in fn.params],
+                    _expr_to_sexpr(fn.result, {}), body)
+        return body
+
+
+def _expr_children(e) -> tuple:
+    if isinstance(e, Bin):
+        return (e.lhs, e.rhs)
+    if isinstance(e, (Un, Cast)):
+        return (e.operand,)
+    if isinstance(e, IfE):
+        return (e.cond, e.then, e.els)
+    if isinstance(e, Call):
+        return e.args
+    if isinstance(e, Lam):
+        return (e.body,)
+    if isinstance(e, Tup):
+        return e.elems
+    if isinstance(e, Index):
+        return (e.index,)
+    return ()
+
+
+def _stmt_exprs(stmt) -> tuple:
+    if isinstance(stmt, LetS):
+        return (stmt.init,)
+    if isinstance(stmt, AssignS):
+        return (stmt.value,)
+    if isinstance(stmt, StoreS):
+        return (stmt.index, stmt.value)
+    if isinstance(stmt, (ForS, WhileS)):
+        return (stmt.bound,)
+    if isinstance(stmt, IfS):
+        return (stmt.cond,)
+    if isinstance(stmt, PrintS):
+        return (stmt.value,)
+    return ()
+
+
+def _walk_stmts(stmts):
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, (ForS, WhileS)):
+            yield from _walk_stmts(stmt.body)
+        elif isinstance(stmt, IfS):
+            yield from _walk_stmts(stmt.then)
+            yield from _walk_stmts(stmt.els)
+
+
+def _expr_to_sexpr(e, env: dict):
+    if isinstance(e, Lit):
+        return int(e.value)
+    if isinstance(e, Var):
+        if e.name in env:
+            return env[e.name]
+        return e.name
+    if isinstance(e, Bin):
+        return (e.op, _expr_to_sexpr(e.lhs, env), _expr_to_sexpr(e.rhs, env))
+    if isinstance(e, IfE):
+        return ("if", _expr_to_sexpr(e.cond, env),
+                _expr_to_sexpr(e.then, env), _expr_to_sexpr(e.els, env))
+    if isinstance(e, Call):
+        return ("call", e.name) + tuple(_expr_to_sexpr(a, env) for a in e.args)
+    if isinstance(e, Un) and e.op == "-":
+        return ("-", 0, _expr_to_sexpr(e.operand, env))
+    raise ValueError(f"no S-expr form for {e!r}")
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _render_type(t) -> str:
+    if isinstance(t, tuple):
+        if t[0] == "fn":
+            params = ", ".join(_render_type(p) for p in t[1])
+            return f"fn({params}) -> {_render_type(t[2])}"
+        if t[0] == "tuple":
+            return "(" + ", ".join(_render_type(e) for e in t[1]) + ")"
+        if t[0] == "buf":
+            return f"&[{t[1]}]"
+    return t
+
+
+def render_expr(e) -> str:
+    if isinstance(e, Lit):
+        if e.t == BOOL:
+            return "true" if e.value else "false"
+        if e.t == F64:
+            return repr(float(e.value))
+        value = int(e.value)
+        return f"(-{-value})" if value < 0 else str(value)
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, Bin):
+        return f"({render_expr(e.lhs)} {e.op} {render_expr(e.rhs)})"
+    if isinstance(e, Un):
+        return f"({e.op}{render_expr(e.operand)})"
+    if isinstance(e, IfE):
+        return (f"(if {render_expr(e.cond)} {{ {render_expr(e.then)} }} "
+                f"else {{ {render_expr(e.els)} }})")
+    if isinstance(e, Call):
+        args = ", ".join(render_expr(a) for a in e.args)
+        at = "@" if e.pe else ""
+        return f"{at}{e.name}({args})"
+    if isinstance(e, Lam):
+        params = ", ".join(f"{n}: {_render_type(t)}" for n, t in e.params)
+        return f"|{params}| {render_expr(e.body)}"
+    if isinstance(e, Cast):
+        return f"({render_expr(e.operand)} as {e.t})"
+    if isinstance(e, Tup):
+        return "(" + ", ".join(render_expr(el) for el in e.elems) + ")"
+    if isinstance(e, Field):
+        return f"{e.base}.{e.index}"
+    if isinstance(e, Index):
+        return f"{e.buf}[({render_expr(e.index)}) & {BUF_SIZE - 1}]"
+    raise AssertionError(f"cannot render {e!r}")
+
+
+def _render_stmt(stmt, out: list, indent: int) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, LetS):
+        mut = "mut " if stmt.mut else ""
+        out.append(f"{pad}let {mut}{stmt.name} = {render_expr(stmt.init)};")
+    elif isinstance(stmt, NewBufS):
+        out.append(f"{pad}let {stmt.name} = new_buf_i64({BUF_SIZE});")
+    elif isinstance(stmt, AssignS):
+        op = (stmt.op or "") + "="
+        out.append(f"{pad}{stmt.name} {op} {render_expr(stmt.value)};")
+    elif isinstance(stmt, StoreS):
+        out.append(f"{pad}{stmt.buf}[({render_expr(stmt.index)}) & "
+                   f"{BUF_SIZE - 1}] = {render_expr(stmt.value)};")
+    elif isinstance(stmt, ForS):
+        out.append(f"{pad}for {stmt.var} in 0..(({render_expr(stmt.bound)})"
+                   f" & 7) {{")
+        for inner in stmt.body:
+            _render_stmt(inner, out, indent + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, WhileS):
+        out.append(f"{pad}let mut {stmt.ctr} = ({render_expr(stmt.bound)})"
+                   f" & 7;")
+        out.append(f"{pad}while {stmt.ctr} > 0 {{")
+        out.append(f"{pad}    {stmt.ctr} -= 1;")
+        for inner in stmt.body:
+            _render_stmt(inner, out, indent + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, IfS):
+        out.append(f"{pad}if {render_expr(stmt.cond)} {{")
+        for inner in stmt.then:
+            _render_stmt(inner, out, indent + 1)
+        if stmt.els:
+            out.append(f"{pad}}} else {{")
+            for inner in stmt.els:
+                _render_stmt(inner, out, indent + 1)
+        out.append(f"{pad}}}")
+    elif isinstance(stmt, PrintS):
+        out.append(f"{pad}print_i64({render_expr(stmt.value)});")
+    else:
+        raise AssertionError(f"cannot render {stmt!r}")
+
+
+def render_fn(fn: FuzzFn) -> str:
+    out: list[str] = []
+    params = ", ".join(f"{n}: {_render_type(t)}" for n, t in fn.params)
+    extern = "extern " if fn.extern else ""
+    out.append(f"{extern}fn {fn.name}({params}) -> {fn.ret} {{")
+    for stmt in fn.stmts:
+        _render_stmt(stmt, out, 1)
+    out.append(f"    {render_expr(fn.result)}")
+    out.append("}")
+    return "\n".join(out)
+
+
+def render_program(prog: FuzzProgram) -> str:
+    return "\n".join(render_fn(fn) for fn in prog.fns) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# cost model — a static upper bound on interpreted steps, to keep the
+# (slow) graph-interpreter runs of the oracle bounded
+# ---------------------------------------------------------------------------
+
+LOOP_FACTOR = 8      # loop bounds are masked & 7
+REC_FACTOR = 260     # depth <= 7, <= 2 self-calls/level: < 2**8 activations
+
+
+def _expr_cost(e, fn_costs: dict) -> int:
+    cost = 1
+    if isinstance(e, Call):
+        cost += fn_costs.get(e.name, 1)
+    for child in _expr_children(e):
+        cost += _expr_cost(child, fn_costs)
+    return cost
+
+
+def _stmts_cost(stmts, fn_costs: dict) -> int:
+    cost = 0
+    for stmt in stmts:
+        cost += 1
+        for e in _stmt_exprs(stmt):
+            cost += _expr_cost(e, fn_costs)
+        if isinstance(stmt, (ForS, WhileS)):
+            cost += LOOP_FACTOR * _stmts_cost(stmt.body, fn_costs)
+        elif isinstance(stmt, IfS):
+            cost += max(_stmts_cost(stmt.then, fn_costs),
+                        _stmts_cost(stmt.els, fn_costs))
+    return cost
+
+
+def fn_cost(fn: FuzzFn, fn_costs: dict) -> int:
+    cost = (_stmts_cost(fn.stmts, fn_costs)
+            + _expr_cost(fn.result, fn_costs))
+    if fn.recursive:
+        cost *= REC_FACTOR
+    return cost
+
+
+def program_cost(prog: FuzzProgram) -> int:
+    """Upper bound on dynamic steps of one entry call."""
+    costs: dict[str, int] = {}
+    for fn in prog.fns:
+        costs[fn.name] = fn_cost(fn, costs)
+    return costs[prog.entry]
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GenConfig:
+    """Knobs for program size and feature coverage."""
+
+    max_helpers: int = 3
+    max_stmts: int = 4          # statements per block
+    max_depth: int = 3          # expression nesting
+    max_block_depth: int = 2    # loop/if statement nesting
+    n_arg_sets: int = 2
+    cost_budget: int = 6000     # static bound on interpreted steps
+
+    floats: bool = True
+    tuples: bool = True
+    buffers: bool = True
+    higher_order: bool = True
+    recursion: bool = True
+    loops: bool = True
+    prints: bool = True
+    casts: bool = True
+    pe_calls: bool = True       # sprinkle `@` force-PE call markers
+    allow_traps: bool = False   # unguarded / and % (interp/VM-only configs)
+    expr_only: bool = False     # nested-CPS-compatible pure expressions
+
+
+@dataclass
+class _Ctx:
+    """Generation context: what is in scope, and where we are."""
+
+    env: list                   # [(name, type, mutable)]
+    callables: list             # [FuzzFn] visible helpers
+    rec: object = None          # (fn_name, depth_param, params) if inside
+    rec_budget: int = 0         # self-calls still allowed
+    in_entry: bool = False
+    lam_depth: int = 0
+
+
+_FLOAT_POOL = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.25, 0.125, 10.0, 100.0,
+               0.0625, 7.75, 12.375, 1024.0)
+_INT_POOL = (0, 1, 2, 3, 5, 7, 8, 13, 15, 16, 63, 100, 255, 1000,
+             -1, -2, -7, -100, 4096, 65535, 2**31 - 1, -(2**31))
+
+
+class Gen:
+    def __init__(self, seed, config: GenConfig | None = None):
+        self.rng = random.Random(seed)
+        self.config = config or GenConfig()
+        self.seed = seed
+        self._counter = 0
+
+    def fresh(self, base: str) -> str:
+        self._counter += 1
+        return f"{base}{self._counter}"
+
+    # -- leaves -------------------------------------------------------------
+
+    def int_lit(self) -> Lit:
+        r = self.rng
+        if r.random() < 0.8:
+            return Lit(I64, r.choice(_INT_POOL))
+        return Lit(I64, r.randint(-60, 60))
+
+    def float_lit(self) -> Lit:
+        return Lit(F64, self.rng.choice(_FLOAT_POOL))
+
+    def leaf(self, t, ctx: _Ctx):
+        r = self.rng
+        vars_of_t = [name for name, vt, _m in ctx.env if vt == t]
+        if vars_of_t and r.random() < 0.7:
+            return Var(t, r.choice(vars_of_t))
+        if t == I64:
+            return self.int_lit()
+        if t == F64:
+            return self.float_lit()
+        if t == BOOL:
+            return Lit(BOOL, r.random() < 0.5)
+        raise AssertionError(f"no leaf of type {t}")
+
+    # -- guards -------------------------------------------------------------
+
+    def _div_rhs(self, depth, ctx):
+        """A guaranteed non-zero, non-(-1) divisor: ``(e & 15) + 1``."""
+        if self.config.allow_traps and self.rng.random() < 0.5:
+            return self.expr(I64, depth, ctx)
+        inner = self.expr(I64, depth, ctx)
+        return Bin(I64, "+", Bin(I64, "&", inner, Lit(I64, 15)), Lit(I64, 1))
+
+    def _shift_rhs(self, depth, ctx):
+        return Bin(I64, "&", self.expr(I64, depth, ctx), Lit(I64, 63))
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, t, depth: int, ctx: _Ctx):
+        r = self.rng
+        if depth <= 0:
+            return self.leaf(t, ctx)
+        if t == I64:
+            return self._int_expr(depth, ctx)
+        if t == F64:
+            return self._float_expr(depth, ctx)
+        if t == BOOL:
+            return self._bool_expr(depth, ctx)
+        raise AssertionError(f"cannot generate {t}")
+
+    def _call_to(self, fn: FuzzFn, depth: int, ctx: _Ctx):
+        args = []
+        for index, (_name, pt) in enumerate(fn.params):
+            if fn.recursive and index == 0:
+                # recursion depth argument: mask to keep the call tree small
+                args.append(Bin(I64, "&", self.expr(I64, depth - 1, ctx),
+                                Lit(I64, 7)))
+            elif isinstance(pt, tuple) and pt[0] == "fn":
+                args.append(self._fn_value(pt, ctx))
+            else:
+                args.append(self.expr(pt, depth - 1, ctx))
+        pe = (self.config.pe_calls and not fn.recursive
+              and self.rng.random() < 0.15)
+        return Call(fn.ret, fn.name, tuple(args), pe=pe)
+
+    def _fn_value(self, pt: tuple, ctx: _Ctx):
+        """A lambda literal (or an in-scope fn-typed variable) of type *pt*."""
+        r = self.rng
+        fn_vars = [name for name, vt, _m in ctx.env if vt == pt]
+        if fn_vars and r.random() < 0.4:
+            return Var(pt, r.choice(fn_vars))
+        param_types = pt[1]
+        params = tuple((self.fresh("l"), p) for p in param_types)
+        # The lambda body sees its own params plus captured immutable
+        # scalars from the enclosing scope (the paper's closure motif).
+        # sema forbids capturing loop variables; generated loop vars are
+        # exactly the fresh "i<N>"/"w<N>" names, so filter them by prefix
+        captured = [(n, vt, False) for n, vt, m in ctx.env
+                    if not m and vt in (I64, F64) and ctx.lam_depth == 0
+                    and n[0] not in "iw"]
+        body_ctx = _Ctx(env=[(n, t_, False) for n, t_ in params] + captured,
+                        callables=[], lam_depth=ctx.lam_depth + 1)
+        body = self.expr(pt[2], 2, body_ctx)
+        return Lam(pt, params, body)
+
+    def _int_expr(self, depth: int, ctx: _Ctx):
+        r = self.rng
+        roll = r.random()
+        callables = [f for f in ctx.callables if f.ret == I64]
+        if ctx.rec is not None and ctx.rec_budget > 0 and roll < 0.35:
+            ctx.rec_budget -= 1
+            name, depth_param, params = ctx.rec
+            args = [Bin(I64, "-", Var(I64, depth_param), Lit(I64, 1))]
+            for _n, pt in params[1:]:
+                args.append(self.expr(pt, depth - 1, ctx))
+            return Call(I64, name, tuple(args))
+        if callables and roll < 0.25:
+            return self._call_to(r.choice(callables), depth, ctx)
+        if roll < 0.35:
+            return IfE(I64, self._bool_expr(depth - 1, ctx),
+                       self.expr(I64, depth - 1, ctx),
+                       self.expr(I64, depth - 1, ctx))
+        if self.config.casts and roll < 0.40:
+            return Cast(I64, self._bool_expr(depth - 1, ctx))
+        tuple_vars = [(name, vt) for name, vt, _m in ctx.env
+                      if isinstance(vt, tuple) and vt[0] == "tuple"]
+        if tuple_vars and roll < 0.48:
+            name, vt = r.choice(tuple_vars)
+            return Field(I64, name, r.randrange(len(vt[1])))
+        buf_vars = [name for name, vt, _m in ctx.env if vt == ("buf", I64)]
+        if buf_vars and roll < 0.55:
+            return Index(I64, r.choice(buf_vars),
+                         self.expr(I64, depth - 1, ctx))
+        if roll < 0.62:
+            return Un(I64, "-", self.expr(I64, depth - 1, ctx))
+        op = r.choice(INT_BINOPS)
+        lhs = self.expr(I64, depth - 1, ctx)
+        if op in ("/", "%"):
+            rhs = self._div_rhs(depth - 1, ctx)
+        elif op in ("<<", ">>"):
+            rhs = self._shift_rhs(depth - 1, ctx)
+        else:
+            rhs = self.expr(I64, depth - 1, ctx)
+        return Bin(I64, op, lhs, rhs)
+
+    def _float_expr(self, depth: int, ctx: _Ctx):
+        r = self.rng
+        roll = r.random()
+        callables = [f for f in ctx.callables if f.ret == F64]
+        if callables and roll < 0.2:
+            return self._call_to(r.choice(callables), depth, ctx)
+        if roll < 0.3:
+            fn = r.choice(("sqrt", "fabs", "floor"))
+            return Call(F64, fn, (self.expr(F64, depth - 1, ctx),))
+        if self.config.casts and roll < 0.42:
+            return Cast(F64, self.expr(I64, depth - 1, ctx))
+        if roll < 0.5:
+            return IfE(F64, self._bool_expr(depth - 1, ctx),
+                       self.expr(F64, depth - 1, ctx),
+                       self.expr(F64, depth - 1, ctx))
+        op = r.choice(FLOAT_BINOPS)
+        return Bin(F64, op, self.expr(F64, depth - 1, ctx),
+                   self.expr(F64, depth - 1, ctx))
+
+    def _bool_expr(self, depth: int, ctx: _Ctx):
+        r = self.rng
+        roll = r.random()
+        if depth <= 0:
+            return self.leaf(BOOL, ctx)
+        if roll < 0.55:
+            cmp_t = F64 if (self.config.floats and r.random() < 0.25) else I64
+            return Bin(BOOL, r.choice(INT_CMPS),
+                       self.expr(cmp_t, depth - 1, ctx),
+                       self.expr(cmp_t, depth - 1, ctx))
+        if roll < 0.7:
+            return Un(BOOL, "!", self._bool_expr(depth - 1, ctx))
+        op = r.choice(BOOL_BINOPS)
+        return Bin(BOOL, op, self._bool_expr(depth - 1, ctx),
+                   self._bool_expr(depth - 1, ctx))
+
+    # -- statements ---------------------------------------------------------
+
+    def stmts(self, ctx: _Ctx, n: int, block_depth: int) -> tuple:
+        out = []
+        for _ in range(n):
+            out.append(self.stmt(ctx, block_depth))
+        return tuple(out)
+
+    def stmt(self, ctx: _Ctx, block_depth: int):
+        r = self.rng
+        cfg = self.config
+        roll = r.random()
+        mut_scalars = [(name, vt) for name, vt, m in ctx.env
+                       if m and vt in (I64, F64)]
+        buf_vars = [name for name, vt, _m in ctx.env if vt == ("buf", I64)]
+        if cfg.loops and block_depth > 0 and roll < 0.22:
+            if r.random() < 0.5:
+                var = self.fresh("i")
+                bound = self.expr(I64, 1, ctx)
+                body_ctx = replace_env(ctx, ctx.env + [(var, I64, False)])
+                body = self.stmts(body_ctx, r.randint(1, 2), block_depth - 1)
+                return ForS(var, bound, body)
+            ctr = self.fresh("w")
+            bound = self.expr(I64, 1, ctx)
+            # the counter is readable but never an assignment target:
+            # the renderer's own `ctr -= 1` is the only mutation, which
+            # is what guarantees termination
+            body_ctx = replace_env(ctx, ctx.env + [(ctr, I64, False)])
+            body = self.stmts(body_ctx, r.randint(1, 2), block_depth - 1)
+            return WhileS(ctr, bound, body)
+        if block_depth > 0 and roll < 0.32:
+            cond = self._bool_expr(cfg.max_depth - 1, ctx)
+            then = self.stmts(replace_env(ctx, list(ctx.env)),
+                              r.randint(1, 2), block_depth - 1)
+            els = (self.stmts(replace_env(ctx, list(ctx.env)), 1,
+                              block_depth - 1)
+                   if r.random() < 0.6 else ())
+            return IfS(cond, then, els)
+        if mut_scalars and roll < 0.5:
+            name, vt = r.choice(mut_scalars)
+            ops = ("+", "-", "*", None) if vt == F64 \
+                else ("+", "-", "*", "&", "|", "^", None)
+            return AssignS(name, r.choice(ops),
+                           self.expr(vt, cfg.max_depth - 1, ctx))
+        if buf_vars and roll < 0.62:
+            return StoreS(r.choice(buf_vars),
+                          self.expr(I64, 1, ctx),
+                          self.expr(I64, cfg.max_depth - 1, ctx))
+        if cfg.prints and ctx.in_entry and roll < 0.68:
+            return PrintS(self.expr(I64, cfg.max_depth - 1, ctx))
+        # default: a let binding, growing the environment
+        if cfg.tuples and ctx.in_entry and r.random() < 0.2:
+            name = self.fresh("t")
+            elems = tuple(self.expr(I64, cfg.max_depth - 1, ctx)
+                          for _ in range(r.randint(2, 3)))
+            t = ("tuple", tuple(I64 for _ in elems))
+            ctx.env.append((name, t, False))
+            return LetS(name, t, False, Tup(t, elems))
+        name = self.fresh("v")
+        vt = F64 if (cfg.floats and r.random() < 0.25) else I64
+        if r.random() < 0.25:
+            vt_b = BOOL
+            init = self._bool_expr(cfg.max_depth - 1, ctx)
+            ctx.env.append((name, vt_b, False))
+            return LetS(name, vt_b, False, init)
+        mut = r.random() < 0.5
+        init = self.expr(vt, cfg.max_depth, ctx)
+        ctx.env.append((name, vt, mut))
+        return LetS(name, vt, mut, init)
+
+    # -- functions ----------------------------------------------------------
+
+    def helper(self, index: int, existing: list) -> FuzzFn:
+        r = self.rng
+        cfg = self.config
+        kind_roll = r.random()
+        if cfg.recursion and kind_roll < 0.3:
+            return self._recursive_helper(existing)
+        if cfg.higher_order and kind_roll < 0.55:
+            return self._higher_order_helper(existing)
+        return self._simple_helper(existing)
+
+    def _simple_helper(self, existing: list) -> FuzzFn:
+        r = self.rng
+        cfg = self.config
+        name = self.fresh("h")
+        n_params = r.randint(1, 3)
+        ret = F64 if (cfg.floats and r.random() < 0.2) else I64
+        params = []
+        for _ in range(n_params):
+            pt = F64 if (cfg.floats and r.random() < 0.2) else I64
+            params.append((self.fresh("x"), pt))
+        params = tuple(params)
+        ctx = _Ctx(env=[(n, t, False) for n, t in params],
+                   callables=[f for f in existing if not f.recursive])
+        stmts = self.stmts(ctx, r.randint(0, 2), 1)
+        result = self.expr(ret, cfg.max_depth, ctx)
+        return FuzzFn(name, params, ret, stmts, result)
+
+    def _recursive_helper(self, existing: list) -> FuzzFn:
+        r = self.rng
+        cfg = self.config
+        name = self.fresh("rec")
+        depth_param = self.fresh("d")
+        params = [(depth_param, I64)]
+        for _ in range(r.randint(1, 2)):
+            params.append((self.fresh("x"), I64))
+        params = tuple(params)
+        ctx = _Ctx(env=[(n, t, False) for n, t in params],
+                   callables=[f for f in existing
+                              if not f.recursive and f.ret == I64],
+                   rec=(name, depth_param, params), rec_budget=2)
+        base = self.expr(I64, 2, _Ctx(env=list(ctx.env), callables=[]))
+        rec_expr = self.expr(I64, cfg.max_depth, ctx)
+        if ctx.rec_budget == 2:
+            # force at least one self-call so recursion is actually covered
+            ctx.rec_budget -= 1
+            args = [Bin(I64, "-", Var(I64, depth_param), Lit(I64, 1))]
+            for _n, pt in params[1:]:
+                args.append(Var(pt, params[1][0]))
+            rec_expr = Bin(I64, "+", rec_expr, Call(I64, name, tuple(args)))
+        result = IfE(I64, Bin(BOOL, "<=", Var(I64, depth_param), Lit(I64, 0)),
+                     base, rec_expr)
+        return FuzzFn(name, params, I64, (), result, recursive=True)
+
+    def _higher_order_helper(self, existing: list) -> FuzzFn:
+        r = self.rng
+        cfg = self.config
+        name = self.fresh("hof")
+        ft = fn_t(tuple(I64 for _ in range(r.randint(1, 2))), I64)
+        params = [(self.fresh("f"), ft)]
+        for _ in range(r.randint(1, 2)):
+            params.append((self.fresh("x"), I64))
+        params = tuple(params)
+        ctx = _Ctx(env=[(n, t, False) for n, t in params],
+                   callables=[f for f in existing if not f.recursive])
+        fname = params[0][0]
+        stmts = self.stmts(ctx, r.randint(0, 1), 1)
+        # the body applies f at least once, possibly inside a loop
+        call_args = tuple(self.expr(I64, 2, ctx) for _ in ft[1])
+        applied = Call(I64, fname, call_args)
+        if cfg.loops and r.random() < 0.5:
+            acc = self.fresh("v")
+            var = self.fresh("i")
+            loop_ctx_env = ctx.env + [(var, I64, False)]
+            inner = tuple(self.expr(I64, 1,
+                                    replace_env(ctx, loop_ctx_env))
+                          for _ in ft[1])
+            stmts = stmts + (
+                LetS(acc, I64, True, applied),
+                ForS(var, self.expr(I64, 1, ctx),
+                     (AssignS(acc, "+", Call(I64, fname, inner)),)),
+            )
+            result = Var(I64, acc)
+        else:
+            result = Bin(I64, "+", applied, self.expr(I64, 2, ctx))
+        return FuzzFn(name, params, I64, stmts, result)
+
+    # -- whole programs -----------------------------------------------------
+
+    def entry(self, helpers: list) -> FuzzFn:
+        r = self.rng
+        cfg = self.config
+        params = (("a", I64), ("b", I64))
+        env = [(n, t, False) for n, t in params]
+        ctx = _Ctx(env=env, callables=list(helpers), in_entry=True)
+        stmts: tuple = ()
+        if cfg.buffers and r.random() < 0.5:
+            buf = self.fresh("buf")
+            env.append((buf, ("buf", I64), False))
+            stmts = (NewBufS(buf),)
+        stmts = stmts + self.stmts(ctx, r.randint(1, cfg.max_stmts),
+                                   cfg.max_block_depth)
+        result = self.expr(I64, cfg.max_depth, ctx)
+        return FuzzFn("fz", params, I64, stmts, result, extern=True)
+
+    def program(self) -> FuzzProgram:
+        if self.config.expr_only:
+            return self._expr_only_program()
+        r = self.rng
+        cfg = self.config
+        # Deterministic rejection sampling on the cost bound: the rng
+        # stream just advances, so the same seed still yields the same
+        # final program.
+        for _attempt in range(6):
+            helpers: list[FuzzFn] = []
+            for index in range(r.randint(0, cfg.max_helpers)):
+                helpers.append(self.helper(index, helpers))
+            entry = self.entry(helpers)
+            prog = FuzzProgram(tuple(helpers) + (entry,), "fz",
+                               self._arg_sets(), seed=self.seed)
+            if program_cost(prog) <= cfg.cost_budget:
+                return prog
+        # Fallback: a trivially cheap program (still a valid test case).
+        entry = FuzzFn("fz", (("a", I64), ("b", I64)), I64, (),
+                       Bin(I64, "+", Var(I64, "a"), Var(I64, "b")),
+                       extern=True)
+        return FuzzProgram((entry,), "fz", self._arg_sets(), seed=self.seed)
+
+    def _arg_sets(self) -> tuple:
+        r = self.rng
+        sets = []
+        for _ in range(self.config.n_arg_sets):
+            sets.append((r.randint(-9, 13), r.randint(-9, 13)))
+        return tuple(sets)
+
+    # -- expr_only mode (nested-CPS compatible) -----------------------------
+
+    def _pure_expr(self, depth: int, env: list, callables: list):
+        r = self.rng
+        if depth <= 0:
+            if env and r.random() < 0.6:
+                return Var(I64, r.choice(env))
+            return Lit(I64, r.randint(-20, 20))
+        roll = r.random()
+        if callables and roll < 0.25:
+            fn = r.choice(callables)
+            args = tuple(self._pure_expr(depth - 1, env, callables)
+                         for _ in fn.params)
+            return Call(I64, fn.name, args)
+        if roll < 0.45:
+            cond = Bin(BOOL, r.choice(INT_CMPS),
+                       self._pure_expr(depth - 1, env, callables),
+                       self._pure_expr(depth - 1, env, callables))
+            return IfE(I64, cond,
+                       self._pure_expr(depth - 1, env, callables),
+                       self._pure_expr(depth - 1, env, callables))
+        op = r.choice(("+", "-", "*", "/", "%"))
+        lhs = self._pure_expr(depth - 1, env, callables)
+        if op in ("/", "%"):
+            rhs = Lit(I64, r.randint(1, 16))
+        else:
+            rhs = self._pure_expr(depth - 1, env, callables)
+        return Bin(I64, op, lhs, rhs)
+
+    def _expr_only_program(self) -> FuzzProgram:
+        r = self.rng
+        cfg = self.config
+        helpers: list[FuzzFn] = []
+        for _ in range(r.randint(0, 2)):
+            name = self.fresh("g")
+            params = tuple((self.fresh("p"), I64)
+                           for _ in range(r.randint(1, 2)))
+            body = self._pure_expr(cfg.max_depth, [n for n, _ in params],
+                                   list(helpers))
+            helpers.append(FuzzFn(name, params, I64, (), body))
+        params = (("a", I64), ("b", I64))
+        result = self._pure_expr(cfg.max_depth, [n for n, _ in params],
+                                 helpers)
+        entry = FuzzFn("fz", params, I64, (), result, extern=True)
+        return FuzzProgram(tuple(helpers) + (entry,), "fz",
+                           self._arg_sets(), expr_only=True, seed=self.seed)
+
+
+def replace_env(ctx: _Ctx, env: list) -> _Ctx:
+    return _Ctx(env=env, callables=ctx.callables, rec=ctx.rec,
+                rec_budget=ctx.rec_budget, in_entry=ctx.in_entry,
+                lam_depth=ctx.lam_depth)
+
+
+def generate_program(seed, config: GenConfig | None = None) -> FuzzProgram:
+    """The one-call entry point: a deterministic program for *seed*."""
+    return Gen(seed, config).program()

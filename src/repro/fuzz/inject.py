@@ -1,0 +1,60 @@
+"""A deliberately wrong transformation, for exercising the shrinker.
+
+``drop_one_argument`` is a mangler misuse: it picks a call site
+``caller → callee(args)`` of an ordinary bodied continuation, mangles
+the callee with one ``i64`` parameter *specialized to literal 0* (as if
+the pass had proven the argument constant), and redirects the call site
+to the specialized copy **without the dropped argument**.  The result
+is perfectly well-formed IR — it passes the structural, use-list and
+scope verifiers, and stays in control-flow form — but is semantically
+wrong whenever the dropped argument was not actually 0 at run time.
+
+That combination (type-correct, verifier-clean, output-divergent) is
+exactly what only a *differential* oracle can catch, which is what the
+shrinker test uses it for.
+"""
+
+from __future__ import annotations
+
+from ..core import types as ct
+from ..core.defs import Continuation
+from ..core.primops import Literal
+from ..core.scope import Scope
+from ..core.world import World
+from ..transform.mangle import drop
+
+
+def drop_one_argument(world: World, *, target: str | None = None) -> str | None:
+    """Break one call site; returns a description or ``None`` if no site.
+
+    ``target`` restricts the damage to call sites whose callee has that
+    name.  The first eligible site in deterministic world order is hit:
+    the callee must be a bodied, non-intrinsic, non-external
+    continuation and the argument must be an ``i64`` that is not
+    already literally 0 (so the rewrite is guaranteed to be a change).
+    """
+    for caller in world.continuations():
+        if not caller.has_body():
+            continue
+        callee = caller.callee
+        if not isinstance(callee, Continuation):
+            continue
+        if (not callee.has_body() or callee.is_intrinsic()
+                or callee.is_external):
+            continue
+        if target is not None and callee.name != target:
+            continue
+        for index, param in enumerate(callee.params):
+            if param.type != ct.I64:
+                continue
+            arg = caller.arg(index)
+            if isinstance(arg, Literal) and arg.value == 0:
+                continue
+            specialized = drop(Scope(callee),
+                               {param: world.literal(ct.I64, 0)})
+            new_args = caller.args[:index] + caller.args[index + 1:]
+            caller.jump(specialized, new_args)
+            return (f"dropped argument {index} of "
+                    f"{callee.unique_name()} at call site "
+                    f"{caller.unique_name()}")
+    return None

@@ -1,0 +1,385 @@
+"""The differential oracle.
+
+A generated program (:class:`~repro.fuzz.gen.FuzzProgram`) is executed
+through every available path and the observations are compared:
+
+==============  ========================================================
+path            what runs
+==============  ========================================================
+``none``        graph interpreter on the unoptimized world (this is the
+                *reference* — construction-time folding only)
+``static``      interpreter **and** bytecode VM on a world optimized by
+                the standard pipeline (``optimize()``)
+``pgo``         interpreter and VM on a world optimized by the two-phase
+                profile-guided driver (``compile_profiled``), trained on
+                the program's own argument sets
+``c``           the C emitter's output for the statically optimized
+                world, compiled with the system C compiler and executed
+``ssa``         the classical CFG+SSA baseline (first-order programs)
+``cps``         the nested-CPS baseline (expression-only programs)
+==============  ========================================================
+
+Each observation is the pair *(result, print output)*; traps are
+normalized to a sentinel so "both paths trap" still agrees.  Optimized
+compiles run under ``OptimizeOptions(verify_each_pass=True)``, so an IR
+invariant broken by a single pass surfaces as a
+:class:`~repro.transform.pipeline.PassVerifyError` attributed to that
+pass — reported as a divergence like any output mismatch.
+
+``run_oracle`` returns ``None`` on agreement or a :class:`FuzzFailure`
+describing the first divergence.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..backend.codegen import CompiledWorld, compile_world
+from ..backend.c_emitter import emit_c
+from ..backend.interp import Interpreter, InterpError
+from ..backend import bytecode as bc
+from ..core import fold
+from ..core.verify import VerifyError, cff_violations, verify
+from ..frontend import compile_source
+from ..transform.pipeline import OptimizeOptions, PassVerifyError
+from .gen import FuzzProgram
+
+TRAP = "<trap>"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one execution of the entry point looked like."""
+
+    result: object
+    output: str = ""
+
+
+@dataclass
+class FuzzFailure:
+    """One divergence found by the oracle.
+
+    ``stage`` names the path/phase that disagreed (e.g. ``"vm(static)"``,
+    ``"verify(pgo)"``, ``"c-run"``); the pair ``(stage, kind)`` is the
+    *signature* the shrinker preserves while minimizing.
+    """
+
+    seed: object
+    stage: str
+    message: str
+    args: tuple | None = None
+    expected: object = None
+    got: object = None
+    source: str = ""
+
+    @property
+    def signature(self) -> tuple:
+        return (self.stage,)
+
+    def describe(self) -> str:
+        lines = [f"[{self.stage}] {self.message}"]
+        if self.args is not None:
+            lines.append(f"  args     = {self.args}")
+        if self.expected is not None or self.got is not None:
+            lines.append(f"  expected = {self.expected}")
+            lines.append(f"  got      = {self.got}")
+        if self.seed is not None:
+            lines.append(f"  seed     = {self.seed}")
+        return "\n".join(lines)
+
+
+@dataclass
+class OracleConfig:
+    """Which paths run and how (all on by default)."""
+
+    run_vm: bool = True
+    run_c: bool = True
+    run_pgo: bool = True
+    run_ssa: bool = True
+    run_cps: bool = True
+    verify_each_pass: bool = True
+    cc: str = "gcc"
+    # -fwrapv: match the IR's two's-complement wrapping; -fno-builtin:
+    # keep the compiler from pattern-matching our arithmetic into
+    # library calls with different edge-case behaviour.
+    cc_flags: tuple = ("-O1", "-fwrapv", "-fno-builtin")
+    cc_timeout: float = 60.0
+    run_timeout: float = 60.0
+    # Step bound for the graph interpreter: generated programs are
+    # cost-bounded far below this, so hitting it means a transformation
+    # manufactured divergence-by-nontermination — observed as a trap
+    # rather than a hang.
+    interp_max_steps: int = 2_000_000
+    # ``record`` collects which paths actually ran (and which were
+    # skipped and why) — campaign-level coverage reporting.
+    record: dict = field(default_factory=dict)
+
+
+def _options(config: OracleConfig) -> OptimizeOptions:
+    return OptimizeOptions(verify_each_pass=config.verify_each_pass)
+
+
+def _run_interp(world, entry: str, arg_sets,
+                max_steps: int = 2_000_000) -> list[Observation]:
+    obs = []
+    for args in arg_sets:
+        interp = Interpreter(world, max_steps=max_steps)
+        try:
+            result = interp.call(entry, *args)
+            obs.append(Observation(result, "".join(interp.output)))
+        except (InterpError, fold.EvalError):
+            obs.append(Observation(TRAP, "".join(interp.output)))
+    return obs
+
+
+def _run_vm(compiled: CompiledWorld, entry: str, arg_sets) -> list[Observation]:
+    obs = []
+    for args in arg_sets:
+        mark = len(compiled.vm.output)
+        try:
+            result = compiled.call(entry, *args)
+            obs.append(Observation(result,
+                                   "".join(compiled.vm.output[mark:])))
+        except bc.VMError:
+            obs.append(Observation(TRAP, "".join(compiled.vm.output[mark:])))
+    return obs
+
+
+def _compare(stage: str, prog: FuzzProgram, reference: list[Observation],
+             candidate: list[Observation], *,
+             outputs: bool = True) -> FuzzFailure | None:
+    for args, ref, got in zip(prog.arg_sets, reference, candidate):
+        if ref.result != got.result:
+            return FuzzFailure(prog.seed, stage, "result divergence",
+                               args=args, expected=ref.result,
+                               got=got.result, source=prog.render())
+        if outputs and ref.output != got.output:
+            return FuzzFailure(prog.seed, stage, "print-output divergence",
+                               args=args, expected=ref.output,
+                               got=got.output, source=prog.render())
+    return None
+
+
+def _c_driver(prog: FuzzProgram) -> str:
+    """A ``main`` that runs every argument set with ``\\x1f`` markers.
+
+    stdout becomes ``out0 \\x1f res0 \\x1f out1 \\x1f res1 \\x1f ...`` —
+    print output never contains the marker (digits and ``-`` only), so a
+    split recovers each observation exactly.
+    """
+    lines = ["int main(void) {"]
+    for index, args in enumerate(prog.arg_sets):
+        call_args = ", ".join(f"{a}ll" for a in args)
+        lines.append(f"    int64_t r{index} = {prog.entry}({call_args});")
+        lines.append(f'    printf("\\x1f%lld\\x1f", (long long)r{index});')
+    lines.append("    return 0;")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _run_c(world, prog: FuzzProgram,
+           config: OracleConfig) -> list[Observation] | str | None:
+    """Compile+run the C emission; ``None`` = skipped, ``str`` = error."""
+    if shutil.which(config.cc) is None:
+        return None
+    try:
+        csrc = emit_c(world)
+    except Exception as exc:  # an emitter crash is itself a finding
+        return f"emit_c failed: {exc}"
+    csrc = csrc + "\n\n" + _c_driver(prog) + "\n"
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        cfile = Path(tmp) / "prog.c"
+        exe = Path(tmp) / "prog"
+        cfile.write_text(csrc)
+        try:
+            built = subprocess.run(
+                [config.cc, *config.cc_flags, str(cfile), "-o", str(exe),
+                 "-lm"],
+                capture_output=True, text=True, timeout=config.cc_timeout)
+        except subprocess.TimeoutExpired:
+            return f"{config.cc} timed out"
+        if built.returncode != 0:
+            return f"{config.cc} rejected the emission: {built.stderr[:500]}"
+        try:
+            ran = subprocess.run([str(exe)], capture_output=True, text=True,
+                                 timeout=config.run_timeout)
+        except subprocess.TimeoutExpired:
+            return "compiled binary timed out"
+        if ran.returncode != 0:
+            return f"compiled binary exited with {ran.returncode}"
+    parts = ran.stdout.split("\x1f")
+    # out0, res0, out1, res1, ..., trailing ""
+    if len(parts) != 2 * len(prog.arg_sets) + 1:
+        return f"malformed C output ({len(parts)} marker fields)"
+    obs = []
+    for index in range(len(prog.arg_sets)):
+        output = parts[2 * index]
+        result = int(parts[2 * index + 1])
+        obs.append(Observation(result, output))
+    return obs
+
+
+def run_oracle(prog: FuzzProgram,
+               config: OracleConfig | None = None) -> FuzzFailure | None:
+    """Differentially test *prog*; ``None`` means every path agreed."""
+    config = config if config is not None else OracleConfig()
+    record = config.record
+    record.setdefault("paths", set())
+    record.setdefault("skipped", {})
+    source = prog.render()
+
+    def ran(path):
+        record["paths"].add(path)
+
+    def skipped(path, why):
+        record["skipped"][path] = why
+
+    # --- reference: unoptimized world, graph interpreter ---------------
+    try:
+        world_ref = compile_source(source, optimize=False)
+    except Exception as exc:
+        return FuzzFailure(prog.seed, "compile(none)",
+                           f"generated program failed to compile: {exc}",
+                           source=source)
+    try:
+        verify(world_ref, full=True)
+    except VerifyError as exc:
+        return FuzzFailure(prog.seed, "verify(none)", str(exc), source=source)
+    reference = _run_interp(world_ref, prog.entry, prog.arg_sets,
+                           config.interp_max_steps)
+    ran("interp(none)")
+
+    # --- static optimization -------------------------------------------
+    try:
+        world_opt = compile_source(source, options=_options(config))
+    except PassVerifyError as exc:
+        return FuzzFailure(prog.seed, "verify(static)", str(exc),
+                           source=source)
+    except Exception as exc:
+        return FuzzFailure(prog.seed, "compile(static)", str(exc),
+                           source=source)
+    failure = _compare("interp(static)", prog, reference,
+                       _run_interp(world_opt, prog.entry, prog.arg_sets,
+                                   config.interp_max_steps))
+    if failure is not None:
+        return failure
+    ran("interp(static)")
+
+    compiled_static = None
+    if config.run_vm:
+        residual = cff_violations(world_opt)
+        if residual:
+            return FuzzFailure(prog.seed, "cff(static)",
+                               f"not in control-flow form: {residual[:3]}",
+                               source=source)
+        try:
+            compiled_static = compile_world(world_opt)
+        except Exception as exc:
+            return FuzzFailure(prog.seed, "codegen(static)", str(exc),
+                               source=source)
+        failure = _compare("vm(static)", prog, reference,
+                           _run_vm(compiled_static, prog.entry,
+                                   prog.arg_sets))
+        if failure is not None:
+            return failure
+        ran("vm(static)")
+
+    # --- C emission of the statically optimized world ------------------
+    if config.run_c:
+        if any(obs.result == TRAP for obs in reference):
+            skipped("c", "reference traps; C would be undefined")
+        else:
+            c_obs = _run_c(world_opt, prog, config)
+            if c_obs is None:
+                skipped("c", f"{config.cc} not available")
+            elif isinstance(c_obs, str):
+                return FuzzFailure(prog.seed, "c-run", c_obs, source=source)
+            else:
+                failure = _compare("c(static)", prog, reference, c_obs)
+                if failure is not None:
+                    return failure
+                ran("c(static)")
+
+    # --- profile-guided optimization -----------------------------------
+    if config.run_pgo:
+        from ..profile.driver import compile_profiled
+
+        try:
+            world_pgo = compile_source(source, optimize=False)
+
+            def workload(compiled):
+                for args in prog.arg_sets:
+                    try:
+                        compiled.call(prog.entry, *args)
+                    except bc.VMError:
+                        pass
+
+            compiled_pgo, _profile, _stats = compile_profiled(
+                world_pgo, workload, options=_options(config))
+        except PassVerifyError as exc:
+            return FuzzFailure(prog.seed, "verify(pgo)", str(exc),
+                               source=source)
+        except Exception as exc:
+            return FuzzFailure(prog.seed, "compile(pgo)", str(exc),
+                               source=source)
+        failure = _compare("interp(pgo)", prog, reference,
+                           _run_interp(world_pgo, prog.entry, prog.arg_sets,
+                                       config.interp_max_steps))
+        if failure is not None:
+            return failure
+        ran("interp(pgo)")
+        failure = _compare("vm(pgo)", prog, reference,
+                           _run_vm(compiled_pgo, prog.entry, prog.arg_sets))
+        if failure is not None:
+            return failure
+        ran("vm(pgo)")
+
+    # --- classical baselines -------------------------------------------
+    if config.run_ssa and prog.first_order:
+        from ..baselines.ssa import BaselineError, CompiledSSA, \
+            compile_source_ssa
+
+        try:
+            module = compile_source_ssa(source)
+            compiled_ssa = CompiledSSA(module)
+        except BaselineError as exc:
+            skipped("ssa", f"baseline limitation: {exc}")
+        except Exception as exc:
+            return FuzzFailure(prog.seed, "compile(ssa)", str(exc),
+                               source=source)
+        else:
+            obs = []
+            for args in prog.arg_sets:
+                try:
+                    obs.append(Observation(compiled_ssa.call(prog.entry,
+                                                             *args)))
+                except bc.VMError:
+                    obs.append(Observation(TRAP))
+            # the SSA image shares the VM but not the print plumbing
+            # used above, so compare results only
+            failure = _compare("ssa", prog, reference, obs, outputs=False)
+            if failure is not None:
+                return failure
+            ran("ssa")
+
+    if config.run_cps and prog.expr_only:
+        from ..baselines.nested_cps.convert import cps_convert_expr
+        from ..baselines.nested_cps.interp import CPSRuntimeError, evaluate
+
+        obs = []
+        for args in prog.arg_sets:
+            try:
+                raw = evaluate(cps_convert_expr(prog.to_sexpr(args)))
+                obs.append(Observation(fold.to_signed(raw, 64)))
+            except CPSRuntimeError:
+                obs.append(Observation(TRAP))
+        failure = _compare("cps", prog, reference, obs, outputs=False)
+        if failure is not None:
+            return failure
+        ran("cps")
+
+    return None

@@ -1,0 +1,238 @@
+"""AST-level minimizing shrinker for failing fuzz programs.
+
+The shrinker never touches source text: it reduces the structural AST
+of :mod:`repro.fuzz.gen` with a greedy fixed-point loop over single-edit
+reductions, re-checking after each edit that the *failure signature*
+still reproduces.  Every reduction is smaller by construction, so the
+loop terminates; reductions that break the program (e.g. removing a
+``let`` whose name is still used) simply fail the predicate — usually
+as a ``compile(none)`` oracle stage that differs from the original
+signature — and are discarded.
+
+Reduction classes, tried in decreasing order of expected payoff:
+
+1. drop all but one argument set;
+2. remove a whole helper function;
+3. remove a statement (at any nesting depth);
+4. hoist a block's body over its ``for``/``while``/``if`` header;
+5. replace an expression with a same-typed operand of itself;
+6. replace an expression with a trivial literal.
+
+``shrink_failure`` wires the predicate to the differential oracle;
+``write_repro`` persists the minimized program (plus its provenance as
+``//`` comments) under ``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+from .gen import (
+    BOOL,
+    F64,
+    I64,
+    Bin,
+    Call,
+    Cast,
+    ForS,
+    FuzzProgram,
+    IfE,
+    IfS,
+    Index,
+    Lam,
+    Lit,
+    Tup,
+    Un,
+    WhileS,
+    _expr_children,
+)
+from .oracle import FuzzFailure, OracleConfig, run_oracle
+
+DEFAULT_MAX_ATTEMPTS = 4000
+
+
+def _type_of(e):
+    return e.t
+
+
+def _trivial(t):
+    """The smallest closed expression of type *t* (``None`` if none)."""
+    if t == I64:
+        return Lit(I64, 0)
+    if t == F64:
+        return Lit(F64, 0.0)
+    if t == BOOL:
+        return Lit(BOOL, False)
+    if isinstance(t, tuple) and t and t[0] == "tuple":
+        elems = tuple(_trivial(et) for et in t[1])
+        if any(e is None for e in elems):
+            return None
+        return Tup(t, elems)
+    return None  # fn types and buffers have no closed literal
+
+
+def _expr_variants(e):
+    """Strictly smaller same-typed replacements for *e*, biggest first."""
+    for child in _expr_children(e):
+        if _type_of(child) == _type_of(e):
+            yield child
+    trivial = _trivial(_type_of(e))
+    if trivial is not None and trivial != e:
+        yield trivial
+    # one-child-reduced rebuilds
+    if isinstance(e, Bin):
+        for v in _expr_variants(e.lhs):
+            yield replace(e, lhs=v)
+        for v in _expr_variants(e.rhs):
+            yield replace(e, rhs=v)
+    elif isinstance(e, (Un, Cast)):
+        for v in _expr_variants(e.operand):
+            yield replace(e, operand=v)
+    elif isinstance(e, IfE):
+        for v in _expr_variants(e.cond):
+            yield replace(e, cond=v)
+        for v in _expr_variants(e.then):
+            yield replace(e, then=v)
+        for v in _expr_variants(e.els):
+            yield replace(e, els=v)
+    elif isinstance(e, Call):
+        for index, arg in enumerate(e.args):
+            for v in _expr_variants(arg):
+                yield replace(e, args=e.args[:index] + (v,)
+                              + e.args[index + 1:])
+    elif isinstance(e, Lam):
+        for v in _expr_variants(e.body):
+            yield replace(e, body=v)
+    elif isinstance(e, Tup):
+        for index, elem in enumerate(e.elems):
+            for v in _expr_variants(elem):
+                yield replace(e, elems=e.elems[:index] + (v,)
+                              + e.elems[index + 1:])
+    elif isinstance(e, Index):
+        for v in _expr_variants(e.index):
+            yield replace(e, index=v)
+
+
+def _stmt_expr_variants(stmt):
+    """*stmt* with exactly one of its expression slots reduced."""
+    from .gen import AssignS, LetS, PrintS, StoreS
+
+    if isinstance(stmt, LetS):
+        for v in _expr_variants(stmt.init):
+            yield replace(stmt, init=v)
+    elif isinstance(stmt, AssignS):
+        for v in _expr_variants(stmt.value):
+            yield replace(stmt, value=v)
+    elif isinstance(stmt, StoreS):
+        for v in _expr_variants(stmt.index):
+            yield replace(stmt, index=v)
+        for v in _expr_variants(stmt.value):
+            yield replace(stmt, value=v)
+    elif isinstance(stmt, (ForS, WhileS)):
+        for v in _expr_variants(stmt.bound):
+            yield replace(stmt, bound=v)
+    elif isinstance(stmt, IfS):
+        for v in _expr_variants(stmt.cond):
+            yield replace(stmt, cond=v)
+    elif isinstance(stmt, PrintS):
+        for v in _expr_variants(stmt.value):
+            yield replace(stmt, value=v)
+
+
+def _stmt_list_variants(stmts: tuple):
+    """Strictly smaller variants of a statement list (any nesting depth)."""
+    for index, stmt in enumerate(stmts):
+        before, after = stmts[:index], stmts[index + 1:]
+        yield before + after  # drop the statement outright
+        if isinstance(stmt, (ForS, WhileS)):
+            yield before + stmt.body + after  # hoist over the loop header
+            for body in _stmt_list_variants(stmt.body):
+                yield before + (replace(stmt, body=body),) + after
+        elif isinstance(stmt, IfS):
+            yield before + stmt.then + after
+            yield before + stmt.els + after
+            for then in _stmt_list_variants(stmt.then):
+                yield before + (replace(stmt, then=then),) + after
+            for els in _stmt_list_variants(stmt.els):
+                yield before + (replace(stmt, els=els),) + after
+        for reduced in _stmt_expr_variants(stmt):
+            yield before + (reduced,) + after
+
+
+def _with_fn(prog: FuzzProgram, index: int, fn) -> FuzzProgram:
+    return replace(prog, fns=prog.fns[:index] + (fn,)
+                   + prog.fns[index + 1:])
+
+
+def _variants(prog: FuzzProgram):
+    """All single-edit reductions of *prog*, best-payoff classes first."""
+    if len(prog.arg_sets) > 1:
+        yield replace(prog, arg_sets=prog.arg_sets[:1])
+    for fn in prog.fns:
+        if fn.name != prog.entry:
+            yield replace(prog, fns=tuple(f for f in prog.fns
+                                          if f is not fn))
+    for index, fn in enumerate(prog.fns):
+        for stmts in _stmt_list_variants(fn.stmts):
+            yield _with_fn(prog, index, replace(fn, stmts=stmts))
+        for result in _expr_variants(fn.result):
+            yield _with_fn(prog, index, replace(fn, result=result))
+
+
+def shrink(prog: FuzzProgram, predicate, *,
+           max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> FuzzProgram:
+    """Greedily minimize *prog* while ``predicate(candidate)`` holds.
+
+    *predicate* returns True when the candidate still exhibits the
+    original failure; an exception from the predicate counts as False.
+    The input program itself is assumed to satisfy the predicate.
+    """
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _variants(prog):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            try:
+                still_failing = bool(predicate(candidate))
+            except Exception:
+                still_failing = False
+            if still_failing:
+                prog = candidate
+                improved = True
+                break
+    return prog
+
+
+def shrink_failure(prog: FuzzProgram, failure: FuzzFailure,
+                   config: OracleConfig | None = None, *,
+                   max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> FuzzProgram:
+    """Minimize *prog* preserving *failure*'s oracle signature."""
+    base = config if config is not None else OracleConfig()
+
+    def predicate(candidate: FuzzProgram) -> bool:
+        cfg = replace(base, record={})
+        observed = run_oracle(candidate, cfg)
+        return (observed is not None
+                and observed.signature == failure.signature)
+
+    return shrink(prog, predicate, max_attempts=max_attempts)
+
+
+def write_repro(prog: FuzzProgram, failure: FuzzFailure,
+                directory: str | Path = "tests/corpus") -> Path:
+    """Write the minimized program (with provenance) to *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stage = "".join(c if c.isalnum() else "-" for c in failure.stage)
+    seed = "unknown" if prog.seed is None else prog.seed
+    path = directory / f"repro-{stage}-seed{seed}.impala"
+    header = [
+        f"// fuzz repro: stage {failure.stage} ({failure.message})",
+        f"// seed {seed}; entry {prog.entry}; args {list(prog.arg_sets)}",
+    ]
+    path.write_text("\n".join(header) + "\n" + prog.render() + "\n")
+    return path

@@ -53,8 +53,13 @@ class ClosureEliminator:
         self.cache: dict[tuple, Continuation] = {}
         self.mangled = 0
         self.cache_hits = 0
-        # Scopes are invalidated by every mangle; recomputed lazily per
-        # round.
+        # Scope cache, invalidated after every successful mangle: a
+        # specialized copy that burns a caller parameter in becomes a
+        # member of the caller's scope, so a scope computed before the
+        # mangle understates membership — and the Mangler would then
+        # share (instead of copy) a continuation that is no longer
+        # closed, leaving the copy returning through the original's
+        # parameters.
         self._scopes: dict[Continuation, Scope] = {}
 
     def run(self) -> dict[str, int]:
@@ -67,6 +72,7 @@ class ClosureEliminator:
                     break
                 if cont.has_body() and self._lower_site(cont):
                     progress = True
+                    self._scopes.clear()
         return {
             "mangled": self.mangled,
             "cache_hits": self.cache_hits,

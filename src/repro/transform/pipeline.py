@@ -15,6 +15,14 @@ Mirrors the order the paper's compiler uses:
 All knobs live on :class:`OptimizeOptions`; ``optimize(world,
 options=...)`` threads them through to the individual passes.
 
+Pass-level checking (``OptimizeOptions(verify_each_pass=True)``): the
+full IR verifier (structural + use-list + scope invariants) runs after
+every phase, and the first broken invariant is attributed — via
+:class:`PassVerifyError` — to the pass that introduced it.  At pipeline
+exit the control-flow-form criterion is asserted and any residual
+violations (e.g. first-class callees closure elimination failed to
+remove) are reported in ``PipelineStats.cff_residual``.
+
 Profile-guided mode (experiment F4): ``optimize(world, profile=...)``
 first runs the static rounds to a fixed point, then applies the PGO
 passes (:mod:`repro.transform.pgo`) — hot-loop peeling *before* PGO
@@ -50,18 +58,62 @@ class OptimizeOptions:
     pgo_inline_budget: int = 32
     pgo_loop_min_count: int = 32
     pgo_loop_budget: int = 16
+    # Pass-level checking: run the full IR verifier (structural checks,
+    # use-list consistency, scope containment) after every phase, and
+    # assert control-flow form at pipeline exit.  A failure raises
+    # :class:`PassVerifyError` naming the pass that broke the invariant.
+    verify_each_pass: bool = False
+
+
+class PassVerifyError(Exception):
+    """A pipeline pass broke an IR invariant.
+
+    Wraps the underlying :class:`~repro.core.verify.VerifyError` and
+    attributes it: ``phase`` is the pass that ran immediately before the
+    first failed check, ``round`` the static round it ran in (0 for the
+    leading cleanup and the PGO phases).
+    """
+
+    def __init__(self, phase: str, round_: int, cause: Exception):
+        super().__init__(
+            f"IR invariant broken after pass {phase!r} (round {round_}): "
+            f"{cause}"
+        )
+        self.phase = phase
+        self.round = round_
+        self.cause = cause
 
 
 class PipelineStats:
     def __init__(self) -> None:
         self.rounds = 0
         self.details: list[tuple[str, dict]] = []
+        # Residual control-flow-form violations at pipeline exit
+        # (populated only under ``verify_each_pass``; empty = CFF).
+        self.cff_residual: list[str] = []
 
     def record(self, phase: str, stats: dict) -> None:
         self.details.append((phase, dict(stats)))
 
     def phases(self) -> list[str]:
         return [phase for phase, _ in self.details]
+
+
+def _check_pass(world: World, options: OptimizeOptions,
+                stats: PipelineStats, phase: str) -> None:
+    """Under ``verify_each_pass``, verify the world after *phase*.
+
+    The first broken invariant is attributed to the pass that just ran —
+    the phases before it all verified clean.
+    """
+    if not options.verify_each_pass:
+        return
+    from ..core.verify import VerifyError, verify
+
+    try:
+        verify(world, full=True)
+    except VerifyError as exc:
+        raise PassVerifyError(phase, stats.rounds, exc) from exc
 
 
 def _run_static_rounds(world: World, options: OptimizeOptions,
@@ -79,24 +131,32 @@ def _run_static_rounds(world: World, options: OptimizeOptions,
         pe_stats = partial_eval(world, budget=options.pe_budget)
         stats.record("partial_eval", pe_stats)
         changed += pe_stats.get("specialized", 0)
+        _check_pass(world, options, stats, "partial_eval")
         stats.record("cleanup", cleanup(world))
+        _check_pass(world, options, stats, "cleanup(partial_eval)")
 
         ce_stats = eliminate_closures(world, budget=options.closure_budget)
         stats.record("closure_elim", ce_stats)
         changed += ce_stats.get("mangled", 0)
+        _check_pass(world, options, stats, "closure_elim")
         stats.record("cleanup", cleanup(world))
+        _check_pass(world, options, stats, "cleanup(closure_elim)")
 
         inline_stats = inline_small_functions(
             world, size_threshold=options.inline_size_threshold,
             budget=options.inline_budget)
         stats.record("inline", inline_stats)
         changed += inline_stats.get("inlined", 0)
+        _check_pass(world, options, stats, "inline")
         stats.record("cleanup", cleanup(world))
+        _check_pass(world, options, stats, "cleanup(inline)")
 
         ld_stats = drop_invariant_params(world, budget=options.drop_budget)
         stats.record("lambda_drop", ld_stats)
         changed += ld_stats.get("dropped", 0)
+        _check_pass(world, options, stats, "lambda_drop")
         stats.record("cleanup", cleanup(world))
+        _check_pass(world, options, stats, "cleanup(lambda_drop)")
 
         if not changed:
             break
@@ -118,6 +178,7 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
 
     stats = PipelineStats()
     stats.record("cleanup", cleanup(world))
+    _check_pass(world, options, stats, "cleanup(initial)")
     _run_static_rounds(world, options, stats)
 
     if profile is not None:
@@ -128,7 +189,9 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
             min_count=options.pgo_loop_min_count,
             budget=options.pgo_loop_budget)
         stats.record("pgo_loops", loop_stats)
+        _check_pass(world, options, stats, "pgo_loops")
         stats.record("cleanup", cleanup(world))
+        _check_pass(world, options, stats, "cleanup(pgo_loops)")
 
         inline_stats = pgo_inline(
             world, profile,
@@ -136,9 +199,29 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
             min_fraction=options.pgo_hot_call_fraction,
             budget=options.pgo_inline_budget)
         stats.record("pgo_inline", inline_stats)
+        _check_pass(world, options, stats, "pgo_inline")
         stats.record("cleanup", cleanup(world))
+        _check_pass(world, options, stats, "cleanup(pgo_inline)")
 
         if (loop_stats.get("loops_peeled", 0)
                 or inline_stats.get("pgo_inlined", 0)):
             _run_static_rounds(world, options, stats)
+
+    if options.verify_each_pass:
+        # Control-flow form is the pipeline's exit contract: closure
+        # elimination promises that a CFG+SSA backend can lower the
+        # residual program.  Record what is left over and fail loudly if
+        # anything (in particular a first-class callee) survived.
+        from ..core.verify import VerifyError, cff_violations
+
+        stats.cff_residual = cff_violations(world)
+        if stats.cff_residual:
+            summary = "; ".join(stats.cff_residual[:4])
+            raise PassVerifyError(
+                "pipeline-exit(cff)", stats.rounds,
+                VerifyError(
+                    f"{len(stats.cff_residual)} control-flow-form "
+                    f"violation(s) at pipeline exit: {summary}"
+                ),
+            )
     return stats

@@ -1,0 +1,208 @@
+"""Hypothesis properties for the scalar semantics in ``core/fold.py``.
+
+``fold`` is the single source of truth shared by the constant folder,
+the graph interpreter, the bytecode VM and the C emitter — the
+differential fuzzer compares those *against each other*, so this file
+pins the reference itself against an **independent model**: plain
+Python integer arithmetic on mathematical values, masked to two's
+complement.  Covered, per the ISSUE: the full int/bool operator table,
+division/modulo edge cases (trap on zero, INT_MIN/-1, truncation
+toward zero, sign of remainder) and overflow wrapping.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import fold
+from repro.core import types as ct
+from repro.core.primops import ArithKind, CmpRel
+
+INT_TYPES = [ct.I8, ct.I16, ct.I32, ct.I64, ct.U8, ct.U16, ct.U32, ct.U64]
+SIGNED_TYPES = [t for t in INT_TYPES if t.is_signed]
+UNSIGNED_TYPES = [t for t in INT_TYPES if not t.is_signed]
+INT_OPS = [ArithKind.ADD, ArithKind.SUB, ArithKind.MUL, ArithKind.AND,
+           ArithKind.OR, ArithKind.XOR, ArithKind.SHL, ArithKind.SHR,
+           ArithKind.DIV, ArithKind.REM]
+BOOL_OPS = [ArithKind.AND, ArithKind.OR, ArithKind.XOR]
+RELS = [CmpRel.EQ, CmpRel.NE, CmpRel.LT, CmpRel.LE, CmpRel.GT, CmpRel.GE]
+
+raw = st.integers(0, 2**64 - 1)
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+def _sig(value: int, width: int) -> int:
+    return value - (1 << width) if value >= 1 << (width - 1) else value
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """C-style truncating division on mathematical integers."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _model(kind: ArithKind, a: int, b: int, width: int, signed: bool) -> int:
+    """Independent two's-complement model on canonical unsigned values."""
+    if kind is ArithKind.ADD:
+        return _mask(a + b, width)
+    if kind is ArithKind.SUB:
+        return _mask(a - b, width)
+    if kind is ArithKind.MUL:
+        return _mask(a * b, width)
+    if kind is ArithKind.AND:
+        return a & b
+    if kind is ArithKind.OR:
+        return a | b
+    if kind is ArithKind.XOR:
+        return a ^ b
+    if kind is ArithKind.SHL:
+        return _mask(a << (b % width), width)
+    if kind is ArithKind.SHR:
+        amount = b % width
+        return _mask((_sig(a, width) if signed else a) >> amount, width)
+    if b == 0:
+        raise ZeroDivisionError
+    if signed:
+        sa, sb = _sig(a, width), _sig(b, width)
+        q = _trunc_div(sa, sb)
+        if kind is ArithKind.DIV:
+            return _mask(q, width)
+        return _mask(sa - q * sb, width)
+    return a // b if kind is ArithKind.DIV else a % b
+
+
+class TestFullIntTable:
+    @pytest.mark.parametrize("prim", INT_TYPES, ids=str)
+    @given(a=raw, b=raw)
+    def test_every_op_matches_the_model(self, prim, a, b):
+        width = prim.bitwidth
+        a, b = _mask(a, width), _mask(b, width)
+        for kind in INT_OPS:
+            try:
+                want = _model(kind, a, b, width, prim.is_signed)
+            except ZeroDivisionError:
+                with pytest.raises(fold.EvalError):
+                    fold.arith(kind, prim, a, b)
+                continue
+            got = fold.arith(kind, prim, a, b)
+            assert got == want, (kind, prim, a, b)
+            # every result stays in the canonical unsigned range
+            assert 0 <= got < (1 << width), (kind, prim, a, b)
+
+    @pytest.mark.parametrize("prim", INT_TYPES, ids=str)
+    @given(a=raw, b=raw)
+    def test_shift_amount_is_masked_to_width(self, prim, a, b):
+        width = prim.bitwidth
+        a = _mask(a, width)
+        for kind in (ArithKind.SHL, ArithKind.SHR):
+            assert fold.arith(kind, prim, a, _mask(b, width)) \
+                == fold.arith(kind, prim, a, _mask(b, width) % width)
+
+
+class TestDivisionEdgeCases:
+    @pytest.mark.parametrize("prim", INT_TYPES, ids=str)
+    @given(a=raw)
+    def test_division_by_zero_traps(self, prim, a):
+        a = _mask(a, prim.bitwidth)
+        for kind in (ArithKind.DIV, ArithKind.REM):
+            with pytest.raises(fold.EvalError):
+                fold.arith(kind, prim, a, 0)
+
+    @pytest.mark.parametrize("prim", SIGNED_TYPES, ids=str)
+    def test_int_min_over_minus_one_wraps_to_int_min(self, prim):
+        width = prim.bitwidth
+        int_min = 1 << (width - 1)  # canonical form of -2**(w-1)
+        minus_one = _mask(-1, width)
+        assert fold.arith(ArithKind.DIV, prim, int_min, minus_one) == int_min
+        assert fold.arith(ArithKind.REM, prim, int_min, minus_one) == 0
+
+    @pytest.mark.parametrize("prim", SIGNED_TYPES, ids=str)
+    @given(a=raw, b=raw)
+    def test_signed_divmod_laws(self, prim, a, b):
+        width = prim.bitwidth
+        a, b = _mask(a, width), _mask(b, width)
+        sa, sb = _sig(a, width), _sig(b, width)
+        if sb == 0:
+            return
+        q = _sig(fold.arith(ArithKind.DIV, prim, a, b), width)
+        r = _sig(fold.arith(ArithKind.REM, prim, a, b), width)
+        # Euclid holds modulo 2**w (exactly, except the INT_MIN/-1 wrap)
+        assert _mask(q * sb + r, width) == a
+        # remainder takes the sign of the dividend and is bounded
+        assert r == 0 or (r < 0) == (sa < 0)
+        assert abs(r) < abs(sb)
+        # quotient truncates toward zero (undefined only for the wrap)
+        if not (sa == -(1 << (width - 1)) and sb == -1):
+            assert q == _trunc_div(sa, sb)
+
+    @pytest.mark.parametrize("prim", UNSIGNED_TYPES, ids=str)
+    @given(a=raw, b=raw)
+    def test_unsigned_divmod_laws(self, prim, a, b):
+        width = prim.bitwidth
+        a, b = _mask(a, width), _mask(b, width)
+        if b == 0:
+            return
+        q = fold.arith(ArithKind.DIV, prim, a, b)
+        r = fold.arith(ArithKind.REM, prim, a, b)
+        assert q * b + r == a
+        assert 0 <= r < b
+
+
+class TestOverflowWrapping:
+    @pytest.mark.parametrize("prim", SIGNED_TYPES, ids=str)
+    def test_boundary_wraps(self, prim):
+        width = prim.bitwidth
+        int_max = (1 << (width - 1)) - 1
+        int_min_c = 1 << (width - 1)
+        one = 1
+        # MAX + 1 == MIN; MIN - 1 == MAX; MIN * -1 == MIN
+        assert fold.arith(ArithKind.ADD, prim, int_max, one) == int_min_c
+        assert fold.arith(ArithKind.SUB, prim, int_min_c, one) == int_max
+        assert fold.arith(ArithKind.MUL, prim, int_min_c,
+                          _mask(-1, width)) == int_min_c
+
+    @pytest.mark.parametrize("prim", INT_TYPES, ids=str)
+    @given(a=raw, b=raw)
+    def test_add_sub_roundtrip(self, prim, a, b):
+        width = prim.bitwidth
+        a, b = _mask(a, width), _mask(b, width)
+        s = fold.arith(ArithKind.ADD, prim, a, b)
+        assert fold.arith(ArithKind.SUB, prim, s, b) == a
+
+
+class TestBoolTable:
+    def test_exhaustive_against_python(self):
+        for a in (False, True):
+            for b in (False, True):
+                assert fold.arith(ArithKind.AND, ct.BOOL, a, b) == (a and b)
+                assert fold.arith(ArithKind.OR, ct.BOOL, a, b) == (a or b)
+                assert fold.arith(ArithKind.XOR, ct.BOOL, a, b) == (a != b)
+                for rel, py in ((CmpRel.EQ, a == b), (CmpRel.NE, a != b),
+                                (CmpRel.LT, a < b), (CmpRel.LE, a <= b),
+                                (CmpRel.GT, a > b), (CmpRel.GE, a >= b)):
+                    assert fold.compare(rel, ct.BOOL, a, b) == py
+
+    def test_results_are_bools(self):
+        for kind in BOOL_OPS:
+            assert fold.arith(kind, ct.BOOL, True, False) in (True, False)
+
+
+class TestCompareTable:
+    @pytest.mark.parametrize("prim", INT_TYPES, ids=str)
+    @given(a=raw, b=raw)
+    def test_full_relational_table(self, prim, a, b):
+        width = prim.bitwidth
+        a, b = _mask(a, width), _mask(b, width)
+        if prim.is_signed:
+            va, vb = _sig(a, width), _sig(b, width)
+        else:
+            va, vb = a, b
+        table = {CmpRel.EQ: va == vb, CmpRel.NE: va != vb,
+                 CmpRel.LT: va < vb, CmpRel.LE: va <= vb,
+                 CmpRel.GT: va > vb, CmpRel.GE: va >= vb}
+        for rel, want in table.items():
+            assert fold.compare(rel, prim, a, b) == want, (rel, prim, a, b)

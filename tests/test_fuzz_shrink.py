@@ -1,0 +1,118 @@
+"""The minimizing shrinker, driven by a known-bad injected pass.
+
+``drop_one_argument`` (a mangler misuse that specializes an ``i64``
+parameter to literal 0 and drops the corresponding argument) produces
+verifier-clean but semantically wrong IR.  The shrinker must reduce a
+generated program that the injection breaks down to a tiny repro —
+the ISSUE requires at most ten lines — while the failure keeps
+reproducing, and persist it under a corpus directory.
+"""
+
+from __future__ import annotations
+
+from repro import compile_source
+from repro.backend.interp import Interpreter, InterpError
+from repro.core import fold
+from repro.fuzz import generate_program, shrink, write_repro
+from repro.fuzz.gen import FuzzFn, FuzzProgram, Var
+from repro.fuzz.inject import drop_one_argument
+from repro.fuzz.oracle import TRAP, FuzzFailure
+
+SEED = 24  # known to have an internal call site the injection can hit
+MAX_STEPS = 200_000  # the injection can manufacture infinite loops
+
+
+def _results(world, prog):
+    out = []
+    for args in prog.arg_sets:
+        interp = Interpreter(world, max_steps=MAX_STEPS)
+        try:
+            out.append(interp.call(prog.entry, *args))
+        except (InterpError, fold.EvalError):
+            out.append(TRAP)
+    return out
+
+
+def _broken_by_injection(prog) -> bool:
+    """True iff ``drop_one_argument`` changes the program's results."""
+    source = prog.render()
+    reference = _results(compile_source(source, optimize=False), prog)
+    world = compile_source(source, optimize=False)
+    if drop_one_argument(world) is None:
+        return False
+    return _results(world, prog) != reference
+
+
+class TestShrinkKnownBadPass:
+    def test_shrinks_to_small_repro(self):
+        prog = generate_program(SEED)
+        assert _broken_by_injection(prog), (
+            "seed no longer exercises the injected pass; pick another")
+        original_lines = len(prog.render().splitlines())
+
+        shrunk = shrink(prog, _broken_by_injection)
+
+        shrunk_lines = len(shrunk.render().splitlines())
+        assert shrunk_lines <= 10, shrunk.render()
+        assert shrunk_lines <= original_lines
+        # the minimized program still exhibits the failure
+        assert _broken_by_injection(shrunk)
+        # and is still a complete, runnable program
+        world = compile_source(shrunk.render(), optimize=False)
+        Interpreter(world).call(shrunk.entry, *shrunk.arg_sets[0])
+
+    def test_shrink_keeps_program_when_nothing_smaller_fails(self):
+        # A predicate only the exact original satisfies: shrink must
+        # return the input unchanged (every variant is rejected).
+        prog = generate_program(0)
+        rendered = prog.render()
+        out = shrink(prog, lambda cand: cand.render() == rendered,
+                     max_attempts=200)
+        assert out.render() == rendered
+
+    def test_predicate_exception_counts_as_not_failing(self):
+        prog = generate_program(0)
+        calls = []
+
+        def predicate(cand):
+            calls.append(cand)
+            raise RuntimeError("predicate blew up")
+
+        out = shrink(prog, predicate, max_attempts=50)
+        assert out.render() == prog.render()
+        assert calls  # variants were actually tried
+
+
+class TestInjectedPass:
+    def test_no_call_site_returns_none(self):
+        entry = FuzzFn("fz", (("a", "i64"), ("b", "i64")), "i64", (),
+                       Var("i64", "a"), extern=True)
+        prog = FuzzProgram((entry,), "fz", ((1, 2),), seed="tiny")
+        world = compile_source(prog.render(), optimize=False)
+        assert drop_one_argument(world) is None
+
+    def test_injection_is_verifier_clean(self):
+        from repro.core.verify import verify
+
+        prog = generate_program(SEED)
+        world = compile_source(prog.render(), optimize=False)
+        assert drop_one_argument(world) is not None
+        verify(world, full=True)  # must not raise: the bug is semantic
+
+
+class TestWriteRepro:
+    def test_writes_repro_with_provenance(self, tmp_path):
+        prog = generate_program(SEED)
+        shrunk = shrink(prog, _broken_by_injection)
+        failure = FuzzFailure(SEED, "interp(static)", "result divergence",
+                              args=shrunk.arg_sets[0], expected=1, got=2,
+                              source=shrunk.render())
+        path = write_repro(shrunk, failure, directory=tmp_path)
+        assert path.exists()
+        text = path.read_text()
+        assert text.startswith("// fuzz repro: stage interp(static)")
+        assert f"seed {SEED}" in text
+        # the body after the header is the minimized source verbatim
+        body = "\n".join(line for line in text.splitlines()
+                         if not line.startswith("//"))
+        assert body.strip() == shrunk.render().strip()

@@ -173,6 +173,32 @@ fn main() -> i64 { make(5)(6) }
         assert cff_violations(world) == []
         assert Interpreter(world).call("main") == 11
 
+    def test_stale_scope_cache_regression(self):
+        # Found by the differential fuzzer (seed 291, minimized by the
+        # shrinker).  Specializing ``hof`` burns ``h``'s return
+        # parameter into the copy, which makes the copy a member of
+        # ``h``'s scope; a later specialization of ``h`` in the same
+        # round then must *copy* it, not share it.  With a stale scope
+        # cache the copy was shared and returned through the original
+        # ``h``'s parameter — an unbound parameter at run time.
+        from repro.transform.pipeline import OptimizeOptions
+
+        source = """
+fn hof(f: fn(i64) -> i64, x: i64, y: i64) -> i64 { 0 }
+fn h(p: i64, q: i64) -> i64 {
+    let mut v = (if false { 0 } else { 0 });
+    hof(|l: i64| 0, 0, 0)
+}
+extern fn main(a: i64, b: i64) -> i64 {
+    let t = (h(0, 0), 0);
+    h(0, 0)
+}
+"""
+        world = compile_source(
+            source, options=OptimizeOptions(verify_each_pass=True))
+        assert cff_violations(world) == []
+        assert Interpreter(world).call("main", -5, -3) == 0
+
 
 class TestInliner:
     def test_once_called_inlined(self):
