@@ -32,7 +32,10 @@ import sys as _sys
 
 # Graph traversals (mangling, rewriting, emission) recurse along primop
 # chains, which grow with program size; the CPython default of 1000
-# frames is far too small for a compiler.
+# frames is far too small for a compiler.  Untrusted *input* no longer
+# leans on this: the parser enforces its own nesting bound
+# (frontend.parser.MAX_NESTING_DEPTH) and fails with a ParseError long
+# before the interpreter stack is at risk.
 _sys.setrecursionlimit(max(_sys.getrecursionlimit(), 100_000))
 
 from .core.defs import Continuation, Def, Intrinsic, Param

@@ -40,6 +40,7 @@ without profiling: zero overhead when disabled.
 from __future__ import annotations
 
 from ..core import fold
+from ..core.limits import ResourceLimitError
 from ..core.primops import ArithKind, CmpRel, MathKind
 from ..core.types import (
     DefiniteArrayType,
@@ -102,6 +103,18 @@ OPCODE_NAMES = {
 
 class VMError(Exception):
     """A runtime trap (division by zero, undef branch, OOB access)."""
+
+
+class VMLimitError(VMError, ResourceLimitError):
+    """A VM resource limit was hit (heap words, or executed steps).
+
+    Both a :class:`VMError` (existing handlers keep working) and a
+    :class:`~repro.core.limits.ResourceLimitError` (oracles normalize
+    the whole family to a trap).
+    """
+
+    def __init__(self, resource: str, limit: int):
+        ResourceLimitError.__init__(self, resource, limit, "vm")
 
 
 # --------------------------------------------------------------------------
@@ -314,12 +327,17 @@ class VM:
     """Executes :class:`VMProgram` code."""
 
     def __init__(self, program: "VMProgram | None" = None, *,
-                 heap_limit: int = 64_000_000, profile=None):
+                 heap_limit: int = 64_000_000, max_steps: int | None = None,
+                 profile=None):
         # Word 0 is reserved (null); globals follow.
         self.heap: list = [0]
         if program is not None:
             self.heap.extend(program.data)
         self.heap_limit = heap_limit
+        # Optional per-``call`` instruction budget.  Checked only at
+        # control-flow opcodes (every runaway loop passes through one),
+        # so straight-line dispatch stays untouched.
+        self.max_steps = max_steps
         self.output: list[str] = []
         self.executed = 0
         # Optional profile collector (see module docstring).  ``None``
@@ -331,7 +349,7 @@ class VM:
 
     def alloc_words(self, count: int):
         if len(self.heap) + count > self.heap_limit:
-            raise VMError("heap limit exceeded")
+            raise VMLimitError("heap", self.heap_limit)
         addr = len(self.heap)
         self.heap.extend([0] * count)
         return addr
@@ -364,6 +382,7 @@ class VM:
         # call stack: (code, regs, pc_to_resume, ret_dsts)
         stack: list[tuple] = []
         executed = 0
+        limit = self.max_steps
         try:
             while True:
                 instr = code[pc]
@@ -379,8 +398,12 @@ class VM:
                     if value is None:
                         raise VMError("branch on undef")
                     pc = pc_t if value else pc_f
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_JMP:
                     pc = instr[1]
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_MOV:
                     regs[instr[1]] = regs[instr[2]]
                     pc += 1
@@ -424,6 +447,8 @@ class VM:
                     code = callee.code
                     regs = new_regs
                     pc = 0
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_TAILCALL:
                     _, target, arg_regs = instr
                     callee = functions[target]
@@ -433,6 +458,8 @@ class VM:
                     code = callee.code
                     regs = new_regs
                     pc = 0
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_RET:
                     values = [regs[r] for r in instr[1]]
                     if not stack:
@@ -519,6 +546,8 @@ class VM:
                 elif op == OP_MATCH:
                     _, value_reg, table, default_pc = instr
                     pc = table.get(regs[value_reg], default_pc)
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_PRINT_I64:
                     self.output.append(str(fold.to_signed(regs[instr[1]], 64)))
                     pc += 1
@@ -567,6 +596,7 @@ class VM:
         # call stack: (findex, code, regs, pc_to_resume, ret_dsts)
         stack: list[tuple] = []
         executed = 0
+        limit = self.max_steps
         prof_entries[findex] += 1
         try:
             while True:
@@ -585,10 +615,14 @@ class VM:
                     taken = pc_t if value else pc_f
                     prof_edges[(findex, pc, taken)] += 1
                     pc = taken
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_JMP:
                     taken = instr[1]
                     prof_edges[(findex, pc, taken)] += 1
                     pc = taken
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_MOV:
                     regs[instr[1]] = regs[instr[2]]
                     pc += 1
@@ -635,6 +669,8 @@ class VM:
                     code = callee.code
                     regs = new_regs
                     pc = 0
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_TAILCALL:
                     _, target, arg_regs = instr
                     prof_calls[(findex, pc)] += 1
@@ -647,6 +683,8 @@ class VM:
                     code = callee.code
                     regs = new_regs
                     pc = 0
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_RET:
                     values = [regs[r] for r in instr[1]]
                     if not stack:
@@ -735,6 +773,8 @@ class VM:
                     taken = table.get(regs[value_reg], default_pc)
                     prof_edges[(findex, pc, taken)] += 1
                     pc = taken
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
                 elif op == OP_PRINT_I64:
                     self.output.append(str(fold.to_signed(regs[instr[1]], 64)))
                     pc += 1

@@ -663,11 +663,11 @@ class CompiledWorld:
     """A compiled world plus a VM, with Python-typed call/return."""
 
     def __init__(self, world: World, *, placement: Placement = Placement.SMART,
-                 profile=None):
+                 profile=None, max_steps: int | None = None):
         codegen = WorldCodegen(world, placement=placement)
         self.program = codegen.run()
         self.fn_types = codegen.fn_types
-        self.vm = bc.VM(self.program, profile=profile)
+        self.vm = bc.VM(self.program, profile=profile, max_steps=max_steps)
 
     def call(self, name: str, *args):
         param_types, result_types = self.fn_types[name]
@@ -712,13 +712,16 @@ def _from_vm_value(value, t: Type):
 
 def compile_world(world: World, *,
                   placement: Placement = Placement.SMART,
-                  profile=None) -> CompiledWorld:
+                  profile=None, max_steps: int | None = None) -> CompiledWorld:
     """Compile all externals of a CFF world; returns a callable image.
 
     Pass ``profile=`` a :class:`repro.profile.collector.ProfileCollector`
     to run the image under the instrumented VM dispatch loop.
+    ``max_steps`` bounds executed VM instructions per call (see
+    :class:`repro.backend.bytecode.VM`).
     """
-    return CompiledWorld(world, placement=placement, profile=profile)
+    return CompiledWorld(world, placement=placement, profile=profile,
+                         max_steps=max_steps)
 
 
 def agg_index_literal(index: Def) -> int:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from ..core import fold
 from ..core.defs import Continuation, Def, Intrinsic, Param
+from ..core.limits import ResourceLimitError
 from ..core.primops import (
     Alloc,
     ArithOp,
@@ -61,6 +62,18 @@ from ..core.world import World
 
 class InterpError(Exception):
     """Raised on traps (division by zero, branch on undef, bad pointer)."""
+
+
+class StepLimitExceeded(InterpError, ResourceLimitError):
+    """The interpreter's ``max_steps`` budget ran out.
+
+    Still an :class:`InterpError` (existing handlers keep working) and a
+    :class:`~repro.core.limits.ResourceLimitError` (oracles normalize
+    the whole family to a trap).
+    """
+
+    def __init__(self, limit: int):
+        ResourceLimitError.__init__(self, "steps", limit, "interp")
 
 
 class Undef:
@@ -241,7 +254,7 @@ class Interpreter:
         while True:
             self.steps += 1
             if self.steps > self.max_steps:
-                raise InterpError(f"step budget exceeded ({self.max_steps})")
+                raise StepLimitExceeded(self.max_steps)
             if isinstance(target, _ReturnSentinel):
                 target.values = tuple(args)
                 if target is sentinel:

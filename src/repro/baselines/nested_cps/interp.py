@@ -4,12 +4,25 @@ from __future__ import annotations
 
 from ...core import fold
 from ...core import types as ct
+from ...core.limits import ResourceLimitError
 from ...core.primops import ArithKind, CmpRel
 from .terms import App, Halt, If, LetCont, LetFun, LetPrim, Term, Var
 
 
 class CPSRuntimeError(Exception):
     pass
+
+
+class CPSStepLimitExceeded(CPSRuntimeError, ResourceLimitError):
+    """The evaluator's ``max_steps`` budget ran out.
+
+    Still a :class:`CPSRuntimeError` (existing handlers keep working)
+    and a :class:`~repro.core.limits.ResourceLimitError` (oracles
+    normalize the whole family to a trap).
+    """
+
+    def __init__(self, limit: int):
+        ResourceLimitError.__init__(self, "steps", limit, "nested-cps")
 
 
 class _Closure:
@@ -30,7 +43,7 @@ def evaluate(term: Term, env: dict | None = None, *,
     while True:
         steps += 1
         if steps > max_steps:
-            raise CPSRuntimeError("step budget exceeded")
+            raise CPSStepLimitExceeded(max_steps)
         if isinstance(term, Halt):
             return _value(term.value, env)
         if isinstance(term, LetPrim):

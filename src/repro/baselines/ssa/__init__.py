@@ -20,9 +20,15 @@ def compile_source_ssa(source: str, *, optimize: bool = True,
     return module
 
 
-def run_ssa(module: Module, name: str, *args):
-    """Compile to the shared VM and call *name*."""
-    return CompiledSSA(module).call(name, *args)
+def run_ssa(module: Module, name: str, *args, max_steps: int | None = None):
+    """Compile to the shared VM and call *name*.
+
+    ``max_steps`` bounds executed VM instructions per call, for parity
+    with the graph interpreter and the nested-CPS evaluator; exceeding
+    it raises :class:`repro.backend.bytecode.VMLimitError`, a
+    :class:`~repro.core.limits.ResourceLimitError`.
+    """
+    return CompiledSSA(module, max_steps=max_steps).call(name, *args)
 
 
 __all__ = [

@@ -325,10 +325,10 @@ class _FunctionCodegen:
 class CompiledSSA:
     """Callable image of a compiled SSA module (mirrors CompiledWorld)."""
 
-    def __init__(self, module: Module):
+    def __init__(self, module: Module, *, max_steps: int | None = None):
         self.module = module
         self.program = compile_module(module)
-        self.vm = bc.VM(self.program)
+        self.vm = bc.VM(self.program, max_steps=max_steps)
         self._sigs = {
             fn.name: ([p.type for p in fn.params], fn.ret_type)
             for fn in module.functions.values()

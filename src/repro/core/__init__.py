@@ -1,19 +1,27 @@
 """The Thorin graph IR: types, defs, world, scopes, CFG, schedule."""
 
 from .defs import Continuation, Def, Intrinsic, Param, Use
+from .limits import DeadlineExceeded, ResourceLimitError, deadline
 from .primops import ArithKind, CmpRel
 from .scope import Scope, top_level_continuations
+from .snapshot import Snapshot, restore_world, snapshot_world
 from .world import World
 
 __all__ = [
     "ArithKind",
     "CmpRel",
     "Continuation",
+    "DeadlineExceeded",
     "Def",
     "Intrinsic",
     "Param",
+    "ResourceLimitError",
     "Scope",
+    "Snapshot",
     "Use",
     "World",
+    "deadline",
+    "restore_world",
+    "snapshot_world",
     "top_level_continuations",
 ]

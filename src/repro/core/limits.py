@@ -1,0 +1,105 @@
+"""Structured resource limits shared by every execution engine.
+
+The repo has three ways to run a program (graph interpreter, bytecode
+VM, nested-CPS baseline) plus the compiled-SSA baseline riding on the
+VM.  Each historically raised its own flat error when a budget ran out,
+which forced the fuzz oracle to pattern-match error strings.  This
+module gives them a common, structured base:
+
+* :class:`ResourceLimitError` — "a *configured* limit was hit", carrying
+  ``resource`` (``"steps"``, ``"heap"``, ``"wall-clock"``, ...), the
+  ``limit`` value and the ``engine`` that hit it.  Engine-specific
+  subclasses multiply inherit from the engine's existing error type
+  (e.g. ``class StepLimitExceeded(InterpError, ResourceLimitError)``) so
+  every pre-existing ``except InterpError`` keeps working while new code
+  can catch the whole family with one clause.
+* :class:`DeadlineExceeded` plus the :func:`deadline` context manager —
+  a preemptive wall-clock guard built on ``SIGALRM``/``setitimer``.
+  Nesting-safe: an inner deadline saves and re-arms the outer timer with
+  its remaining budget, so a per-pass deadline composes with a per-case
+  fuzz timeout.  Off the main thread (or off Unix) it degrades to a
+  no-op; callers that need a guarantee combine it with a post-hoc
+  elapsed-time check.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+
+
+class ResourceLimitError(Exception):
+    """A configured resource limit was exceeded.
+
+    Not a bug and not an engine crash: the program simply needed more
+    ``resource`` than the caller allowed.  Differential oracles
+    normalize this family to a trap, the same way they treat division
+    by zero.
+    """
+
+    def __init__(self, resource: str, limit, engine: str,
+                 message: str | None = None):
+        self.resource = resource
+        self.limit = limit
+        self.engine = engine
+        super().__init__(
+            message
+            or f"{engine}: {resource} limit exceeded (limit={limit})"
+        )
+
+
+class DeadlineExceeded(ResourceLimitError):
+    """A wall-clock deadline passed before the guarded region finished."""
+
+    def __init__(self, seconds: float, what: str = ""):
+        self.seconds = seconds
+        self.what = what
+        where = f" in {what}" if what else ""
+        super().__init__(
+            "wall-clock", seconds, "deadline",
+            f"deadline of {seconds:g}s exceeded{where}",
+        )
+
+
+def can_preempt() -> bool:
+    """True when :func:`deadline` can actually interrupt (Unix main thread)."""
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def deadline(seconds: float | None, *, what: str = ""):
+    """Raise :class:`DeadlineExceeded` if the body runs longer than *seconds*.
+
+    ``seconds`` of ``None`` or ``<= 0`` disables the guard.  Uses
+    ``ITIMER_REAL``; the previous timer and handler are saved on entry
+    and restored — with the outer timer's *remaining* budget re-armed —
+    on exit, so deadlines nest.  When preemption is unavailable (not the
+    main thread, no ``SIGALRM``) the body runs unguarded; use
+    :func:`can_preempt` plus an elapsed-time check for a fallback.
+    """
+    if not seconds or seconds <= 0 or not can_preempt():
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise DeadlineExceeded(seconds, what)
+
+    old_handler = signal.signal(signal.SIGALRM, _fire)
+    old_remaining, _old_interval = signal.getitimer(signal.ITIMER_REAL)
+    started = time.monotonic()
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)
+        if old_remaining:
+            # Re-arm the enclosing deadline with whatever it has left; if
+            # it expired while we were active, fire it (almost) at once.
+            left = old_remaining - (time.monotonic() - started)
+            signal.setitimer(signal.ITIMER_REAL, max(left, 1e-6))

@@ -1,0 +1,433 @@
+"""Whole-``World`` checkpoints: serialize and restore the IR universe.
+
+A snapshot captures *everything* that makes a :class:`~repro.core.world.
+World` behave the way it does: the continuation registry (in order),
+every parameter, every primop together with its membership in the
+hash-consing table, the external and intrinsic registries, the id
+counters (``gid``/``slot``/``alloc``/``global``) and the construction
+stats.  Restoring reproduces each def with its **original gid and
+name**, rebuilds the use-lists through the ordinary ``_set_ops`` path,
+and re-keys the value-numbering table — so a restored world is
+indistinguishable from the original to every pass, verifier, and
+backend, and re-serializing it yields byte-identical JSON.
+
+Two properties drive the design:
+
+* **Fidelity over invariants.**  Snapshots exist so the optimization
+  pipeline can roll back after a *buggy* pass; the world being captured
+  may therefore be corrupt.  Defs are rebuilt via ``object.__new__`` +
+  ``Def.__init__`` rather than the world's folding factories, bodies are
+  installed with raw ``_set_ops`` (no arity assertions), and defs that
+  are reachable from bodies but missing from the registries ("ghosts")
+  are captured and restored as ghosts.
+* **Restore in place.**  ``optimize`` mutates the caller's world, so a
+  rollback must land in the *same* ``World`` object
+  (``restore_world(snap, into=world)``): registries are cleared and
+  rebuilt, counters overwritten, and the stale defs simply become
+  unreachable.
+
+Types need no per-world state — they are interned in a global table —
+so the snapshot stores a structural type table indexed by first
+encounter, which is itself deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .defs import Continuation, Def, Param
+from .primops import (
+    Alloc,
+    ArithKind,
+    ArithOp,
+    ArrayVal,
+    Bitcast,
+    Bottom,
+    Cast,
+    Cmp,
+    CmpRel,
+    Enter,
+    Extract,
+    Global,
+    Hlt,
+    Insert,
+    Lea,
+    Literal,
+    Load,
+    MathKind,
+    MathOp,
+    PrimOp,
+    Run,
+    Select,
+    Slot,
+    Store,
+    StructVal,
+    TupleVal,
+)
+from .types import (
+    DefiniteArrayType,
+    FnType,
+    FrameType,
+    IndefiniteArrayType,
+    MemType,
+    PrimType,
+    PtrType,
+    StructType,
+    TupleType,
+    Type,
+    definite_array_type,
+    fn_type,
+    frame_type,
+    indefinite_array_type,
+    mem_type,
+    prim_type,
+    ptr_type,
+    struct_type,
+    tuple_type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .world import World
+
+SNAPSHOT_FORMAT = 1
+
+
+class SnapshotError(Exception):
+    """A world could not be serialized or restored."""
+
+
+# ---------------------------------------------------------------------------
+# attribute codecs: the per-class "extra" state beyond (type, ops, name)
+# ---------------------------------------------------------------------------
+
+def _ident(v):
+    return v
+
+
+# class -> (slot names, encoders, decoders); classes not listed carry no
+# extra state.  The encoded attrs are exactly ``op.attrs()`` made
+# JSON-safe, which is also exactly the extra component of the world's
+# hash-consing key for that class.
+_ATTR_SPECS: dict[type, tuple[tuple[str, ...], tuple, tuple]] = {
+    Literal: (("value",), (_ident,), (_ident,)),
+    ArithOp: (("kind",), (lambda k: k.value,), (ArithKind,)),
+    MathOp: (("kind",), (lambda k: k.value,), (MathKind,)),
+    Cmp: (("rel",), (lambda r: r.value,), (CmpRel,)),
+    Slot: (("slot_id",), (_ident,), (_ident,)),
+    Alloc: (("alloc_id",), (_ident,), (_ident,)),
+    Global: (("is_mutable", "global_id"), (_ident, _ident), (_ident, _ident)),
+}
+
+_PRIMOP_CLASSES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        Literal, Bottom, ArithOp, MathOp, Cmp, Cast, Bitcast, Select,
+        TupleVal, ArrayVal, StructVal, Extract, Insert, Enter, Slot,
+        Alloc, Load, Store, Lea, Global, Run, Hlt,
+    )
+}
+
+
+def _encode_attrs(op: PrimOp) -> list:
+    spec = _ATTR_SPECS.get(type(op))
+    if spec is None:
+        return []
+    slots, encoders, _ = spec
+    return [enc(getattr(op, slot)) for slot, enc in zip(slots, encoders)]
+
+
+def _decode_attrs(cls: type, raw: list) -> dict:
+    spec = _ATTR_SPECS.get(cls)
+    if spec is None:
+        return {}
+    slots, _, decoders = spec
+    if len(raw) != len(slots):
+        raise SnapshotError(
+            f"{cls.__name__}: expected {len(slots)} attr(s), got {len(raw)}")
+    return {slot: dec(v) for slot, dec, v in zip(slots, decoders, raw)}
+
+
+def table_key(op: PrimOp) -> tuple:
+    """The world's hash-consing key for *op*, reconstructed generically.
+
+    Matches every factory in :mod:`repro.core.world`: the key is
+    ``(class, type, operand gids, op.attrs())``.
+    """
+    return (type(op), op.type, tuple(o.gid for o in op.ops), op.attrs())
+
+
+# ---------------------------------------------------------------------------
+# type table
+# ---------------------------------------------------------------------------
+
+class _TypeTable:
+    """Structural type serialization with first-encounter indexing."""
+
+    def __init__(self) -> None:
+        self.entries: list[list] = []
+        self._index: dict[Type, int] = {}
+
+    def add(self, t: Type) -> int:
+        idx = self._index.get(t)
+        if idx is not None:
+            return idx
+        if isinstance(t, PrimType):
+            entry = ["prim", t.kind.value]
+        elif isinstance(t, FnType):
+            entry = ["fn", [self.add(e) for e in t.param_types]]
+        elif isinstance(t, TupleType):
+            entry = ["tuple", [self.add(e) for e in t.elem_types]]
+        elif isinstance(t, StructType):
+            entry = ["struct", t.name, list(t.field_names),
+                     [self.add(e) for e in t.field_types]]
+        elif isinstance(t, PtrType):
+            entry = ["ptr", self.add(t.pointee)]
+        elif isinstance(t, DefiniteArrayType):
+            entry = ["darr", self.add(t.elem_type), t.length]
+        elif isinstance(t, IndefiniteArrayType):
+            entry = ["iarr", self.add(t.elem_type)]
+        elif isinstance(t, MemType):
+            entry = ["mem"]
+        elif isinstance(t, FrameType):
+            entry = ["frame"]
+        else:
+            raise SnapshotError(f"unknown type class {type(t).__name__}")
+        idx = len(self.entries)
+        self.entries.append(entry)
+        self._index[t] = idx
+        return idx
+
+
+def _decode_types(entries: list[list]) -> list[Type]:
+    types: list[Type] = []
+    for entry in entries:
+        tag = entry[0]
+        if tag == "prim":
+            t = prim_type(entry[1])
+        elif tag == "fn":
+            t = fn_type(tuple(types[i] for i in entry[1]))
+        elif tag == "tuple":
+            t = tuple_type(tuple(types[i] for i in entry[1]))
+        elif tag == "struct":
+            t = struct_type(entry[1], tuple(entry[2]),
+                            tuple(types[i] for i in entry[3]))
+        elif tag == "ptr":
+            t = ptr_type(types[entry[1]])
+        elif tag == "darr":
+            t = definite_array_type(types[entry[1]], entry[2])
+        elif tag == "iarr":
+            t = indefinite_array_type(types[entry[1]])
+        elif tag == "mem":
+            t = mem_type()
+        elif tag == "frame":
+            t = frame_type()
+        else:
+            raise SnapshotError(f"unknown type tag {tag!r}")
+        types.append(t)
+    return types
+
+
+# ---------------------------------------------------------------------------
+# capture
+# ---------------------------------------------------------------------------
+
+def _collect(world: "World") -> tuple[list[Continuation], list[PrimOp]]:
+    """Every def the snapshot must carry.
+
+    Roots are the three registries plus the value-numbering table; the
+    walk follows operand edges (bodies and primop operands) and pulls in
+    the owning continuation of any parameter it meets, so defs a buggy
+    pass orphaned from the registries are still captured.
+    """
+    conts: dict[int, Continuation] = {}
+    prims: dict[int, PrimOp] = {}
+    stack: list[Def] = list(world._continuations)
+    stack.extend(world._externals.values())
+    stack.extend(world._intrinsics.values())
+    stack.extend(world._primops.values())
+    while stack:
+        d = stack.pop()
+        if isinstance(d, Param):
+            d = d.continuation
+        if isinstance(d, Continuation):
+            if d.gid in conts:
+                continue
+            conts[d.gid] = d
+        elif isinstance(d, PrimOp):
+            if d.gid in prims:
+                continue
+            prims[d.gid] = d
+        else:
+            raise SnapshotError(
+                f"unexpected def class {type(d).__name__} in graph walk")
+        stack.extend(d.ops)
+
+    registered = {id(c) for c in world._continuations}
+    ordered_conts = list(world._continuations)
+    ordered_conts.extend(
+        c for _, c in sorted(conts.items()) if id(c) not in registered)
+    ordered_prims = [op for _, op in sorted(prims.items())]
+    return ordered_conts, ordered_prims
+
+
+class Snapshot:
+    """A plain-data capture of one world; cheap to hold, JSON on demand."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: dict):
+        self.data = data
+
+    def to_json(self) -> str:
+        return json.dumps(self.data, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Snapshot":
+        data = json.loads(text)
+        if not isinstance(data, dict) or data.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError("not a world snapshot (bad format marker)")
+        return cls(data)
+
+    def restore(self, *, into: "World | None" = None) -> "World":
+        return restore_world(self, into=into)
+
+
+def snapshot_world(world: "World") -> Snapshot:
+    """Capture *world* as plain data (see module docstring)."""
+    conts, prims = _collect(world)
+    types = _TypeTable()
+    registered = {id(c) for c in world._continuations}
+    tabled = {id(op) for op in world._primops.values()}
+
+    cont_rows = []
+    body_rows = []
+    for c in conts:
+        cont_rows.append([
+            c.gid, c.name, types.add(c.type),
+            c.intrinsic, 1 if c.is_external else 0,
+            [1 if f else 0 for f in c.filter],
+            [[p.gid, p.name, types.add(p.type)] for p in c.params],
+            1 if id(c) in registered else 0,
+        ])
+        if c.has_body():
+            body_rows.append([c.gid, [d.gid for d in c.ops]])
+
+    prim_rows = []
+    for op in prims:
+        cls_name = type(op).__name__
+        if cls_name not in _PRIMOP_CLASSES:
+            raise SnapshotError(f"unknown primop class {cls_name}")
+        prim_rows.append([
+            op.gid, cls_name, types.add(op.type),
+            [d.gid for d in op.ops], _encode_attrs(op), op.name,
+            1 if id(op) in tabled else 0,
+        ])
+
+    data = {
+        "format": SNAPSHOT_FORMAT,
+        "name": world.name,
+        "folding": world.folding,
+        "counters": [world._gid, world._slot_id, world._alloc_id,
+                     world._global_id],
+        "stats": [world.stats.gvn_hits, world.stats.gvn_misses,
+                  world.stats.folds],
+        "types": types.entries,
+        "continuations": cont_rows,
+        "primops": prim_rows,
+        "bodies": body_rows,
+        "externals": [[name, c.gid] for name, c in world._externals.items()],
+        "intrinsics": [[name, c.gid] for name, c in world._intrinsics.items()],
+    }
+    return Snapshot(data)
+
+
+# ---------------------------------------------------------------------------
+# restore
+# ---------------------------------------------------------------------------
+
+def _raw_def(cls: type, world: "World", type_: Type, name: str) -> Def:
+    """Allocate a def of *cls* without running its class constructor."""
+    d = object.__new__(cls)
+    Def.__init__(d, world, type_, (), name)
+    return d
+
+
+def restore_world(snapshot: Snapshot | dict, *,
+                  into: "World | None" = None) -> "World":
+    """Rebuild the captured world; ``into`` restores in place."""
+    from .world import World
+
+    data = snapshot.data if isinstance(snapshot, Snapshot) else snapshot
+    if data.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError("not a world snapshot (bad format marker)")
+    types = _decode_types(data["types"])
+
+    world = into if into is not None else World(data["name"])
+    world.name = data["name"]
+    world.folding = data["folding"]
+    world._primops = {}
+    world._continuations = []
+    world._externals = {}
+    world._intrinsics = {}
+
+    defs: dict[int, Def] = {}
+
+    for (gid, name, type_idx, intrinsic, is_external, filt, params,
+         registered) in data["continuations"]:
+        cont = _raw_def(Continuation, world, types[type_idx], name)
+        cont.gid = gid
+        cont.params = []
+        cont.is_external = bool(is_external)
+        cont.intrinsic = intrinsic
+        cont.filter = tuple(bool(f) for f in filt)
+        for index, (pgid, pname, ptype_idx) in enumerate(params):
+            param = _raw_def(Param, world, types[ptype_idx], pname)
+            param.gid = pgid
+            param.continuation = cont
+            param.index = index
+            cont.params.append(param)
+            defs[pgid] = param
+        defs[gid] = cont
+        if registered:
+            world._continuations.append(cont)
+
+    for gid, cls_name, type_idx, op_gids, attrs, name, tabled in \
+            data["primops"]:
+        cls = _PRIMOP_CLASSES.get(cls_name)
+        if cls is None:
+            raise SnapshotError(f"unknown primop class {cls_name!r}")
+        try:
+            ops = tuple(defs[g] for g in op_gids)
+        except KeyError as exc:
+            raise SnapshotError(
+                f"primop gid {gid} references unknown operand gid "
+                f"{exc.args[0]}") from exc
+        op = object.__new__(cls)
+        for slot, value in _decode_attrs(cls, attrs).items():
+            setattr(op, slot, value)
+        Def.__init__(op, world, types[type_idx], ops, name)
+        op.gid = gid
+        defs[gid] = op
+        if tabled:
+            world._primops[table_key(op)] = op
+
+    for gid, op_gids in data["bodies"]:
+        try:
+            ops = tuple(defs[g] for g in op_gids)
+        except KeyError as exc:
+            raise SnapshotError(
+                f"body of continuation gid {gid} references unknown gid "
+                f"{exc.args[0]}") from exc
+        defs[gid]._set_ops(ops)
+
+    for name, gid in data["externals"]:
+        world._externals[name] = defs[gid]
+    for name, gid in data["intrinsics"]:
+        world._intrinsics[name] = defs[gid]
+
+    (world._gid, world._slot_id, world._alloc_id,
+     world._global_id) = data["counters"]
+    (world.stats.gvn_hits, world.stats.gvn_misses,
+     world.stats.folds) = data["stats"]
+    return world

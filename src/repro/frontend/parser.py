@@ -50,11 +50,30 @@ BINARY_LEVELS = [
     ("*", "/", "%"),
 ]
 
+# Maximum nesting of expressions/types/blocks.  The parser recurses on
+# nested constructs; without an explicit bound, adversarial input like
+# ten thousand `(`s would ride the process recursion limit (bumped high
+# in ``repro/__init__`` for graph traversals) straight into a CPython
+# stack overflow.  Real programs nest a few dozen levels at most.
+MAX_NESTING_DEPTH = 500
+
 
 class Parser:
     def __init__(self, source: str):
         self.tokens = tokenize(source)
         self.pos = 0
+        self._depth = 0
+
+    def _enter(self, what: str) -> None:
+        self._depth += 1
+        if self._depth > MAX_NESTING_DEPTH:
+            raise ParseError(
+                f"{what} nested deeper than {MAX_NESTING_DEPTH} levels",
+                self.peek().loc,
+            )
+
+    def _leave(self) -> None:
+        self._depth -= 1
 
     # ------------------------------------------------------------------
     # token plumbing
@@ -130,6 +149,13 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_type(self) -> ast.TypeExpr:
+        self._enter("type")
+        try:
+            return self._parse_type_inner()
+        finally:
+            self._leave()
+
+    def _parse_type_inner(self) -> ast.TypeExpr:
         tok = self.peek()
         if tok.kind is TokKind.IDENT and tok.text in PRIM_TYPE_NAMES:
             self.next()
@@ -183,6 +209,13 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_block(self) -> ast.Block:
+        self._enter("block")
+        try:
+            return self._parse_block_inner()
+        finally:
+            self._leave()
+
+    def _parse_block_inner(self) -> ast.Block:
         loc = self.expect("{").loc
         stmts: list[ast.Stmt] = []
         result: ast.Expr | None = None
@@ -265,6 +298,13 @@ class Parser:
     # ------------------------------------------------------------------
 
     def parse_expr(self, struct_ok: bool = True) -> ast.Expr:
+        self._enter("expression")
+        try:
+            return self._parse_expr_inner(struct_ok)
+        finally:
+            self._leave()
+
+    def _parse_expr_inner(self, struct_ok: bool) -> ast.Expr:
         tok = self.peek()
         if tok.is_punct("|"):
             return self._parse_lambda()
@@ -317,6 +357,13 @@ class Parser:
                 return lhs
 
     def _parse_unary(self, struct_ok: bool) -> ast.Expr:
+        self._enter("expression")
+        try:
+            return self._parse_unary_inner(struct_ok)
+        finally:
+            self._leave()
+
+    def _parse_unary_inner(self, struct_ok: bool) -> ast.Expr:
         tok = self.peek()
         if tok.is_punct("-") or tok.is_punct("!"):
             self.next()

@@ -15,19 +15,29 @@ Three cooperating pieces (ISSUE 2's generative testing layer):
 * :mod:`repro.fuzz.shrink` — an AST-level minimizing shrinker: a
   failing program is reduced while the failure signature is preserved,
   and the repro is written to ``tests/corpus/``.
+* :mod:`repro.fuzz.inject` / :mod:`repro.fuzz.faults` — the
+  fault-injection harness (ISSUE 3): :class:`FaultInjector` sabotages a
+  chosen pipeline pass (raise / corrupt IR / stall / blow up the
+  world), and the fault campaign proves non-strict ``optimize()``
+  recovers with output identical to the unoptimized interpreter.
 
-``python -m repro.fuzz --seed 0 --n 500`` runs a campaign from the
-command line (see :mod:`repro.fuzz.cli`).
+``python -m repro.fuzz --seed 0 --n 500`` runs a differential
+campaign, ``python -m repro.fuzz --fault-campaign`` the
+fault-injection one (see :mod:`repro.fuzz.cli`).
 """
 
 from .gen import FuzzProgram, GenConfig, generate_program
+from .inject import FaultInjector, FaultPlan, InjectedFault
 from .oracle import FuzzFailure, OracleConfig, run_oracle
 from .shrink import shrink, shrink_failure, write_repro
 
 __all__ = [
+    "FaultInjector",
+    "FaultPlan",
     "FuzzFailure",
     "FuzzProgram",
     "GenConfig",
+    "InjectedFault",
     "OracleConfig",
     "generate_program",
     "run_oracle",

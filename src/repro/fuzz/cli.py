@@ -9,6 +9,16 @@ campaign continues; the exit code is the number of divergent seeds
 
 Every ``--expr-only-every``-th seed uses the restricted expression-only
 generator so the nested-CPS baseline is exercised too.
+
+``--case-timeout S`` bounds the wall-clock a single seed may take
+(generation + all oracle paths); a timed-out seed is recorded and
+reported in the summary but does not count as a divergence.
+
+``--fault-campaign`` switches to the fault-injection campaign
+(:mod:`repro.fuzz.faults`): the systematic fault-mode x pass matrix
+over the evaluation suite, plus ``--fault-seeds`` randomly sabotaged
+fuzz programs.  Exit code is the number of cases where the pipeline
+failed to recover or the recovered program diverged.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ import argparse
 import sys
 import time
 
+from ..core.limits import DeadlineExceeded, deadline
 from .gen import GenConfig, generate_program
 from .oracle import OracleConfig, run_oracle
 from .shrink import shrink_failure, write_repro
@@ -49,14 +60,64 @@ def _parse_args(argv):
                         metavar="N",
                         help="abort the campaign after N divergent "
                              "seeds (default 5)")
+    parser.add_argument("--case-timeout", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock budget per seed in seconds "
+                             "(default: none); timed-out seeds are "
+                             "reported, not counted as divergences")
+    parser.add_argument("--fault-campaign", action="store_true",
+                        help="run the fault-injection campaign instead "
+                             "of the differential one")
+    parser.add_argument("--fault-seeds", type=int, default=50,
+                        metavar="N",
+                        help="random sabotaged fuzz programs in the "
+                             "fault campaign (default 50)")
+    parser.add_argument("--fault-programs", type=int, default=None,
+                        metavar="N",
+                        help="limit the fault matrix to the first N "
+                             "suite programs (default: all)")
     return parser.parse_args(argv)
+
+
+def _fault_campaign(args) -> int:
+    from ..programs.suite import ALL_PROGRAMS
+    from .faults import run_fault_matrix, run_random_faults, summarize
+
+    programs = ALL_PROGRAMS
+    if args.fault_programs is not None:
+        programs = programs[:args.fault_programs]
+
+    def progress(result):
+        if not result.ok:
+            print(result.describe(), file=sys.stderr)
+
+    started = time.perf_counter()
+    results = run_fault_matrix(programs, progress=progress)
+    matrix_elapsed = time.perf_counter() - started
+    print(f"matrix: {summarize(results)} over {len(programs)} programs "
+          f"in {matrix_elapsed:.1f}s")
+
+    if args.fault_seeds:
+        started = time.perf_counter()
+        random_results = run_random_faults(args.fault_seeds, args.seed,
+                                           progress=progress)
+        print(f"random: {summarize(random_results)} "
+              f"in {time.perf_counter() - started:.1f}s")
+        results += random_results
+
+    failures = [r for r in results if not r.ok]
+    return len(failures)
 
 
 def main(argv=None) -> int:
     args = _parse_args(argv)
+    if args.fault_campaign:
+        return _fault_campaign(args)
+
     record: dict = {}
     expr_cfg = GenConfig(expr_only=True)
     failures = []
+    timed_out: list[int] = []
     started = time.perf_counter()
 
     for index in range(args.n):
@@ -64,18 +125,32 @@ def main(argv=None) -> int:
         expr_only = (args.expr_only_every
                      and index % args.expr_only_every
                      == args.expr_only_every - 1)
-        prog = generate_program(seed, expr_cfg if expr_only else None)
         config = OracleConfig(run_c=not args.no_c,
                               run_pgo=not args.no_pgo,
                               verify_each_pass=not args.no_verify,
                               record=record)
-        failure = run_oracle(prog, config)
+        try:
+            with deadline(args.case_timeout, what=f"seed {seed}"):
+                prog = generate_program(seed,
+                                        expr_cfg if expr_only else None)
+                failure = run_oracle(prog, config)
+        except DeadlineExceeded:
+            timed_out.append(seed)
+            print(f"seed {seed}: timed out after {args.case_timeout}s",
+                  file=sys.stderr)
+            continue
         if failure is not None:
             failures.append(failure)
             print(f"seed {seed}: DIVERGENCE", file=sys.stderr)
             print(failure.describe(), file=sys.stderr)
             if not args.no_shrink:
-                small = shrink_failure(prog, failure, config)
+                try:
+                    with deadline(args.case_timeout and
+                                  args.case_timeout * 10,
+                                  what=f"shrinking seed {seed}"):
+                        small = shrink_failure(prog, failure, config)
+                except DeadlineExceeded:
+                    small = prog
                 path = write_repro(small, failure, args.corpus)
                 print(f"  shrunk to {len(small.render().splitlines())} "
                       f"lines -> {path}", file=sys.stderr)
@@ -83,6 +158,7 @@ def main(argv=None) -> int:
                 print(f"stopping after {len(failures)} divergent seeds",
                       file=sys.stderr)
                 break
+
         if (index + 1) % 50 == 0:
             elapsed = time.perf_counter() - started
             print(f"  ... {index + 1}/{args.n} programs, "
@@ -93,8 +169,10 @@ def main(argv=None) -> int:
     paths = ", ".join(sorted(record.get("paths", ())))
     print(f"{checked} programs in {elapsed:.1f}s "
           f"({checked / elapsed:.1f} programs/sec), "
-          f"{len(failures)} divergence(s)")
+          f"{len(failures)} divergence(s), {len(timed_out)} timeout(s)")
     print(f"paths exercised: {paths}")
+    if timed_out:
+        print(f"timed-out seeds: {', '.join(map(str, timed_out))}")
     for path, why in sorted(record.get("skipped", {}).items()):
         print(f"  skipped {path}: {why}")
     return len(failures)

@@ -1,4 +1,21 @@
-"""A deliberately wrong transformation, for exercising the shrinker.
+"""Deliberate faults, for exercising the shrinker and the fault-tolerant
+optimization pipeline.
+
+Two kinds of damage live here:
+
+* ``drop_one_argument`` — a *semantic* miscompile that every verifier
+  accepts; only a differential oracle can catch it (the shrinker test's
+  workload).
+* ``FaultInjector`` — an operational fault harness.  Built as a
+  ``OptimizeOptions.pass_hook`` callable, it fires once, on the Nth
+  invocation of a chosen pass, one of four failure modes the pipeline's
+  checkpoint/quarantine machinery must absorb:
+
+  - ``raise``   — the pass body crashes (:class:`InjectedFault`);
+  - ``corrupt`` — the IR is structurally damaged in a way
+    ``verify(full)`` catches (an argument is chopped off a jump);
+  - ``stall``   — the pass sleeps past its wall-clock deadline;
+  - ``growth``  — the world balloons past the pipeline's growth cap.
 
 ``drop_one_argument`` is a mangler misuse: it picks a call site
 ``caller → callee(args)`` of an ordinary bodied continuation, mangles
@@ -16,12 +33,106 @@ shrinker test uses it for.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
+
 from ..core import types as ct
 from ..core.defs import Continuation
 from ..core.primops import Literal
 from ..core.scope import Scope
 from ..core.world import World
 from ..transform.mangle import drop
+
+FAULT_MODES = ("raise", "corrupt", "stall", "growth")
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultInjector` in ``raise`` mode."""
+
+
+@dataclass
+class FaultPlan:
+    """Where and how a :class:`FaultInjector` strikes.
+
+    ``target`` names a pass by its quarantine key (``"inline"`` matches
+    both the ``inline`` phase and its per-round repeats; ``None``
+    matches every pass).  ``nth`` delays the strike to the Nth matching
+    invocation, so later rounds of an already-exercised pass can be hit.
+    """
+
+    mode: str
+    target: str | None = None
+    nth: int = 1
+    stall_seconds: float = 2.0
+    blowup: int = 8192
+
+    def __post_init__(self):
+        if self.mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r}; "
+                             f"expected one of {FAULT_MODES}")
+
+
+class FaultInjector:
+    """``pass_hook`` callable injecting one fault per pipeline run.
+
+    The pipeline calls the hook as ``hook(phase, world)`` after each
+    pass body, inside that pass's fault-isolation envelope — so damage
+    done here is attributed to (and rolled back with) the pass itself.
+    ``fired`` records whether the fault actually triggered, and
+    ``struck`` the phase label it hit.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.fired = False
+        self.struck: str | None = None
+        self._matches = 0
+
+    def __call__(self, phase: str, world: World) -> None:
+        if self.fired:
+            return
+        key = phase.split("(", 1)[0]
+        if self.plan.target is not None and key != self.plan.target:
+            return
+        self._matches += 1
+        if self._matches < self.plan.nth:
+            return
+        self.fired = True
+        self.struck = phase
+        mode = self.plan.mode
+        if mode == "raise":
+            raise InjectedFault(f"injected crash in {phase}")
+        if mode == "corrupt":
+            corrupt_world(world)
+        elif mode == "stall":
+            time.sleep(self.plan.stall_seconds)
+        elif mode == "growth":
+            blow_up_world(world, self.plan.blowup)
+
+
+def corrupt_world(world: World) -> str | None:
+    """Structurally damage *world* so ``verify(full)`` rejects it.
+
+    Chops the last argument off the first bodied continuation that
+    jumps with at least one argument, leaving a jump whose arity no
+    longer matches its callee — the opposite of ``drop_one_argument``,
+    which is careful to stay verifier-clean.  Returns a description;
+    when no continuation carries an argument to chop it raises
+    :class:`InjectedFault` instead, so the injection still registers as
+    a fault the pipeline must absorb.
+    """
+    for cont in world.continuations():
+        if cont.has_body() and len(cont.ops) >= 2:
+            cont._set_ops(cont.ops[:-1])
+            return f"chopped last argument of jump in {cont.unique_name()}"
+    raise InjectedFault("corrupt: no jump with arguments to damage")
+
+
+def blow_up_world(world: World, count: int) -> int:
+    """Register *count* empty continuations, tripping the growth cap."""
+    for index in range(count):
+        world.continuation(ct.fn_type(()), f"blowup_{index}")
+    return count
 
 
 def drop_one_argument(world: World, *, target: str | None = None) -> str | None:

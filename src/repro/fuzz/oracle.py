@@ -43,6 +43,7 @@ from ..backend.c_emitter import emit_c
 from ..backend.interp import Interpreter, InterpError
 from ..backend import bytecode as bc
 from ..core import fold
+from ..core.limits import ResourceLimitError
 from ..core.verify import VerifyError, cff_violations, verify
 from ..frontend import compile_source
 from ..transform.pipeline import OptimizeOptions, PassVerifyError
@@ -114,13 +115,22 @@ class OracleConfig:
     # manufactured divergence-by-nontermination — observed as a trap
     # rather than a hang.
     interp_max_steps: int = 2_000_000
+    # Step bound for the shared bytecode VM (static/PGO/SSA paths):
+    # generous enough that any honest program finishes, tight enough
+    # that a miscompile-manufactured infinite loop surfaces as a trap
+    # (and thus a divergence) instead of a hang.
+    vm_max_steps: int = 20_000_000
     # ``record`` collects which paths actually ran (and which were
     # skipped and why) — campaign-level coverage reporting.
     record: dict = field(default_factory=dict)
 
 
 def _options(config: OracleConfig) -> OptimizeOptions:
-    return OptimizeOptions(verify_each_pass=config.verify_each_pass)
+    # strict: the oracle *wants* fail-fast.  The production default
+    # quarantines a crashing/corrupting pass and compiles around it,
+    # which would hide exactly the bugs differential fuzzing hunts.
+    return OptimizeOptions(verify_each_pass=config.verify_each_pass,
+                           strict=True)
 
 
 def _run_interp(world, entry: str, arg_sets,
@@ -131,7 +141,7 @@ def _run_interp(world, entry: str, arg_sets,
         try:
             result = interp.call(entry, *args)
             obs.append(Observation(result, "".join(interp.output)))
-        except (InterpError, fold.EvalError):
+        except (InterpError, fold.EvalError, ResourceLimitError):
             obs.append(Observation(TRAP, "".join(interp.output)))
     return obs
 
@@ -144,7 +154,7 @@ def _run_vm(compiled: CompiledWorld, entry: str, arg_sets) -> list[Observation]:
             result = compiled.call(entry, *args)
             obs.append(Observation(result,
                                    "".join(compiled.vm.output[mark:])))
-        except bc.VMError:
+        except (bc.VMError, ResourceLimitError):
             obs.append(Observation(TRAP, "".join(compiled.vm.output[mark:])))
     return obs
 
@@ -277,7 +287,8 @@ def run_oracle(prog: FuzzProgram,
                                f"not in control-flow form: {residual[:3]}",
                                source=source)
         try:
-            compiled_static = compile_world(world_opt)
+            compiled_static = compile_world(world_opt,
+                                            max_steps=config.vm_max_steps)
         except Exception as exc:
             return FuzzFailure(prog.seed, "codegen(static)", str(exc),
                                source=source)
@@ -345,7 +356,7 @@ def run_oracle(prog: FuzzProgram,
 
         try:
             module = compile_source_ssa(source)
-            compiled_ssa = CompiledSSA(module)
+            compiled_ssa = CompiledSSA(module, max_steps=config.vm_max_steps)
         except BaselineError as exc:
             skipped("ssa", f"baseline limitation: {exc}")
         except Exception as exc:
@@ -357,7 +368,7 @@ def run_oracle(prog: FuzzProgram,
                 try:
                     obs.append(Observation(compiled_ssa.call(prog.entry,
                                                              *args)))
-                except bc.VMError:
+                except (bc.VMError, ResourceLimitError):
                     obs.append(Observation(TRAP))
             # the SSA image shares the VM but not the print plumbing
             # used above, so compare results only
@@ -375,7 +386,7 @@ def run_oracle(prog: FuzzProgram,
             try:
                 raw = evaluate(cps_convert_expr(prog.to_sexpr(args)))
                 obs.append(Observation(fold.to_signed(raw, 64)))
-            except CPSRuntimeError:
+            except (CPSRuntimeError, ResourceLimitError):
                 obs.append(Observation(TRAP))
         failure = _compare("cps", prog, reference, obs, outputs=False)
         if failure is not None:

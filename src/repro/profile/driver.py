@@ -40,10 +40,23 @@ def instrument(world: World) -> tuple[CompiledWorld, ProfileCollector]:
 
 
 def collect_profile(world: World, workload: Callable[[CompiledWorld], None],
-                    meta: dict | None = None) -> Profile:
-    """Run *workload* against an instrumented image of *world*."""
+                    meta: dict | None = None, *,
+                    swallow_errors: bool = False) -> Profile:
+    """Run *workload* against an instrumented image of *world*.
+
+    With ``swallow_errors`` a crashing workload still yields a profile
+    from whatever counters accumulated before the crash — a partial
+    profile only makes PGO less aggressive, whereas propagating would
+    kill a fault-tolerant build over its *training* run.
+    """
     compiled, collector = instrument(world)
-    workload(compiled)
+    try:
+        workload(compiled)
+    except Exception:
+        if not swallow_errors:
+            raise
+        meta = dict(meta or ())
+        meta["workload_crashed"] = True
     return Profile.from_collector(collector, compiled.program, meta=meta)
 
 
@@ -63,7 +76,8 @@ def compile_profiled(world: World,
     static_stats = optimize(world, options=options)
     profile = collect_profile(world, workload,
                               meta={"phase": "train",
-                                    "pipeline_rounds": static_stats.rounds})
+                                    "pipeline_rounds": static_stats.rounds},
+                              swallow_errors=not options.strict)
     pgo_stats = optimize(world, options=options, profile=profile)
     compiled = compile_world(world)
     return compiled, profile, {"static": static_stats, "pgo": pgo_stats}

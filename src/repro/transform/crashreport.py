@@ -1,0 +1,132 @@
+"""Crash-report bundles for unrecoverable pipeline failures.
+
+When non-strict ``optimize`` cannot recover — the rollback itself
+failed, or the fault-isolation machinery hit a bug — the pipeline calls
+:func:`write_crash_report` before raising
+:class:`~repro.transform.pipeline.PipelineCrash`.  The bundle is one
+directory under ``crash_reports/`` holding everything needed to replay
+the failure offline:
+
+* ``world.json`` — the pre-pipeline IR, as a
+  :mod:`repro.core.snapshot` capture (restore with
+  ``Snapshot.from_json(...).restore()``);
+* ``report.json`` — the error (with traceback), the pass trace
+  (recorded phases, incidents, quarantine, rollback counts), the
+  ``OptimizeOptions`` used, and any caller-supplied context such as the
+  fuzz seed;
+* ``repro.impala`` — present when the context carries a fuzz-generated
+  ``"program"``: the program minimized by the AST shrinker
+  (:mod:`repro.fuzz.shrink`) against the predicate "optimizing the
+  candidate still fails", rendered as compilable source.
+
+Bundle directories are named ``crash-NNNN-<ErrorClass>`` with the
+smallest free index, so repeated failures never overwrite each other.
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import asdict
+from pathlib import Path
+
+SHRINK_MAX_ATTEMPTS = 400
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _bundle_dir(directory: str | Path, error: Exception) -> Path:
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    label = type(error).__name__
+    index = 0
+    while True:
+        candidate = root / f"crash-{index:04d}-{label}"
+        if not candidate.exists():
+            candidate.mkdir()
+            return candidate
+        index += 1
+
+
+def _still_fails(program, options) -> bool:
+    """Does optimizing *program* from scratch still raise?
+
+    Used as the shrinker predicate; crash reporting is disabled for the
+    probe so a reproducing candidate does not recursively spawn bundles.
+    """
+    from dataclasses import replace
+
+    from .. import compile_source
+    from .pipeline import optimize
+
+    try:
+        world = compile_source(program.render(), optimize=False)
+        optimize(world, options=replace(options, crash_dir=None))
+    except Exception:
+        return True
+    return False
+
+
+def _minimize(program, options):
+    from ..fuzz.shrink import shrink
+
+    return shrink(program, lambda cand: _still_fails(cand, options),
+                  max_attempts=SHRINK_MAX_ATTEMPTS)
+
+
+def write_crash_report(*, directory, entry_snapshot, error, stats,
+                       options, context=None) -> Path:
+    """Write one crash bundle; returns the bundle directory."""
+    bundle = _bundle_dir(directory, error)
+    (bundle / "world.json").write_text(entry_snapshot.to_json())
+
+    option_fields = asdict(options)
+    option_fields["pass_hook"] = (
+        None if options.pass_hook is None else repr(options.pass_hook))
+
+    context = dict(context or {})
+    program = context.pop("program", None)
+
+    report = {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "traceback": traceback.format_exception(
+                type(error), error, error.__traceback__),
+        },
+        "pass_trace": {
+            "rounds": stats.rounds,
+            "phases": stats.phases(),
+            "incidents": [i.as_dict() for i in stats.incidents],
+            "quarantined": list(stats.quarantined),
+            "skipped": list(stats.skipped),
+            "checkpoints": stats.checkpoints,
+            "rollbacks": stats.rollbacks,
+        },
+        "options": _jsonable(option_fields),
+        "context": _jsonable(context),
+    }
+
+    if program is not None:
+        try:
+            minimized = _minimize(program, options)
+            source = minimized.render()
+            header = [f"// crash repro (seed {context.get('seed', '?')}), "
+                      f"shrinker-minimized", f"// error: {error!r}", ""]
+            (bundle / "repro.impala").write_text(
+                "\n".join(header) + source + "\n")
+            report["repro"] = {"file": "repro.impala",
+                               "entry": minimized.entry}
+        except Exception as exc:  # shrinking is best-effort
+            report["repro"] = {"error": repr(exc)}
+
+    (bundle / "report.json").write_text(json.dumps(report, indent=2))
+    return bundle

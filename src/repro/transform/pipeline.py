@@ -15,28 +15,52 @@ Mirrors the order the paper's compiler uses:
 All knobs live on :class:`OptimizeOptions`; ``optimize(world,
 options=...)`` threads them through to the individual passes.
 
+Fault isolation (the default, ``strict=False``): every phase runs
+inside a checkpoint/rollback guard built on :mod:`repro.core.snapshot`.
+If a pass raises, breaks an IR invariant (under ``verify_each_pass``),
+overruns its wall-clock ``pass_deadline``, or blows the world-growth
+budget, the pipeline **rolls back** to the last checkpoint,
+**quarantines** that pass for the rest of this ``optimize`` call,
+records a :class:`PassIncident` in :class:`PipelineStats`, and keeps
+going — a buggy pass degrades one compilation to "less optimized", it
+does not take the compiler down.  If recovery itself fails, a crash
+bundle (pre-pipeline IR, pass trace, options, context) is written via
+:mod:`repro.transform.crashreport` and :class:`PipelineCrash` is
+raised.
+
+``OptimizeOptions(strict=True)`` restores fail-fast behaviour: no
+checkpoints, no quarantine, the first error propagates to the caller.
+The differential fuzz oracle runs strict so that a miscompiling or
+crashing pass is *reported*, not silently optimized around.
+
 Pass-level checking (``OptimizeOptions(verify_each_pass=True)``): the
 full IR verifier (structural + use-list + scope invariants) runs after
 every phase, and the first broken invariant is attributed — via
-:class:`PassVerifyError` — to the pass that introduced it.  At pipeline
-exit the control-flow-form criterion is asserted and any residual
-violations (e.g. first-class callees closure elimination failed to
-remove) are reported in ``PipelineStats.cff_residual``.
+:class:`PassVerifyError` — to the pass that introduced it.  In strict
+mode the error is raised; in non-strict mode it triggers rollback and
+quarantine like any other pass failure.  At pipeline exit the
+control-flow-form criterion is asserted and any residual violations
+(e.g. first-class callees closure elimination failed to remove) are
+reported in ``PipelineStats.cff_residual`` (raised only under strict).
 
 Profile-guided mode (experiment F4): ``optimize(world, profile=...)``
 first runs the static rounds to a fixed point, then applies the PGO
 passes (:mod:`repro.transform.pgo`) — hot-loop peeling *before* PGO
 inlining, so peeled loops inside hot callees are carried along by the
 inline copy — and finally re-runs the static rounds to clean up and
-exploit what specialization exposed.  The profile is normally collected
+exploit what specialization exposed.  The PGO phases run under the same
+fault isolation as the static ones.  The profile is normally collected
 by :func:`repro.profile.driver.compile_profiled`, the two-phase
 instrument → run → recompile driver.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Callable
 
+from ..core.limits import DeadlineExceeded, ResourceLimitError, deadline
 from ..core.world import World
 from .cleanup import cleanup
 
@@ -61,8 +85,34 @@ class OptimizeOptions:
     # Pass-level checking: run the full IR verifier (structural checks,
     # use-list consistency, scope containment) after every phase, and
     # assert control-flow form at pipeline exit.  A failure raises
-    # :class:`PassVerifyError` naming the pass that broke the invariant.
+    # :class:`PassVerifyError` (strict) or quarantines the offending
+    # pass (non-strict).
     verify_each_pass: bool = False
+    # Fault isolation.  strict=True restores fail-fast: no checkpoints,
+    # no rollback, the first pass failure propagates.
+    strict: bool = False
+    # Per-pass wall-clock deadline in seconds (None disables).  Enforced
+    # preemptively via SIGALRM on the Unix main thread, post hoc (after
+    # the pass returns) elsewhere.
+    pass_deadline: float | None = None
+    # World-growth budget: a pass that leaves more than
+    # ``max(growth_cap_floor, growth_cap_factor * size-at-entry)``
+    # continuations behind is treated as blown up and rolled back.
+    growth_cap_factor: float = 64.0
+    growth_cap_floor: int = 4096
+    # "phase": checkpoint before every pass (precise rollback);
+    # "round": checkpoint once per static round (fewer snapshots, a
+    # failing pass loses the whole round's progress).
+    checkpoint_granularity: str = "phase"
+    # Where crash bundles go on unrecoverable failure (None disables).
+    crash_dir: str | None = "crash_reports"
+    # Caller-provided provenance recorded in crash bundles.  JSON-safe
+    # values only, plus optionally "program": a fuzz AST the bundle
+    # writer minimizes with the shrinker.
+    crash_context: dict | None = None
+    # Test/fault-injection hook, called as ``pass_hook(phase, world)``
+    # inside the isolated region right after each phase body.
+    pass_hook: Callable[[str, World], None] | None = None
 
 
 class PassVerifyError(Exception):
@@ -84,6 +134,48 @@ class PassVerifyError(Exception):
         self.cause = cause
 
 
+class PassGrowthError(ResourceLimitError):
+    """A pass exceeded the pipeline's world-growth budget."""
+
+    def __init__(self, phase: str, size: int, cap: int):
+        self.phase = phase
+        self.size = size
+        super().__init__(
+            "continuations", cap, "pipeline",
+            f"pass {phase!r} grew the world to {size} continuations "
+            f"(cap {cap})",
+        )
+
+
+class PipelineCrash(Exception):
+    """Non-strict ``optimize`` failed unrecoverably.
+
+    Raised after the crash bundle (if enabled) has been written;
+    ``report_path`` points at it and ``__cause__`` is the original
+    error.
+    """
+
+    def __init__(self, message: str, report_path=None):
+        if report_path is not None:
+            message = f"{message} (crash report: {report_path})"
+        super().__init__(message)
+        self.report_path = report_path
+
+
+@dataclass
+class PassIncident:
+    """One recovered pass failure: what failed, when, and why."""
+
+    phase: str
+    round: int
+    kind: str   # "exception" | "verify" | "deadline" | "growth"
+    error: str
+
+    def as_dict(self) -> dict:
+        return {"phase": self.phase, "round": self.round,
+                "kind": self.kind, "error": self.error}
+
+
 class PipelineStats:
     def __init__(self) -> None:
         self.rounds = 0
@@ -91,6 +183,12 @@ class PipelineStats:
         # Residual control-flow-form violations at pipeline exit
         # (populated only under ``verify_each_pass``; empty = CFF).
         self.cff_residual: list[str] = []
+        # Fault-isolation accounting (all empty/zero on a clean run).
+        self.incidents: list[PassIncident] = []
+        self.quarantined: list[str] = []
+        self.skipped: list[str] = []
+        self.checkpoints = 0
+        self.rollbacks = 0
 
     def record(self, phase: str, stats: dict) -> None:
         self.details.append((phase, dict(stats)))
@@ -99,67 +197,215 @@ class PipelineStats:
         return [phase for phase, _ in self.details]
 
 
-def _check_pass(world: World, options: OptimizeOptions,
-                stats: PipelineStats, phase: str) -> None:
-    """Under ``verify_each_pass``, verify the world after *phase*.
+def _quarantine_key(phase: str) -> str:
+    """Quarantine is per *pass*: ``cleanup(inline)`` counts as ``cleanup``."""
+    return phase.split("(", 1)[0]
 
-    The first broken invariant is attributed to the pass that just ran —
-    the phases before it all verified clean.
+
+class _PhaseRunner:
+    """Runs one phase at a time, fault-isolated unless strict.
+
+    Non-strict protocol per phase: skip if quarantined; otherwise
+    checkpoint (per ``checkpoint_granularity``), run the body (and the
+    fault-injection hook) under the deadline, then enforce the growth
+    cap and — under ``verify_each_pass`` — the full verifier.  Any
+    failure rolls the world back to the checkpoint and quarantines the
+    pass.  A failure *of the rollback itself* propagates; ``optimize``
+    turns it into a crash bundle.
     """
-    if not options.verify_each_pass:
-        return
-    from ..core.verify import VerifyError, verify
 
-    try:
-        verify(world, full=True)
-    except VerifyError as exc:
-        raise PassVerifyError(phase, stats.rounds, exc) from exc
+    def __init__(self, world: World, options: OptimizeOptions,
+                 stats: PipelineStats):
+        self.world = world
+        self.options = options
+        self.stats = stats
+        self.quarantine: set[str] = set()
+        self.checkpoint = None
+        baseline = max(1, len(world._continuations))
+        self.growth_cap = max(options.growth_cap_floor,
+                              int(options.growth_cap_factor * baseline))
+
+    # -- checkpoints --------------------------------------------------------
+
+    def _take_checkpoint(self) -> None:
+        from ..core.snapshot import snapshot_world
+
+        self.checkpoint = snapshot_world(self.world)
+        self.stats.checkpoints += 1
+
+    def new_round(self) -> None:
+        """Round boundary: refresh the checkpoint in "round" granularity."""
+        if (not self.options.strict
+                and self.options.checkpoint_granularity == "round"):
+            self._take_checkpoint()
+
+    # -- the guarded region -------------------------------------------------
+
+    def run(self, phase: str, body: Callable[[], dict]) -> dict:
+        options = self.options
+        if options.strict:
+            result = body()
+            if options.pass_hook is not None:
+                options.pass_hook(phase, self.world)
+            self._verify(phase)
+            return result
+
+        if _quarantine_key(phase) in self.quarantine:
+            self.stats.skipped.append(phase)
+            return {"quarantined": 1}
+
+        if options.checkpoint_granularity != "round" or self.checkpoint is None:
+            self._take_checkpoint()
+        started = time.perf_counter()
+        try:
+            with deadline(options.pass_deadline, what=f"pass {phase}"):
+                result = body()
+                if options.pass_hook is not None:
+                    options.pass_hook(phase, self.world)
+            if options.pass_deadline is not None:
+                # Post-hoc fallback for environments where the signal-
+                # based guard cannot preempt (threads, non-Unix).
+                elapsed = time.perf_counter() - started
+                if elapsed > options.pass_deadline:
+                    raise DeadlineExceeded(options.pass_deadline,
+                                           f"pass {phase}")
+            size = len(self.world._continuations)
+            if size > self.growth_cap:
+                raise PassGrowthError(phase, size, self.growth_cap)
+            self._verify(phase)
+            return result
+        except Exception as exc:
+            self._rollback(phase, exc)
+            return {"rolled_back": 1}
+
+    def _verify(self, phase: str) -> None:
+        if not self.options.verify_each_pass:
+            return
+        from ..core.verify import VerifyError, verify
+
+        try:
+            verify(self.world, full=True)
+        except VerifyError as exc:
+            raise PassVerifyError(phase, self.stats.rounds, exc) from exc
+
+    def _rollback(self, phase: str, exc: Exception) -> None:
+        from ..core.snapshot import restore_world
+
+        if isinstance(exc, PassVerifyError):
+            kind = "verify"
+        elif isinstance(exc, DeadlineExceeded):
+            kind = "deadline"
+        elif isinstance(exc, PassGrowthError):
+            kind = "growth"
+        else:
+            kind = "exception"
+        restore_world(self.checkpoint, into=self.world)
+        self.stats.rollbacks += 1
+        key = _quarantine_key(phase)
+        if key not in self.quarantine:
+            self.quarantine.add(key)
+            self.stats.quarantined.append(key)
+        self.stats.incidents.append(
+            PassIncident(phase, self.stats.rounds, kind, repr(exc)))
 
 
 def _run_static_rounds(world: World, options: OptimizeOptions,
-                       stats: PipelineStats) -> None:
+                       stats: PipelineStats, runner: _PhaseRunner) -> None:
     """The classic fixed-point loop (bounded by ``options.max_rounds``)."""
     from .closure_elim import eliminate_closures
     from .inliner import inline_small_functions
     from .lambda_dropping import drop_invariant_params
     from .partial_eval import partial_eval
 
+    passes = (
+        ("partial_eval", "specialized",
+         lambda: partial_eval(world, budget=options.pe_budget)),
+        ("closure_elim", "mangled",
+         lambda: eliminate_closures(world, budget=options.closure_budget)),
+        ("inline", "inlined",
+         lambda: inline_small_functions(
+             world, size_threshold=options.inline_size_threshold,
+             budget=options.inline_budget)),
+        ("lambda_drop", "dropped",
+         lambda: drop_invariant_params(world, budget=options.drop_budget)),
+    )
+
     for _ in range(options.max_rounds):
         stats.rounds += 1
+        runner.new_round()
         changed = 0
-
-        pe_stats = partial_eval(world, budget=options.pe_budget)
-        stats.record("partial_eval", pe_stats)
-        changed += pe_stats.get("specialized", 0)
-        _check_pass(world, options, stats, "partial_eval")
-        stats.record("cleanup", cleanup(world))
-        _check_pass(world, options, stats, "cleanup(partial_eval)")
-
-        ce_stats = eliminate_closures(world, budget=options.closure_budget)
-        stats.record("closure_elim", ce_stats)
-        changed += ce_stats.get("mangled", 0)
-        _check_pass(world, options, stats, "closure_elim")
-        stats.record("cleanup", cleanup(world))
-        _check_pass(world, options, stats, "cleanup(closure_elim)")
-
-        inline_stats = inline_small_functions(
-            world, size_threshold=options.inline_size_threshold,
-            budget=options.inline_budget)
-        stats.record("inline", inline_stats)
-        changed += inline_stats.get("inlined", 0)
-        _check_pass(world, options, stats, "inline")
-        stats.record("cleanup", cleanup(world))
-        _check_pass(world, options, stats, "cleanup(inline)")
-
-        ld_stats = drop_invariant_params(world, budget=options.drop_budget)
-        stats.record("lambda_drop", ld_stats)
-        changed += ld_stats.get("dropped", 0)
-        _check_pass(world, options, stats, "lambda_drop")
-        stats.record("cleanup", cleanup(world))
-        _check_pass(world, options, stats, "cleanup(lambda_drop)")
-
+        for phase, changed_key, body in passes:
+            result = runner.run(phase, body)
+            stats.record(phase, result)
+            changed += result.get(changed_key, 0)
+            stats.record("cleanup",
+                         runner.run(f"cleanup({phase})",
+                                    lambda: cleanup(world)))
         if not changed:
             break
+
+
+def _optimize_guarded(world: World, options: OptimizeOptions,
+                      profile, stats: PipelineStats,
+                      runner: _PhaseRunner) -> PipelineStats:
+    stats.record("cleanup",
+                 runner.run("cleanup(initial)", lambda: cleanup(world)))
+    _run_static_rounds(world, options, stats, runner)
+
+    if profile is not None:
+        from .pgo import pgo_inline, specialize_hot_loops
+
+        loop_stats = runner.run(
+            "pgo_loops",
+            lambda: specialize_hot_loops(
+                world, profile,
+                min_count=options.pgo_loop_min_count,
+                budget=options.pgo_loop_budget))
+        stats.record("pgo_loops", loop_stats)
+        stats.record("cleanup",
+                     runner.run("cleanup(pgo_loops)",
+                                lambda: cleanup(world)))
+
+        inline_stats = runner.run(
+            "pgo_inline",
+            lambda: pgo_inline(
+                world, profile,
+                min_count=options.pgo_call_min_count,
+                min_fraction=options.pgo_hot_call_fraction,
+                budget=options.pgo_inline_budget))
+        stats.record("pgo_inline", inline_stats)
+        stats.record("cleanup",
+                     runner.run("cleanup(pgo_inline)",
+                                lambda: cleanup(world)))
+
+        if (loop_stats.get("loops_peeled", 0)
+                or inline_stats.get("pgo_inlined", 0)):
+            _run_static_rounds(world, options, stats, runner)
+
+    if options.verify_each_pass:
+        # Control-flow form is the pipeline's exit contract: closure
+        # elimination promises that a CFG+SSA backend can lower the
+        # residual program.  Record what is left over; fail loudly
+        # (strict only) if anything — in particular a first-class
+        # callee — survived.
+        from ..core.verify import VerifyError, cff_violations
+
+        stats.cff_residual = cff_violations(world)
+        if stats.cff_residual:
+            summary = "; ".join(stats.cff_residual[:4])
+            error = PassVerifyError(
+                "pipeline-exit(cff)", stats.rounds,
+                VerifyError(
+                    f"{len(stats.cff_residual)} control-flow-form "
+                    f"violation(s) at pipeline exit: {summary}"
+                ),
+            )
+            if options.strict:
+                raise error
+            stats.incidents.append(
+                PassIncident("pipeline-exit(cff)", stats.rounds, "verify",
+                             repr(error)))
+    return stats
 
 
 def optimize(world: World, *, options: OptimizeOptions | None = None,
@@ -170,6 +416,11 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
     keyword for convenience and overrides the option of the same name.
     Passing a :class:`repro.profile.model.Profile` as ``profile``
     appends the profile-guided phase (see module docstring).
+
+    By default the pipeline is fault-isolated (see module docstring):
+    a failing pass is rolled back and quarantined, and the incident
+    recorded in the returned :class:`PipelineStats`.  Under
+    ``OptimizeOptions(strict=True)`` the first failure propagates.
     """
     options = options if options is not None else OptimizeOptions()
     if max_rounds is not None:
@@ -177,51 +428,31 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
         options = replace(options, max_rounds=max_rounds)
 
     stats = PipelineStats()
-    stats.record("cleanup", cleanup(world))
-    _check_pass(world, options, stats, "cleanup(initial)")
-    _run_static_rounds(world, options, stats)
+    runner = _PhaseRunner(world, options, stats)
+    if options.strict:
+        return _optimize_guarded(world, options, profile, stats, runner)
 
-    if profile is not None:
-        from .pgo import pgo_inline, specialize_hot_loops
+    from ..core.snapshot import snapshot_world
 
-        loop_stats = specialize_hot_loops(
-            world, profile,
-            min_count=options.pgo_loop_min_count,
-            budget=options.pgo_loop_budget)
-        stats.record("pgo_loops", loop_stats)
-        _check_pass(world, options, stats, "pgo_loops")
-        stats.record("cleanup", cleanup(world))
-        _check_pass(world, options, stats, "cleanup(pgo_loops)")
+    entry_snapshot = snapshot_world(world)
+    try:
+        return _optimize_guarded(world, options, profile, stats, runner)
+    except Exception as exc:
+        report_path = None
+        if options.crash_dir is not None:
+            from .crashreport import write_crash_report
 
-        inline_stats = pgo_inline(
-            world, profile,
-            min_count=options.pgo_call_min_count,
-            min_fraction=options.pgo_hot_call_fraction,
-            budget=options.pgo_inline_budget)
-        stats.record("pgo_inline", inline_stats)
-        _check_pass(world, options, stats, "pgo_inline")
-        stats.record("cleanup", cleanup(world))
-        _check_pass(world, options, stats, "cleanup(pgo_inline)")
-
-        if (loop_stats.get("loops_peeled", 0)
-                or inline_stats.get("pgo_inlined", 0)):
-            _run_static_rounds(world, options, stats)
-
-    if options.verify_each_pass:
-        # Control-flow form is the pipeline's exit contract: closure
-        # elimination promises that a CFG+SSA backend can lower the
-        # residual program.  Record what is left over and fail loudly if
-        # anything (in particular a first-class callee) survived.
-        from ..core.verify import VerifyError, cff_violations
-
-        stats.cff_residual = cff_violations(world)
-        if stats.cff_residual:
-            summary = "; ".join(stats.cff_residual[:4])
-            raise PassVerifyError(
-                "pipeline-exit(cff)", stats.rounds,
-                VerifyError(
-                    f"{len(stats.cff_residual)} control-flow-form "
-                    f"violation(s) at pipeline exit: {summary}"
-                ),
-            )
-    return stats
+            try:
+                report_path = write_crash_report(
+                    directory=options.crash_dir,
+                    entry_snapshot=entry_snapshot,
+                    error=exc,
+                    stats=stats,
+                    options=options,
+                    context=options.crash_context,
+                )
+            except Exception:  # pragma: no cover - reporting best-effort
+                report_path = None
+        raise PipelineCrash(
+            f"optimization pipeline failed unrecoverably: {exc!r}",
+            report_path) from exc

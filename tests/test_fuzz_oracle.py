@@ -95,9 +95,9 @@ class TestDetection:
             return stats
 
         monkeypatch.setattr(pipeline, "optimize", sabotaged)
-        # run_vm=False: the VM has no step budget, and a dropped
-        # loop-carried argument can make the sabotaged program spin
-        # forever; the bounded interpreter turns that into a trap.
+        # run_vm=False: the bounded interpreter alone catches the
+        # sabotage; a dropped loop-carried argument can make the
+        # program spin until the (much larger) VM step budget.
         failure = run_oracle(prog, OracleConfig(run_pgo=False, run_c=False,
                                                 run_ssa=False, run_vm=False,
                                                 verify_each_pass=False,

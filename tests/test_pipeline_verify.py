@@ -23,6 +23,10 @@ from repro.transform.pipeline import (
 )
 
 CHECKED = OptimizeOptions(verify_each_pass=True)
+# Attribution via a *raised* PassVerifyError needs fail-fast mode; the
+# default (non-strict) pipeline instead quarantines the offender — that
+# behaviour is covered by test_pipeline_faults.py.
+CHECKED_STRICT = OptimizeOptions(verify_each_pass=True, strict=True)
 
 
 class TestStaticPipelineChecked:
@@ -95,7 +99,7 @@ class TestAttribution:
         for program in ALL_PROGRAMS:
             world = compile_source(program.source, optimize=False)
             try:
-                optimize(world, options=CHECKED)
+                optimize(world, options=CHECKED_STRICT)
             except PassVerifyError as exc:
                 caught = exc
                 break
@@ -127,7 +131,7 @@ class TestAttribution:
         for program in ALL_PROGRAMS:
             world = compile_source(program.source, optimize=False)
             try:
-                optimize(world, options=OptimizeOptions())
+                optimize(world, options=OptimizeOptions(strict=True))
             except PassVerifyError:  # pragma: no cover - would be a bug
                 pytest.fail("unchecked pipeline raised PassVerifyError")
             except Exception:

@@ -1,0 +1,98 @@
+"""World snapshots: byte-identical round trips, in-place restore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.snapshot import (Snapshot, SnapshotError, restore_world,
+                                 snapshot_world)
+from repro.core.verify import verify
+from repro.core.world import World
+from repro.frontend import compile_source
+from repro.programs.suite import ALL_PROGRAMS
+from repro.transform.pipeline import optimize
+
+
+def _snapshot_roundtrip(world: World) -> None:
+    first = snapshot_world(world)
+    clone = restore_world(first)
+    assert clone is not world
+    verify(clone, full=True)
+    # The clone serializes to the exact same bytes: gids, names,
+    # hash-cons membership, registration order all survived.
+    assert snapshot_world(clone).to_json() == first.to_json()
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+def test_roundtrip_unoptimized(program):
+    _snapshot_roundtrip(compile_source(program.source, optimize=False))
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS, ids=lambda p: p.name)
+def test_roundtrip_optimized(program):
+    _snapshot_roundtrip(compile_source(program.source))
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS[:4], ids=lambda p: p.name)
+def test_restored_world_still_runs(program):
+    from repro.backend.interp import Interpreter
+
+    world = compile_source(program.source, optimize=False)
+    expected = Interpreter(world).call(program.entry, *program.test_args)
+    clone = restore_world(snapshot_world(world))
+    assert Interpreter(clone).call(program.entry,
+                                   *program.test_args) == expected
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS[:4], ids=lambda p: p.name)
+def test_in_place_restore_rolls_back_optimization(program):
+    """snapshot → optimize → restore-in-place == the original world."""
+    world = compile_source(program.source, optimize=False)
+    checkpoint = snapshot_world(world)
+    optimize(world)
+    assert snapshot_world(world).to_json() != checkpoint.to_json()
+    restore_world(checkpoint, into=world)
+    verify(world, full=True)
+    assert snapshot_world(world).to_json() == checkpoint.to_json()
+
+
+@pytest.mark.parametrize("program", ALL_PROGRAMS[:4], ids=lambda p: p.name)
+def test_restored_world_can_be_reoptimized(program):
+    """A restored checkpoint is a fully live world, not a dead record."""
+    from repro.backend.interp import Interpreter
+
+    world = compile_source(program.source, optimize=False)
+    clone = restore_world(snapshot_world(world))
+    optimize(clone)
+    verify(clone, full=True)
+    assert Interpreter(clone).call(program.entry, *program.test_args) == \
+        Interpreter(world).call(program.entry, *program.test_args)
+
+
+def test_json_roundtrip():
+    world = compile_source(ALL_PROGRAMS[0].source, optimize=False)
+    snap = snapshot_world(world)
+    text = snap.to_json()
+    again = Snapshot.from_json(text)
+    assert again.to_json() == text
+    verify(restore_world(again), full=True)
+
+
+def test_from_json_rejects_non_snapshots():
+    with pytest.raises(SnapshotError):
+        Snapshot.from_json("{}")
+    with pytest.raises(SnapshotError):
+        Snapshot.from_json('{"format": 999}')
+
+
+def test_counters_survive():
+    """Fresh defs made after a restore never collide with captured gids."""
+    world = compile_source(ALL_PROGRAMS[0].source, optimize=False)
+    clone = restore_world(snapshot_world(world))
+    assert clone._gid == world._gid
+    gids = {d.gid for d in clone._primops.values()}
+    gids |= {c.gid for c in clone._continuations}
+    from repro.core import types as ct
+
+    lit = clone.literal(ct.I64, 123456)
+    assert lit.gid not in gids or lit.gid < clone._gid
