@@ -48,7 +48,7 @@ from ..core.primops import (
     TupleVal,
 )
 from ..core.schedule import Schedule
-from ..core.scope import Scope, top_level_continuations
+from ..core.scope import Scope, scope_of, top_level_of
 from ..core.types import (
     BOOL,
     DefiniteArrayType,
@@ -131,7 +131,7 @@ class CEmitter:
 
     def emit(self) -> str:
         self.out.write(PRELUDE)
-        functions = [c for c in top_level_continuations(self.world)
+        functions = [c for c in top_level_of(self.world)
                      if c.has_body() and c.is_returning()]
         for fn in functions:
             self.out.write("\n")
@@ -166,8 +166,13 @@ class CEmitter:
         return self._name(d)
 
     def _emit_function(self, fn: Continuation) -> None:
-        scope = Scope(fn)
-        schedule = Schedule(scope)
+        manager = self.world._analyses
+        if manager is not None and manager.enabled:
+            scope = manager.scope(fn)
+            schedule = manager.schedule(fn)
+        else:
+            scope = Scope(fn)
+            schedule = Schedule(scope)
         ret = None
         for p in reversed(fn.params):
             if isinstance(p.type, FnType):
@@ -310,7 +315,7 @@ class CEmitter:
                 w.write(f"    printf({fmt}, {self._ref(args[1])});\n")
                 w.write(f"    goto {self._goto_target(args[2])};\n")
                 return
-            if callee in Scope(fn) and callee is not fn:
+            if callee in scope_of(fn) and callee is not fn:
                 self._emit_jump_to_block(block, callee)
                 return
             # a call (possibly recursive)

@@ -169,8 +169,13 @@ class FunctionCodegen:
         self.world = parent.world
         self.entry = entry
         self.fn = parent.program.functions[parent.function_index(entry)]
-        self.scope = Scope(entry)
-        self.schedule = Schedule(self.scope, parent.placement)
+        manager = self.world._analyses
+        if manager is not None and manager.enabled:
+            self.scope = manager.scope(entry)
+            self.schedule = manager.schedule(entry, parent.placement)
+        else:
+            self.scope = Scope(entry)
+            self.schedule = Schedule(self.scope, parent.placement)
         self.ret_param = _ret_param(entry)
         self._regs: dict[Def, int] = {}
         self._const_regs: dict[Def, int] = {}

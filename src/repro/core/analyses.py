@@ -1,0 +1,300 @@
+"""Incremental analysis caching.
+
+Scope recovery is the paper's answer to explicit nesting: structure is
+*recomputed on demand* from the graph.  The pipeline demands it at ~14
+call sites inside up to 8 fixed-point rounds, so without memoization the
+compiler spends most of its time re-deriving scopes, CFGs, dominator
+trees and schedules that did not change.
+
+:class:`AnalysisManager` memoizes these analyses per entry continuation
+and invalidates them with two tiers of precision:
+
+* **generation check** — :attr:`World.generation <repro.core.world.World.generation>`
+  is a monotone counter bumped by every graph mutation (and only by
+  mutations).  Whole-world analyses (``top_level``) and derived memos
+  (``free_params``) are stamped with it and are free to reuse while it
+  stands still.
+* **touched sets** — every use-edge rewiring funnels through
+  ``Def._set_ops``, which reports the user and its new operands to the
+  manager.  A cached scope is dropped exactly when a touched def is a
+  member; untouched scopes survive the mutation.  Registry surgery
+  (param append/remove, GC pruning) reports the continuations involved;
+  anything that cannot say what it touched (snapshot restore) forces a
+  drop-all.
+
+Soundness of the membership test: a mutation changes the scope of an
+entry ``e`` only if it adds or removes a use-edge incident to a member
+of ``Scope(e)``.  For an added edge the new operand is a member; for a
+removed edge the *user* was already a member (any user of a member is
+flood-reachable, hence itself a member of the old scope).  Both are in
+the reported touched set, so a cached scope that survives is
+bit-identical to a fresh recomputation — including iteration order,
+which downstream printing and pass determinism rely on.  This is what
+makes ``cache_analyses`` on/off differentially checkable.
+
+The pending touched set is bounded (:data:`PENDING_CAP`); overflow
+escalates to drop-all rather than an unbounded sync cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from .cfg import CFG
+from .defs import Continuation, Def
+from .domtree import DomTree
+from .looptree import LoopTree
+from .schedule import Placement, Schedule
+from .scope import Scope, top_level_continuations
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .world import World
+
+# Beyond this many distinct touched defs between queries, tracking stops
+# paying for itself: fall back to dropping every cached analysis.
+PENDING_CAP = 4096
+
+
+class AnalysisStats:
+    """Counters describing cache effectiveness (see ``PipelineStats``)."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0  # cached entries dropped by touched sets
+        self.drop_alls = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "analysis_hits": self.hits,
+            "analysis_misses": self.misses,
+            "analysis_invalidations": self.invalidations,
+            "analysis_drop_alls": self.drop_alls,
+        }
+
+
+class AnalysisManager:
+    """Memoized ``Scope``/``CFG``/``DomTree``/``LoopTree``/``Schedule``.
+
+    One manager per :class:`~repro.core.world.World` (created lazily via
+    ``world.analyses``).  When ``enabled`` is False every query builds a
+    fresh analysis — exactly the pre-caching behaviour — which is the
+    differential baseline for the fuzz oracle's cache check.
+    """
+
+    def __init__(self, world: "World", *, enabled: bool = True):
+        self.world = world
+        self.enabled = enabled
+        self.stats = AnalysisStats()
+        self._scopes: dict[Continuation, Scope] = {}
+        self._cfgs: dict[Continuation, CFG] = {}
+        self._domtrees: dict[Continuation, DomTree] = {}
+        self._looptrees: dict[Continuation, LoopTree] = {}
+        self._schedules: dict[tuple[Continuation, Placement], Schedule] = {}
+        self._top_level: tuple[int, tuple[Continuation, ...]] | None = None
+        # Reverse membership index: def -> entries whose cached scope
+        # contains it.  Makes a sync O(|pending|) lookups instead of one
+        # subset test per cached scope.  Entries are appended when a
+        # scope is cached and validated lazily against ``_scopes`` when
+        # read (dropping a scope leaves its index rows stale but inert).
+        # A row is a bare Continuation until a second entry shares the
+        # def — most defs belong to exactly one cached scope, and the
+        # bare form avoids allocating a set per indexed def.
+        self._member_index: dict[Def, Continuation | set[Continuation]] = {}
+        # None means "drop everything at the next sync".
+        self._pending: set[Def] | None = set()
+
+    # ------------------------------------------------------------------
+    # mutation notes (called via World._note_*)
+    # ------------------------------------------------------------------
+
+    def _record_touched(self, user: Def, ops: Iterable[Def]) -> None:
+        pending = self._pending
+        if pending is None or not self.enabled:
+            return
+        pending.add(user)
+        pending.update(ops)
+        if len(pending) > PENDING_CAP:
+            self._pending = None
+
+    def _record_touched_defs(self, touched: Iterable[Def]) -> None:
+        pending = self._pending
+        if pending is None or not self.enabled:
+            return
+        pending.update(touched)
+        if len(pending) > PENDING_CAP:
+            self._pending = None
+
+    def _record_all(self) -> None:
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(self, touched: Iterable[Def] | None = None) -> None:
+        """Public contract for passes: report the defs you touched, or
+        report nothing and lose every cached analysis."""
+        if touched is None:
+            self._pending = None
+        else:
+            self._record_touched_defs(touched)
+
+    def set_enabled(self, enabled: bool) -> None:
+        if not enabled:
+            self._drop_all()
+            self._pending = set()
+        self.enabled = enabled
+
+    def _drop_all(self) -> None:
+        dropped = len(self._scopes)
+        self._scopes.clear()
+        self._cfgs.clear()
+        self._domtrees.clear()
+        self._looptrees.clear()
+        self._schedules.clear()
+        self._top_level = None
+        self._member_index.clear()
+        self.stats.invalidations += dropped
+        self.stats.drop_alls += 1
+
+    def _drop_entry(self, entry: Continuation) -> None:
+        del self._scopes[entry]
+        self._cfgs.pop(entry, None)
+        self._domtrees.pop(entry, None)
+        self._looptrees.pop(entry, None)
+        for placement in Placement:
+            self._schedules.pop((entry, placement), None)
+        self.stats.invalidations += 1
+
+    def _sync(self) -> None:
+        pending = self._pending
+        if pending is None:
+            self._drop_all()
+            self._pending = set()
+            return
+        if not pending:
+            return
+        index = self._member_index
+        drop: set[Continuation] = set()
+        for d in pending:
+            entries = index.get(d)
+            if entries is None:
+                continue
+            if entries.__class__ is set:
+                drop.update(entries)
+            else:
+                drop.add(entries)
+        for entry in drop:
+            if entry in self._scopes:
+                self._drop_entry(entry)
+        pending.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def scope(self, entry: Continuation) -> Scope:
+        if not self.enabled:
+            return Scope(entry)
+        self._sync()
+        return self._scope_synced(entry)
+
+    def _scope_synced(self, entry: Continuation) -> Scope:
+        scope = self._scopes.get(entry)
+        if scope is None:
+            self.stats.misses += 1
+            scope = Scope(entry)
+            self._scopes[entry] = scope
+            index = self._member_index
+            for d in scope._defs:
+                members = index.get(d)
+                if members is None:
+                    index[d] = entry
+                elif members.__class__ is set:
+                    members.add(entry)
+                elif members is not entry:
+                    index[d] = {members, entry}
+        else:
+            self.stats.hits += 1
+        return scope
+
+    def cfg(self, entry: Continuation) -> CFG:
+        if not self.enabled:
+            return CFG(Scope(entry))
+        self._sync()
+        return self._cfg_synced(entry)
+
+    def _cfg_synced(self, entry: Continuation) -> CFG:
+        cfg = self._cfgs.get(entry)
+        if cfg is None:
+            self.stats.misses += 1
+            cfg = CFG(self._scope_synced(entry))
+            self._cfgs[entry] = cfg
+        else:
+            self.stats.hits += 1
+        return cfg
+
+    def domtree(self, entry: Continuation) -> DomTree:
+        if not self.enabled:
+            return DomTree(CFG(Scope(entry)))
+        self._sync()
+        return self._domtree_synced(entry)
+
+    def _domtree_synced(self, entry: Continuation) -> DomTree:
+        tree = self._domtrees.get(entry)
+        if tree is None:
+            self.stats.misses += 1
+            tree = DomTree(self._cfg_synced(entry))
+            self._domtrees[entry] = tree
+        else:
+            self.stats.hits += 1
+        return tree
+
+    def looptree(self, entry: Continuation) -> LoopTree:
+        if not self.enabled:
+            return LoopTree(CFG(Scope(entry)))
+        self._sync()
+        return self._looptree_synced(entry)
+
+    def _looptree_synced(self, entry: Continuation) -> LoopTree:
+        tree = self._looptrees.get(entry)
+        if tree is None:
+            self.stats.misses += 1
+            tree = LoopTree(self._cfg_synced(entry))
+            self._looptrees[entry] = tree
+        else:
+            self.stats.hits += 1
+        return tree
+
+    def schedule(self, entry: Continuation,
+                 placement: Placement = Placement.SMART) -> Schedule:
+        if not self.enabled:
+            return Schedule(Scope(entry), placement)
+        self._sync()
+        schedule = self._schedules.get((entry, placement))
+        if schedule is None:
+            self.stats.misses += 1
+            schedule = Schedule(
+                self._scope_synced(entry), placement,
+                cfg=self._cfg_synced(entry),
+                domtree=self._domtree_synced(entry),
+                looptree=self._looptree_synced(entry),
+            )
+            self._schedules[(entry, placement)] = schedule
+        else:
+            self.stats.hits += 1
+        return schedule
+
+    def top_level(self) -> list[Continuation]:
+        if not self.enabled:
+            return top_level_continuations(self.world)
+        generation = self.world.generation
+        cached = self._top_level
+        if cached is not None and cached[0] == generation:
+            self.stats.hits += 1
+            return list(cached[1])
+        self.stats.misses += 1
+        result = top_level_continuations(self.world)
+        self._top_level = (generation, tuple(result))
+        return result

@@ -68,6 +68,9 @@ class Def:
         return len(self._ops)
 
     def _set_ops(self, ops: tuple["Def", ...]) -> None:
+        if ops == self._ops:
+            return  # no edge changes: keep use-lists (and caches) intact
+        self.world._note_touched(self, ops)
         for index, op in enumerate(self._ops):
             del op._uses[Use(self, index)]
         self._ops = ops
@@ -263,6 +266,7 @@ class Continuation(Def):
         self.params.append(param)
         self.type = make_fn_type(
             tuple(self.fn_type.param_types) + (param_type,))
+        self.world._note_structural(self)
         return param
 
     def remove_param(self, index: int) -> None:
@@ -277,6 +281,7 @@ class Continuation(Def):
             later.index -= 1
         param_types = [t for i, t in enumerate(self.fn_type.param_types) if i != index]
         self.type = make_fn_type(tuple(param_types))
+        self.world._note_structural(self)
 
     # -- classification -----------------------------------------------------------
 

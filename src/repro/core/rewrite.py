@@ -50,7 +50,10 @@ def rewrite_uses(world: World, mapping: dict[Def, Def]) -> dict[Def, Def]:
         hit = memo.get(d)
         if hit is not None:
             return hit
-        if isinstance(d, PrimOp):
+        # Only transitive users of the mapping keys (the flooded set)
+        # can change; everything else rewrites to itself without
+        # walking its operand tree.
+        if d in seen and isinstance(d, PrimOp):
             new_ops = tuple(rw(op) for op in d.ops)
             new = d if new_ops == d.ops else world.rebuild(d, new_ops)
             memo[d] = new

@@ -56,12 +56,13 @@ class Schedule:
     """A placement of every live primop of a scope into its CFG blocks."""
 
     def __init__(self, scope: Scope, placement: Placement = Placement.SMART,
-                 cfg: CFG | None = None):
+                 cfg: CFG | None = None, domtree: DomTree | None = None,
+                 looptree: LoopTree | None = None):
         self.scope = scope
         self.placement = placement
         self.cfg = cfg if cfg is not None else CFG(scope)
-        self.domtree = DomTree(self.cfg)
-        self.looptree = LoopTree(self.cfg)
+        self.domtree = domtree if domtree is not None else DomTree(self.cfg)
+        self.looptree = looptree if looptree is not None else LoopTree(self.cfg)
         self._early: dict[Def, Continuation] = {}
         self._late: dict[PrimOp, Continuation] = {}
         self._block_of: dict[PrimOp, Continuation] = {}

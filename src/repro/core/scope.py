@@ -33,9 +33,15 @@ class Scope:
     after rewriting (scope recovery is linear in the scope's size).
     """
 
+    #: Total ``Scope`` constructions, ever.  A cheap observability hook:
+    #: regression tests assert that cached paths build no new scopes.
+    constructed = 0
+
     def __init__(self, entry: Continuation):
+        Scope.constructed += 1
         self.entry = entry
         self._defs: dict[Def, None] = {}  # insertion-ordered set
+        self._free_params_memo: tuple[int, tuple[Param, ...]] | None = None
         self._run()
 
     def _run(self) -> None:
@@ -104,7 +110,20 @@ class Scope:
         turning the entry into a first-class value would require a
         closure.  Transitive: a free continuation's own free params count
         as well (the closure would have to capture them indirectly).
+
+        The result depends on the graph *outside* this scope, so it is
+        memoized against the world's mutation generation, not against
+        the scope itself.
         """
+        generation = self.entry.world.generation
+        memo = self._free_params_memo
+        if memo is not None and memo[0] == generation:
+            return list(memo[1])
+        result = self._compute_free_params()
+        self._free_params_memo = (generation, tuple(result))
+        return result
+
+    def _compute_free_params(self) -> list[Param]:
         seen: set[Def] = set()
         result: dict[Param, None] = {}
         queue = self.free_defs()
@@ -118,7 +137,7 @@ class Scope:
             elif isinstance(d, Continuation):
                 if d.is_intrinsic():
                     continue
-                inner = Scope(d)
+                inner = scope_of(d)
                 for f in inner.free_defs():
                     if f not in seen:
                         queue.append(f)
@@ -132,19 +151,76 @@ class Scope:
         return bool(self.free_params())
 
 
+def scope_of(entry: Continuation) -> Scope:
+    """An entry's scope, via the world's analysis cache when active.
+
+    Falls back to a fresh :class:`Scope` when the world has no
+    :class:`~repro.core.analyses.AnalysisManager` yet or caching is
+    disabled — exactly the historical behaviour, which keeps the cached
+    and uncached pipelines differentially comparable.
+    """
+    manager = entry.world._analyses
+    if manager is not None and manager.enabled:
+        return manager.scope(entry)
+    return Scope(entry)
+
+
+def top_level_of(world) -> list[Continuation]:
+    """``top_level_continuations`` via the analysis cache when active."""
+    manager = world._analyses
+    if manager is not None and manager.enabled:
+        return manager.top_level()
+    return top_level_continuations(world)
+
+
 def top_level_continuations(world) -> list[Continuation]:
     """Continuations that sit in no other continuation's scope.
 
     These are the units of code generation: returning functions and
-    (after closure elimination) nothing else.  Computed by elimination:
-    every continuation that appears in the scope of another continuation
-    is *not* top-level.
+    (after closure elimination) nothing else.
+
+    One shared sweep instead of one ``Scope`` per continuation: for each
+    def, propagate the set of entries whose params reach it along the
+    edges the ``Scope`` flood follows (use-edges plus continuation ->
+    param edges).  The flood never follows uses of the entry *itself*,
+    so when the sweep flows through a continuation ``d`` it subtracts
+    ``d`` from the set — a reference to an entry must not leak its scope
+    into the referrer.  A continuation is nested iff any entry other
+    than itself reaches it.  Set sizes are bounded by nesting depth, so
+    this is near-linear in the graph instead of one full scope per
+    continuation.
     """
-    nested: set[Continuation] = set()
     conts = world.continuations()
-    scopes = {c: Scope(c) for c in conts}
-    for c, scope in scopes.items():
-        for d in scope.defs():
-            if isinstance(d, Continuation) and d is not c:
-                nested.add(d)
-    return [c for c in conts if c not in nested and not c.is_intrinsic()]
+    reaching: dict[Def, set[Continuation]] = {}
+    worklist: list[Def] = []
+
+    def join(d: Def, incoming: set[Continuation]) -> None:
+        have = reaching.get(d)
+        if have is None:
+            reaching[d] = set(incoming)
+            worklist.append(d)
+        elif not incoming <= have:
+            have |= incoming
+            worklist.append(d)
+
+    for entry in conts:
+        for param in entry.params:
+            join(param, {entry})
+    while worklist:
+        d = worklist.pop()
+        out = reaching[d]
+        if d in out:
+            out = out - {d}
+            if not out:
+                continue
+        for use in d.uses:
+            join(use.user, out)
+        if isinstance(d, Continuation):
+            for param in d.params:
+                join(param, out)
+
+    def nested(c: Continuation) -> bool:
+        have = reaching.get(c)
+        return bool(have) and not have <= {c}
+
+    return [c for c in conts if not nested(c) and not c.is_intrinsic()]

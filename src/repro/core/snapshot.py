@@ -364,6 +364,10 @@ def restore_world(snapshot: Snapshot | dict, *,
     types = _decode_types(data["types"])
 
     world = into if into is not None else World(data["name"])
+    # A restore rebuilds the graph wholesale: cached analyses cannot be
+    # attributed, so drop them all up front (the per-def mutation notes
+    # below then short-circuit against the already-pending drop-all).
+    world._note_all()
     world.name = data["name"]
     world.folding = data["folding"]
     world._primops = {}
@@ -430,4 +434,8 @@ def restore_world(snapshot: Snapshot | dict, *,
      world._global_id) = data["counters"]
     (world.stats.gvn_hits, world.stats.gvn_misses,
      world.stats.folds) = data["stats"]
+    # The generation counter is deliberately *not* part of the snapshot:
+    # it must stay monotone across rollbacks so stamped memos taken
+    # before the restore can never be mistaken for current.
+    world._note_all()
     return world

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from .defs import Continuation, Def, Intrinsic, Param, Use
 from .primops import EvalOp
-from .scope import Scope, top_level_continuations
+from .scope import Scope, scope_of, top_level_of
 from .types import FnType
 from .world import World
 
@@ -276,7 +276,7 @@ def verify_scopes(world: World) -> None:
     for cont in world.externals():
         if not cont.has_body():
             continue
-        free = Scope(cont).free_params()
+        free = scope_of(cont).free_params()
         if free:
             names = ", ".join(p.unique_name() for p in free[:4])
             raise VerifyError(
@@ -293,7 +293,7 @@ def verify_scopes(world: World) -> None:
 def cff_violations(world: World) -> list[str]:
     """Reasons the world is not in control-flow form (empty = CFF)."""
     violations: list[str] = []
-    for function in top_level_continuations(world):
+    for function in top_level_of(world):
         if not function.has_body():
             continue
         if function.fn_type.order() > 2:
@@ -302,7 +302,7 @@ def cff_violations(world: World) -> list[str]:
                 f"function type {function.fn_type}"
             )
             continue
-        scope = Scope(function)
+        scope = scope_of(function)
         free = scope.free_params()
         if free:
             names = ", ".join(p.unique_name() for p in free)

@@ -101,6 +101,8 @@ class World:
         self._slot_id = 0
         self._alloc_id = 0
         self._global_id = 0
+        self._generation = 0
+        self._analyses = None
 
     # ------------------------------------------------------------------
     # identity & registry
@@ -108,7 +110,57 @@ class World:
 
     def next_gid(self) -> int:
         self._gid += 1
+        self._generation += 1
         return self._gid
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter: bumped by every change to the graph
+        or its registries, never by reads and never rolled back (a
+        snapshot restore *advances* it).  Cached analyses key on it.
+        """
+        return self._generation
+
+    @property
+    def analyses(self):
+        """The world's :class:`~repro.core.analyses.AnalysisManager`.
+
+        Created lazily so worlds that never ask for cached analyses pay
+        nothing; once created, mutation notes flow into it.
+        """
+        if self._analyses is None:
+            from .analyses import AnalysisManager
+
+            self._analyses = AnalysisManager(self)
+        return self._analyses
+
+    # -- mutation notes -------------------------------------------------
+    #
+    # Every graph mutation funnels through one of these three hooks.
+    # ``_set_ops`` (the single place use-edges change) reports the user
+    # and its new operands; structural registry surgery reports the
+    # continuations it touched; wholesale rebuilds (snapshot restore)
+    # report nothing and force a drop-all.  The generation counter bumps
+    # unconditionally; the analysis manager only hears about it once it
+    # exists.
+
+    def _note_touched(self, user: Def, ops: tuple) -> None:
+        self._generation += 1
+        manager = self._analyses
+        if manager is not None:
+            manager._record_touched(user, ops)
+
+    def _note_structural(self, *touched: Def) -> None:
+        self._generation += 1
+        manager = self._analyses
+        if manager is not None and touched:
+            manager._record_touched_defs(touched)
+
+    def _note_all(self) -> None:
+        self._generation += 1
+        manager = self._analyses
+        if manager is not None:
+            manager._record_all()
 
     def continuations(self) -> list[Continuation]:
         """All live continuations, in creation order."""
@@ -123,22 +175,31 @@ class World:
     def make_external(self, cont: Continuation) -> None:
         cont.is_external = True
         self._externals[cont.name] = cont
+        self._note_structural(cont)
 
     def remove_external(self, cont: Continuation) -> None:
         cont.is_external = False
         self._externals.pop(cont.name, None)
+        self._note_structural(cont)
 
     def num_primops(self) -> int:
         return len(self._primops)
 
     def _prune_continuations(self, live: set[Continuation]) -> None:
         """Drop dead continuations from the registry (used by cleanup)."""
+        pruned = [c for c in self._continuations if c not in live]
+        if not pruned:
+            return
         self._continuations = [c for c in self._continuations if c in live]
+        self._note_structural(*pruned)
 
     def _prune_primops(self, live: set[Def]) -> None:
+        before = len(self._primops)
         self._primops = {
             key: op for key, op in self._primops.items() if op in live
         }
+        if len(self._primops) != before:
+            self._generation += 1
 
     def dead_primops(self, live: set[Def]) -> list[PrimOp]:
         return [op for op in self._primops.values() if op not in live]

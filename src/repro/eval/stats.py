@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..core.defs import Continuation, Def
 from ..core.primops import PrimOp
-from ..core.scope import Scope, top_level_continuations
+from ..core.scope import scope_of, top_level_of
 from ..core.types import FnType
 from ..core.verify import cff_violations
 from ..core.world import World
@@ -66,7 +66,7 @@ def collect_world_stats(world: World) -> WorldStatsReport:
              if c in live and not c.is_intrinsic()]
     report.continuations = len(conts)
     report.primops = sum(1 for d in live if isinstance(d, PrimOp))
-    tops = [c for c in top_level_continuations(world)
+    tops = [c for c in top_level_of(world)
             if c in live and c.has_body()]
     report.top_level_functions = sum(1 for c in tops if c.is_returning())
     report.basic_blocks = sum(
@@ -98,7 +98,7 @@ def collect_world_stats(world: World) -> WorldStatsReport:
                for use in cont.uses if use.user in live):
             report.first_class_continuations += 1
     for cont in tops:
-        if Scope(cont).has_free_params():
+        if scope_of(cont).has_free_params():
             report.closure_continuations += 1
     report.cff_violations = len(cff_violations(world))
     return report

@@ -4,11 +4,18 @@ The surface language is a small Rust-like language in the spirit of the
 paper's Impala frontend: imperative control flow plus first-class and
 higher-order functions, with ``@``/``$`` partial-evaluation markers on
 calls.
+
+Tokenization is a single pass of one compiled master regex (trivia,
+numbers, identifiers and maximal-munch punctuation as ordered
+alternatives); a char-at-a-time scanner spends most of its time in
+method-call overhead, and the lexer sits on the floor of every
+compile-time measurement.
 """
 
 from __future__ import annotations
 
 import enum
+import re
 
 from .errors import LexError, SourceLoc
 
@@ -42,6 +49,32 @@ PUNCTUATION = (
 INT_SUFFIXES = ("i8", "i16", "i32", "i64", "u8", "u16", "u32", "u64")
 FLOAT_SUFFIXES = ("f32", "f64")
 
+# One alternative per token class, tried in order, so earlier classes
+# shadow later ones exactly like the old sequential scanner did:
+# complete block comments are trivia, a dangling ``/*`` is an error;
+# hex literals win over a decimal ``0`` with an ``x...`` suffix; the
+# punctuation alternation preserves the longest-first PUNCTUATION order.
+# A decimal number is body (digits, optional fraction — only when a
+# digit follows the dot, so ``0..10`` lexes as ``0`` ``..`` ``10`` —
+# and optional exponent) plus a trailing alphanumeric run that the
+# number parser validates as a type suffix.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<trivia>(?:[ \t\r\n]+|//[^\n]*|/\*(?:[^*]|\*(?!/))*\*/)+)
+    | (?P<badcomment>/\*)
+    | (?P<hex>0[xX][0-9a-zA-Z_]*)
+    | (?P<body>[0-9][0-9_]*
+        (?P<frac>\.[0-9][0-9_]*)?
+        (?P<exp>[eE][+-]?[0-9]+)?)
+      (?P<suffix>[0-9a-zA-Z_]*)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<punct><<=|>>=|==|!=|<=|>=|&&|\|\||->|\.\.|\+=|-=|\*=|/=|%=
+        |&=|\|=|\^=|<<|>>
+        |[-+*/%=<>!&|^(){}\[\],;:.@$])
+    """,
+    re.VERBOSE,
+)
+
 
 class Token:
     __slots__ = ("kind", "text", "value", "loc")
@@ -65,118 +98,58 @@ class Token:
 class Lexer:
     def __init__(self, source: str):
         self.source = source
-        self.pos = 0
-        self.line = 1
-        self.col = 1
-
-    def _loc(self) -> SourceLoc:
-        return SourceLoc(self.line, self.col)
-
-    def _peek(self, offset: int = 0) -> str:
-        index = self.pos + offset
-        return self.source[index] if index < len(self.source) else ""
-
-    def _advance(self, count: int = 1) -> None:
-        for _ in range(count):
-            if self.pos < len(self.source):
-                if self.source[self.pos] == "\n":
-                    self.line += 1
-                    self.col = 1
-                else:
-                    self.col += 1
-                self.pos += 1
-
-    def _skip_trivia(self) -> None:
-        while self.pos < len(self.source):
-            c = self._peek()
-            if c in " \t\r\n":
-                self._advance()
-            elif c == "/" and self._peek(1) == "/":
-                while self.pos < len(self.source) and self._peek() != "\n":
-                    self._advance()
-            elif c == "/" and self._peek(1) == "*":
-                loc = self._loc()
-                self._advance(2)
-                while not (self._peek() == "*" and self._peek(1) == "/"):
-                    if self.pos >= len(self.source):
-                        raise LexError("unterminated block comment", loc)
-                    self._advance()
-                self._advance(2)
-            else:
-                return
 
     def tokens(self) -> list[Token]:
-        result = []
-        while True:
-            tok = self.next_token()
-            result.append(tok)
-            if tok.kind is TokKind.EOF:
-                return result
+        source = self.source
+        length = len(source)
+        result: list[Token] = []
+        match = _TOKEN_RE.match
+        pos = 0
+        line, col = 1, 1
+        while pos < length:
+            m = match(source, pos)
+            if m is None:
+                raise LexError(
+                    f"stray character {source[pos]!r}", SourceLoc(line, col)
+                )
+            loc = SourceLoc(line, col)
+            group = m.group
+            if group("trivia") is None:
+                if group("badcomment") is not None:
+                    raise LexError("unterminated block comment", loc)
+                if group("ident") is not None:
+                    text = m.group()
+                    kind = (TokKind.KEYWORD if text in KEYWORDS
+                            else TokKind.IDENT)
+                    result.append(Token(kind, text, loc))
+                elif group("punct") is not None:
+                    result.append(Token(TokKind.PUNCT, m.group(), loc))
+                else:
+                    result.append(self._number(m, loc))
+            text = m.group()
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                col = len(text) - text.rfind("\n")
+            else:
+                col += len(text)
+            pos = m.end()
+        result.append(Token(TokKind.EOF, "", SourceLoc(line, col)))
+        return result
 
-    def next_token(self) -> Token:
-        self._skip_trivia()
-        loc = self._loc()
-        c = self._peek()
-        if not c:
-            return Token(TokKind.EOF, "", loc)
-        if c.isdigit():
-            return self._number(loc)
-        if c.isalpha() or c == "_":
-            return self._ident(loc)
-        for punct in PUNCTUATION:
-            if self.source.startswith(punct, self.pos):
-                # `..` must not eat the dot of a float like `0..`; and
-                # `1.5` is handled by _number, so order is safe here.
-                self._advance(len(punct))
-                return Token(TokKind.PUNCT, punct, loc)
-        raise LexError(f"stray character {c!r}", loc)
-
-    def _ident(self, loc: SourceLoc) -> Token:
-        start = self.pos
-        while self._peek().isalnum() or self._peek() == "_":
-            self._advance()
-        text = self.source[start:self.pos]
-        kind = TokKind.KEYWORD if text in KEYWORDS else TokKind.IDENT
-        return Token(kind, text, loc)
-
-    def _number(self, loc: SourceLoc) -> Token:
-        start = self.pos
-        if self._peek() == "0" and self._peek(1) in "xX":
-            self._advance(2)
-            while self._peek().isalnum() or self._peek() == "_":
-                self._advance()
-            text = self.source[start:self.pos]
+    def _number(self, m: "re.Match[str]", loc: SourceLoc) -> Token:
+        text = m.group()
+        if m.group("hex") is not None:
             body, suffix = self._split_suffix(text, INT_SUFFIXES)
             try:
                 value = int(body.replace("_", ""), 16)
             except ValueError:
                 raise LexError(f"bad hex literal {text!r}", loc) from None
             return Token(TokKind.INT, text, loc, (value, suffix))
-        while self._peek().isdigit() or self._peek() == "_":
-            self._advance()
-        is_float = False
-        if self._peek() == "." and self._peek(1).isdigit():
-            is_float = True
-            self._advance()
-            while self._peek().isdigit() or self._peek() == "_":
-                self._advance()
-        if self._peek() in "eE" and (
-            self._peek(1).isdigit()
-            or (self._peek(1) in "+-" and self._peek(2).isdigit())
-        ):
-            is_float = True
-            self._advance()
-            if self._peek() in "+-":
-                self._advance()
-            while self._peek().isdigit():
-                self._advance()
-        # Trailing type suffix (e.g. 1i32, 2.5f32) rides on the token.
-        suffix_start = self.pos
-        while self._peek().isalnum():
-            self._advance()
-        text = self.source[start:self.pos]
-        suffix = self.source[suffix_start:self.pos]
-        body = self.source[start:suffix_start].replace("_", "")
+        body = m.group("body").replace("_", "")
+        suffix = m.group("suffix")
+        is_float = (m.group("frac") is not None
+                    or m.group("exp") is not None)
         if suffix in FLOAT_SUFFIXES:
             return Token(TokKind.FLOAT, text, loc, (float(body), suffix))
         if is_float:

@@ -10,6 +10,16 @@ campaign continues; the exit code is the number of divergent seeds
 Every ``--expr-only-every``-th seed uses the restricted expression-only
 generator so the nested-CPS baseline is exercised too.
 
+``--jobs N`` fans the campaign out over N worker processes (fork-based,
+one seed per task).  Seeds are independent, so the set of divergences is
+identical to a sequential run; results are consumed in seed order, so
+the report is deterministic too.  Shrinking and repro-writing happen in
+the worker that found the divergence.
+
+``--cache-check`` adds the ``cache(static)`` oracle stage: every program
+is compiled a second time with analysis caching flipped and the printed
+IR must be byte-identical (see ``OracleConfig.check_cache``).
+
 ``--case-timeout S`` bounds the wall-clock a single seed may take
 (generation + all oracle paths); a timed-out seed is recorded and
 reported in the summary but does not count as a divergence.
@@ -17,13 +27,16 @@ reported in the summary but does not count as a divergence.
 ``--fault-campaign`` switches to the fault-injection campaign
 (:mod:`repro.fuzz.faults`): the systematic fault-mode x pass matrix
 over the evaluation suite, plus ``--fault-seeds`` randomly sabotaged
-fuzz programs.  Exit code is the number of cases where the pipeline
-failed to recover or the recovered program diverged.
+fuzz programs.  ``--jobs`` applies here as well — the random sabotage
+plan is drawn sequentially in the parent, so the cases are the same
+however they are distributed.  Exit code is the number of cases where
+the pipeline failed to recover or the recovered program diverged.
 """
 
 from __future__ import annotations
 
 import argparse
+import multiprocessing
 import sys
 import time
 
@@ -42,6 +55,8 @@ def _parse_args(argv):
                         help="first seed (default 0)")
     parser.add_argument("--n", type=int, default=100,
                         help="number of programs (default 100)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1: in-process)")
     parser.add_argument("--expr-only-every", type=int, default=5,
                         metavar="K",
                         help="every K-th seed uses the expression-only "
@@ -52,6 +67,10 @@ def _parse_args(argv):
                         help="skip the profile-guided path")
     parser.add_argument("--no-verify", action="store_true",
                         help="skip pass-level IR verification")
+    parser.add_argument("--cache-check", action="store_true",
+                        help="differentially check the analysis cache: "
+                             "recompile each program with caching "
+                             "flipped and require identical IR")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimizing them")
     parser.add_argument("--corpus", default="tests/corpus",
@@ -79,28 +98,70 @@ def _parse_args(argv):
     return parser.parse_args(argv)
 
 
+def _map_cases(worker, cases, jobs):
+    """Lazily map *worker* over *cases*, in order, on *jobs* processes.
+
+    ``jobs <= 1`` degrades to plain in-process ``map``.  Parallel runs
+    use a fork-context pool (workers inherit the loaded modules; no
+    re-import cost per task) and ``imap`` so results come back in
+    submission order — the campaign report stays deterministic.
+    """
+    if jobs <= 1:
+        yield from map(worker, cases)
+        return
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=jobs) as pool:
+        yield from pool.imap(worker, cases, chunksize=1)
+
+
+# --- fault campaign ---------------------------------------------------------
+
+def _matrix_case(case):
+    from ..programs.suite import by_name
+    from .faults import run_fault_case
+
+    name, target, mode = case
+    return run_fault_case(by_name(name), target, mode)
+
+
+def _random_case(case):
+    from .faults import run_random_fault_case
+
+    return run_random_fault_case(*case)
+
+
 def _fault_campaign(args) -> int:
     from ..programs.suite import ALL_PROGRAMS
-    from .faults import run_fault_matrix, run_random_faults, summarize
+    from .faults import ALL_PASSES, random_fault_plan, summarize
+    from .inject import FAULT_MODES
 
     programs = ALL_PROGRAMS
     if args.fault_programs is not None:
         programs = programs[:args.fault_programs]
 
-    def progress(result):
-        if not result.ok:
-            print(result.describe(), file=sys.stderr)
+    matrix_cases = [(program.name, target, mode)
+                    for program in programs
+                    for target in ALL_PASSES
+                    for mode in FAULT_MODES]
 
     started = time.perf_counter()
-    results = run_fault_matrix(programs, progress=progress)
+    results = []
+    for result in _map_cases(_matrix_case, matrix_cases, args.jobs):
+        results.append(result)
+        if not result.ok:
+            print(result.describe(), file=sys.stderr)
     matrix_elapsed = time.perf_counter() - started
     print(f"matrix: {summarize(results)} over {len(programs)} programs "
           f"in {matrix_elapsed:.1f}s")
 
     if args.fault_seeds:
         started = time.perf_counter()
-        random_results = run_random_faults(args.fault_seeds, args.seed,
-                                           progress=progress)
+        plan = random_fault_plan(args.fault_seeds, args.seed)
+        random_results = []
+        for result in _map_cases(_random_case, plan, args.jobs):
+            random_results.append(result)
+            if not result.ok:
+                print(result.describe(), file=sys.stderr)
         print(f"random: {summarize(random_results)} "
               f"in {time.perf_counter() - started:.1f}s")
         results += random_results
@@ -109,73 +170,104 @@ def _fault_campaign(args) -> int:
     return len(failures)
 
 
+# --- differential campaign --------------------------------------------------
+
+def _campaign_case(item):
+    """One seed of the differential campaign; runs in a worker process.
+
+    Returns a small picklable summary dict — the parent merges records
+    and does all the printing so output is ordered even under ``--jobs``.
+    """
+    seed, expr_only, args = item
+    config = OracleConfig(run_c=not args.no_c,
+                          run_pgo=not args.no_pgo,
+                          verify_each_pass=not args.no_verify,
+                          check_cache=args.cache_check,
+                          record={})
+    result = {"seed": seed, "status": "ok", "record": config.record}
+    try:
+        with deadline(args.case_timeout, what=f"seed {seed}"):
+            prog = generate_program(seed,
+                                    GenConfig(expr_only=True) if expr_only
+                                    else None)
+            failure = run_oracle(prog, config)
+    except DeadlineExceeded:
+        result["status"] = "timeout"
+        return result
+    if failure is not None:
+        result["status"] = "divergence"
+        result["description"] = failure.describe()
+        if not args.no_shrink:
+            try:
+                with deadline(args.case_timeout and
+                              args.case_timeout * 10,
+                              what=f"shrinking seed {seed}"):
+                    small = shrink_failure(prog, failure, config)
+            except DeadlineExceeded:
+                small = prog
+            path = write_repro(small, failure, args.corpus)
+            result["shrunk_lines"] = len(small.render().splitlines())
+            result["repro"] = str(path)
+    return result
+
+
 def main(argv=None) -> int:
     args = _parse_args(argv)
     if args.fault_campaign:
         return _fault_campaign(args)
 
-    record: dict = {}
-    expr_cfg = GenConfig(expr_only=True)
-    failures = []
+    record: dict = {"paths": set(), "skipped": {}}
+    failures = 0
     timed_out: list[int] = []
+    checked = 0
     started = time.perf_counter()
 
-    for index in range(args.n):
-        seed = args.seed + index
-        expr_only = (args.expr_only_every
-                     and index % args.expr_only_every
-                     == args.expr_only_every - 1)
-        config = OracleConfig(run_c=not args.no_c,
-                              run_pgo=not args.no_pgo,
-                              verify_each_pass=not args.no_verify,
-                              record=record)
-        try:
-            with deadline(args.case_timeout, what=f"seed {seed}"):
-                prog = generate_program(seed,
-                                        expr_cfg if expr_only else None)
-                failure = run_oracle(prog, config)
-        except DeadlineExceeded:
-            timed_out.append(seed)
-            print(f"seed {seed}: timed out after {args.case_timeout}s",
-                  file=sys.stderr)
-            continue
-        if failure is not None:
-            failures.append(failure)
-            print(f"seed {seed}: DIVERGENCE", file=sys.stderr)
-            print(failure.describe(), file=sys.stderr)
-            if not args.no_shrink:
-                try:
-                    with deadline(args.case_timeout and
-                                  args.case_timeout * 10,
-                                  what=f"shrinking seed {seed}"):
-                        small = shrink_failure(prog, failure, config)
-                except DeadlineExceeded:
-                    small = prog
-                path = write_repro(small, failure, args.corpus)
-                print(f"  shrunk to {len(small.render().splitlines())} "
-                      f"lines -> {path}", file=sys.stderr)
-            if len(failures) >= args.stop_after:
-                print(f"stopping after {len(failures)} divergent seeds",
+    def cases():
+        for index in range(args.n):
+            expr_only = bool(args.expr_only_every
+                             and index % args.expr_only_every
+                             == args.expr_only_every - 1)
+            yield (args.seed + index, expr_only, args)
+
+    results = _map_cases(_campaign_case, cases(), args.jobs)
+    for result in results:
+        checked += 1
+        case_record = result.get("record") or {}
+        record["paths"] |= case_record.get("paths", set())
+        record["skipped"].update(case_record.get("skipped", {}))
+        if result["status"] == "timeout":
+            timed_out.append(result["seed"])
+            print(f"seed {result['seed']}: timed out after "
+                  f"{args.case_timeout}s", file=sys.stderr)
+        elif result["status"] == "divergence":
+            failures += 1
+            print(f"seed {result['seed']}: DIVERGENCE", file=sys.stderr)
+            print(result["description"], file=sys.stderr)
+            if "repro" in result:
+                print(f"  shrunk to {result['shrunk_lines']} "
+                      f"lines -> {result['repro']}", file=sys.stderr)
+            if failures >= args.stop_after:
+                print(f"stopping after {failures} divergent seeds",
                       file=sys.stderr)
                 break
-
-        if (index + 1) % 50 == 0:
+        if checked % 50 == 0:
             elapsed = time.perf_counter() - started
-            print(f"  ... {index + 1}/{args.n} programs, "
-                  f"{(index + 1) / elapsed:.1f} programs/sec")
+            print(f"  ... {checked}/{args.n} programs, "
+                  f"{checked / elapsed:.1f} programs/sec")
+    if hasattr(results, "close"):
+        results.close()
 
     elapsed = time.perf_counter() - started
-    checked = index + 1
-    paths = ", ".join(sorted(record.get("paths", ())))
+    paths = ", ".join(sorted(record["paths"]))
     print(f"{checked} programs in {elapsed:.1f}s "
           f"({checked / elapsed:.1f} programs/sec), "
-          f"{len(failures)} divergence(s), {len(timed_out)} timeout(s)")
+          f"{failures} divergence(s), {len(timed_out)} timeout(s)")
     print(f"paths exercised: {paths}")
     if timed_out:
         print(f"timed-out seeds: {', '.join(map(str, timed_out))}")
-    for path, why in sorted(record.get("skipped", {}).items()):
+    for path, why in sorted(record["skipped"].items()):
         print(f"  skipped {path}: {why}")
-    return len(failures)
+    return failures
 
 
 if __name__ == "__main__":

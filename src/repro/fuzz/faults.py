@@ -151,48 +151,65 @@ def _interp_observations(world, prog) -> list:
                        max_steps=INTERP_MAX_STEPS)
 
 
-def run_random_faults(n: int, seed: int = 0, *, expr_only_every: int = 4,
-                      progress=None) -> list[FaultCaseResult]:
-    """Soak test: *n* fuzz programs, each with one random sabotage."""
+def random_fault_plan(n: int, seed: int = 0,
+                      expr_only_every: int = 4) -> list[tuple]:
+    """The ``n`` sabotage cases ``run_random_faults`` would execute.
+
+    Drawn from one sequential RNG so the plan (and therefore every
+    case's target/mode/nth) is identical however the cases are later
+    distributed — the parallel driver precomputes this in the parent
+    and ships one tuple per worker.
+    """
     rng = random.Random(seed)
-    expr_cfg = GenConfig(expr_only=True)
-    results = []
+    plan = []
     for index in range(n):
         prog_seed = seed + index
-        expr_only = (expr_only_every
-                     and index % expr_only_every == expr_only_every - 1)
-        prog = generate_program(prog_seed, expr_cfg if expr_only else None)
+        expr_only = bool(expr_only_every
+                         and index % expr_only_every == expr_only_every - 1)
         target = rng.choice(STATIC_PASSES)
         mode = rng.choice(FAULT_MODES)
         nth = rng.randint(1, 3)
+        plan.append((prog_seed, expr_only, target, mode, nth))
+    return plan
 
-        world = compile_source(prog.render(), optimize=False)
-        reference = _interp_observations(world, prog)
 
-        injector = FaultInjector(FaultPlan(mode, target=target, nth=nth,
-                                           stall_seconds=STALL_SECONDS))
-        label = f"fuzz-{prog_seed}"
+def run_random_fault_case(prog_seed: int, expr_only: bool, target: str,
+                          mode: str, nth: int) -> FaultCaseResult:
+    """One sabotaged fuzz program (a single entry of the random plan)."""
+    prog = generate_program(prog_seed,
+                            GenConfig(expr_only=True) if expr_only else None)
 
-        def fail(detail: str) -> FaultCaseResult:
-            return FaultCaseResult(label, target, mode, False,
-                                   injector.fired, detail)
+    world = compile_source(prog.render(), optimize=False)
+    reference = _interp_observations(world, prog)
 
-        try:
-            stats = optimize(world, options=_fault_options(injector, mode))
-        except Exception as exc:
-            result = fail(f"pipeline did not recover: {exc!r}")
-        else:
-            if injector.fired and target not in stats.quarantined:
-                result = fail(f"fired but {target!r} not quarantined")
-            else:
-                failure = _compare(f"fault({mode})", prog, reference,
-                                   _interp_observations(world, prog))
-                if failure is not None:
-                    result = fail(failure.describe())
-                else:
-                    detail = "" if injector.fired else "fault vacuous"
-                    result = FaultCaseResult(label, target, mode, True,
-                                             injector.fired, detail)
+    injector = FaultInjector(FaultPlan(mode, target=target, nth=nth,
+                                       stall_seconds=STALL_SECONDS))
+    label = f"fuzz-{prog_seed}"
+
+    def fail(detail: str) -> FaultCaseResult:
+        return FaultCaseResult(label, target, mode, False,
+                               injector.fired, detail)
+
+    try:
+        stats = optimize(world, options=_fault_options(injector, mode))
+    except Exception as exc:
+        return fail(f"pipeline did not recover: {exc!r}")
+    if injector.fired and target not in stats.quarantined:
+        return fail(f"fired but {target!r} not quarantined")
+    failure = _compare(f"fault({mode})", prog, reference,
+                       _interp_observations(world, prog))
+    if failure is not None:
+        return fail(failure.describe())
+    detail = "" if injector.fired else "fault vacuous"
+    return FaultCaseResult(label, target, mode, True, injector.fired, detail)
+
+
+def run_random_faults(n: int, seed: int = 0, *, expr_only_every: int = 4,
+                      progress=None) -> list[FaultCaseResult]:
+    """Soak test: *n* fuzz programs, each with one random sabotage."""
+    results = []
+    for case in random_fault_plan(n, seed, expr_only_every):
+        result = run_random_fault_case(*case)
         results.append(result)
         if progress is not None:
             progress(result)

@@ -17,6 +17,8 @@ path            what runs
                 world, compiled with the system C compiler and executed
 ``ssa``         the classical CFG+SSA baseline (first-order programs)
 ``cps``         the nested-CPS baseline (expression-only programs)
+``cache``       (opt-in) the static pipeline rerun with analysis
+                caching flipped — printed IR must be byte-identical
 ==============  ========================================================
 
 Each observation is the pair *(result, print output)*; traps are
@@ -103,6 +105,13 @@ class OracleConfig:
     run_ssa: bool = True
     run_cps: bool = True
     verify_each_pass: bool = True
+    # Analysis caching for the optimized compiles (the production
+    # default).  ``check_cache`` adds a ``cache(static)`` stage: compile
+    # the program a second time with caching flipped and require the
+    # printed IR to be byte-identical and the interpreter observations
+    # to agree — any divergence is a stale-cache bug.
+    cache_analyses: bool = True
+    check_cache: bool = False
     cc: str = "gcc"
     # -fwrapv: match the IR's two's-complement wrapping; -fno-builtin:
     # keep the compiler from pattern-matching our arithmetic into
@@ -125,12 +134,15 @@ class OracleConfig:
     record: dict = field(default_factory=dict)
 
 
-def _options(config: OracleConfig) -> OptimizeOptions:
+def _options(config: OracleConfig,
+             cache: bool | None = None) -> OptimizeOptions:
     # strict: the oracle *wants* fail-fast.  The production default
     # quarantines a crashing/corrupting pass and compiles around it,
     # which would hide exactly the bugs differential fuzzing hunts.
     return OptimizeOptions(verify_each_pass=config.verify_each_pass,
-                           strict=True)
+                           strict=True,
+                           cache_analyses=(config.cache_analyses
+                                           if cache is None else cache))
 
 
 def _run_interp(world, entry: str, arg_sets,
@@ -278,6 +290,33 @@ def run_oracle(prog: FuzzProgram,
     if failure is not None:
         return failure
     ran("interp(static)")
+
+    # --- cached vs uncached analysis differential ----------------------
+    if config.check_cache:
+        from ..core.printer import print_world
+
+        try:
+            world_alt = compile_source(
+                source, options=_options(config,
+                                         cache=not config.cache_analyses))
+        except Exception as exc:
+            return FuzzFailure(prog.seed, "cache(static)",
+                               f"flipped-cache compile failed: {exc}",
+                               source=source)
+        printed = print_world(world_opt)
+        printed_alt = print_world(world_alt)
+        if printed != printed_alt:
+            return FuzzFailure(prog.seed, "cache(static)",
+                               "printed IR differs between cached and "
+                               "uncached pipelines",
+                               expected=printed, got=printed_alt,
+                               source=source)
+        failure = _compare("cache(static)", prog, reference,
+                           _run_interp(world_alt, prog.entry, prog.arg_sets,
+                                       config.interp_max_steps))
+        if failure is not None:
+            return failure
+        ran("cache(static)")
 
     compiled_static = None
     if config.run_vm:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from ..core.defs import Continuation, Def, Intrinsic
 from ..core.primops import EvalOp
 from ..core.rewrite import rewrite_uses
-from ..core.scope import Scope
+from ..core.scope import scope_of
 from ..core.world import World
 
 
@@ -70,8 +70,18 @@ def eta_reduce(world: World) -> int:
     an alias of ``g`` — provided ``g`` is not ``f`` itself, is not a
     parameter bound inside ``f``, and ``f`` is not external.  Jump
     threading through empty blocks falls out.
+
+    All forwarders found in one scan are substituted in a *single*
+    ``rewrite_uses`` call: per-forwarder rewriting floods the transitive
+    user closure once per forwarder (quadratic on forwarder chains and
+    the dominant cleanup cost on larger programs).  Simultaneous
+    substitution of alias equations is sound as long as no replacement
+    value is itself being replaced, so a forwarder whose target is
+    another forwarder from the same scan is deferred — the enclosing
+    ``cleanup`` fixed point picks it up on the next iteration, by which
+    time its body has been retargeted past the removed alias.
     """
-    replaced = 0
+    mapping: dict[Def, Def] = {}
     for cont in world.continuations():
         if cont.is_external or cont.is_intrinsic() or not cont.has_body():
             continue
@@ -88,18 +98,25 @@ def eta_reduce(world: World) -> int:
                 continue
             # The forwarder's own scope must not contain the target
             # (otherwise the "alias" would leak scope-internal state).
-            if target in Scope(cont):
+            if target in scope_of(cont):
                 continue
-        elif target in Scope(cont):
+        elif target in scope_of(cont):
             continue
         if callee.type is not cont.type:
             continue
-        rewrite_uses(world, {cont: callee})
-        # Detach the forwarder so it cannot match again (it is garbage
-        # now; collect_garbage prunes it).
+        mapping[cont] = callee
+    # Defer forwarder-of-forwarder: its replacement value would go stale
+    # the moment the inner alias is substituted.
+    mapping = {cont: callee for cont, callee in mapping.items()
+               if _peel(callee) not in mapping}
+    if not mapping:
+        return 0
+    rewrite_uses(world, mapping)
+    for cont in mapping:
+        # Detach the forwarders so they cannot match again (they are
+        # garbage now; collect_garbage prunes them).
         cont.unset_body()
-        replaced += 1
-    return replaced
+    return len(mapping)
 
 
 def refold_jumps(world: World) -> int:

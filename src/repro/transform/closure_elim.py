@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from ..core.defs import Continuation, Def, Intrinsic, Param
 from ..core.primops import EvalOp, Hlt, Run
-from ..core.scope import Scope
+from ..core.scope import Scope, scope_of
 from ..core.types import FnType
 from ..core.world import World
 from .mangle import Mangler
@@ -53,26 +53,16 @@ class ClosureEliminator:
         self.cache: dict[tuple, Continuation] = {}
         self.mangled = 0
         self.cache_hits = 0
-        # Scope cache, invalidated after every successful mangle: a
-        # specialized copy that burns a caller parameter in becomes a
-        # member of the caller's scope, so a scope computed before the
-        # mangle understates membership — and the Mangler would then
-        # share (instead of copy) a continuation that is no longer
-        # closed, leaving the copy returning through the original's
-        # parameters.
-        self._scopes: dict[Continuation, Scope] = {}
 
     def run(self) -> dict[str, int]:
         progress = True
         while progress and self.budget > 0:
             progress = False
-            self._scopes.clear()
             for cont in self.world.continuations():
                 if self.budget <= 0:
                     break
                 if cont.has_body() and self._lower_site(cont):
                     progress = True
-                    self._scopes.clear()
         return {
             "mangled": self.mangled,
             "cache_hits": self.cache_hits,
@@ -82,11 +72,11 @@ class ClosureEliminator:
     # ------------------------------------------------------------------
 
     def _scope(self, cont: Continuation) -> Scope:
-        scope = self._scopes.get(cont)
-        if scope is None:
-            scope = Scope(cont)
-            self._scopes[cont] = scope
-        return scope
+        # The world's analysis manager replaced the ad-hoc per-round
+        # cache this pass used to keep: mangles invalidate through the
+        # world's mutation notes, so a scope computed before a mangle
+        # can never be served stale after it.
+        return scope_of(cont)
 
     def _lower_site(self, site: Continuation) -> bool:
         callee = site.callee
@@ -167,7 +157,7 @@ class ClosureEliminator:
             if isinstance(d, Continuation):
                 # References to closed functions are globally available;
                 # references to other *closures* cannot be fixed here.
-                if not d.is_intrinsic() and Scope(d).has_free_params():
+                if not d.is_intrinsic() and scope_of(d).has_free_params():
                     return False
                 continue
             if isinstance(d.type, (MemType, FrameType)):

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from ..core.defs import Continuation, Def
 from ..core.primops import EvalOp
-from ..core.scope import Scope
+from ..core.scope import Scope, scope_of
 from ..core.world import World
 from .mangle import MangleStats, inline_call
 
@@ -73,7 +73,7 @@ def inline_small_functions(world: World, *, size_threshold: int = 40,
         sites, first_class = _call_sites(cont)
         if not sites or first_class:
             continue
-        scope = Scope(cont)
+        scope = scope_of(cont)
         if _is_recursive(cont, scope):
             continue
         is_once = len(sites) == 1

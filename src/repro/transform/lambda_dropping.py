@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from ..core.defs import Continuation, Def, Param
 from ..core.primops import EvalOp
-from ..core.scope import Scope
+from ..core.scope import Scope, scope_of
 from ..core.world import World
 from .mangle import Mangler
 
@@ -78,7 +78,7 @@ def _is_closed(v: Def, _cache: dict | None = None) -> bool:
     if isinstance(v, Param):
         return False
     if isinstance(v, Continuation):
-        return not v.is_intrinsic() and not Scope(v).has_free_params()
+        return not v.is_intrinsic() and not scope_of(v).has_free_params()
     assert isinstance(v, PrimOp)
     return all(_is_closed(op) for op in v.ops)
 
@@ -98,7 +98,7 @@ def drop_invariant_params(world: World, *, budget: int = 256) -> dict[str, int]:
         invariant = _invariant_args(cont, sites)
         if not invariant:
             continue
-        scope = Scope(cont)
+        scope = scope_of(cont)
         spec = {p: v for p, v in invariant.items() if v not in scope}
         if cont.is_returning():
             # Dropping a caller-dependent value into a *function* would

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from ..core.defs import Continuation, Def, Param
 from ..core.primops import EvalOp, PrimOp
-from ..core.scope import Scope
+from ..core.scope import Scope, scope_of
 from ..core.types import fn_type
 from ..core.world import World
 
@@ -255,7 +255,7 @@ def inline_call(caller: Continuation, stats_out: list | None = None) -> bool:
         return False
     if callee is caller:
         return False
-    scope = Scope(callee)
+    scope = scope_of(callee)
     if caller in scope:
         return False  # would duplicate the caller into itself
     specialized = drop(scope, list(caller.args), stats_out)

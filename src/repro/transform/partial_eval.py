@@ -33,7 +33,7 @@ from ..core.primops import (
     Literal,
     Run,
 )
-from ..core.scope import Scope
+from ..core.scope import Scope, scope_of
 from ..core.world import World
 from .mangle import Mangler
 
@@ -59,7 +59,7 @@ def is_static(arg: Def, scope_cache: dict | None = None) -> bool:
             return False
         if scope_cache is not None and arg in scope_cache:
             return scope_cache[arg]
-        closed = not Scope(arg).has_free_params()
+        closed = not scope_of(arg).has_free_params()
         if scope_cache is not None:
             scope_cache[arg] = closed
         return closed
@@ -111,7 +111,7 @@ class PartialEvaluator:
                 or target.is_intrinsic():
             return False
         args = cont.args
-        scope = Scope(target)
+        scope = scope_of(target)
         if cont in scope:
             # Specializing would copy the caller into itself; strip.
             cont.update_callee(target)
@@ -150,7 +150,7 @@ class PartialEvaluator:
         left alone: unrolling a dynamically bounded loop would only burn
         the budget.  This is the predictable-termination compromise.
         """
-        scope = Scope(new_entry)
+        scope = scope_of(new_entry)
         for cont in scope.continuations():
             if not cont.has_body():
                 continue

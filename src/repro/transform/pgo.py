@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from ..core.defs import Continuation, Def, Param
 from ..core.primops import EvalOp
-from ..core.scope import Scope
+from ..core.scope import Scope, scope_of
 from ..core.world import World
 from .mangle import MangleStats, inline_call, peel
 from .partial_eval import is_static
@@ -71,7 +71,7 @@ def specialize_hot_loops(world: World, profile, *, min_count: int = 32,
         if header is None or not header.has_body():
             skipped_stale += 1
             continue
-        scope = Scope(header)
+        scope = scope_of(header)
         # Entry sites: direct jumps to the header from outside the loop.
         sites = [use.user for use in header.uses
                  if use.index == 0 and isinstance(use.user, Continuation)
@@ -140,7 +140,7 @@ def pgo_inline(world: World, profile, *, min_count: int = 4,
         if _peel_markers(site.callee) is not callee:
             skipped_stale += 1  # rewritten since the profile was taken
             continue
-        if _is_recursive(callee, Scope(callee)):
+        if _is_recursive(callee, scope_of(callee)):
             continue  # specializing recursion is the evaluator's job
         if inline_call(site, stats_sink):
             inlined += 1

@@ -100,6 +100,12 @@ class OptimizeOptions:
     # continuations behind is treated as blown up and rolled back.
     growth_cap_factor: float = 64.0
     growth_cap_floor: int = 4096
+    # Memoize scopes/CFGs/schedules in the world's AnalysisManager and
+    # invalidate them by mutation generation + touched sets.  Off must
+    # be bit-identical (the fuzz oracle differentially checks this);
+    # off also disables checkpoint reuse, restoring the exact uncached
+    # snapshot cadence.
+    cache_analyses: bool = True
     # "phase": checkpoint before every pass (precise rollback);
     # "round": checkpoint once per static round (fewer snapshots, a
     # failing pass loses the whole round's progress).
@@ -188,7 +194,13 @@ class PipelineStats:
         self.quarantined: list[str] = []
         self.skipped: list[str] = []
         self.checkpoints = 0
+        # Checkpoints satisfied by the previous snapshot because the
+        # world's mutation generation (and stats) had not moved.
+        self.checkpoints_reused = 0
         self.rollbacks = 0
+        # Aggregate analysis-cache counters for this optimize() call
+        # (per-pass deltas live in the ``details`` records).
+        self.analysis_cache: dict[str, int] = {}
 
     def record(self, phase: str, stats: dict) -> None:
         self.details.append((phase, dict(stats)))
@@ -221,17 +233,86 @@ class _PhaseRunner:
         self.stats = stats
         self.quarantine: set[str] = set()
         self.checkpoint = None
+        self._checkpoint_generation: int | None = None
+        # Generation observed right after the last completed cleanup;
+        # while it stands, further cleanups are provably no-ops.
+        self._clean_generation: int | None = None
         baseline = max(1, len(world._continuations))
         self.growth_cap = max(options.growth_cap_floor,
                               int(options.growth_cap_factor * baseline))
+        # The manager is world-owned (PGO optimizes the same world
+        # twice); this runner flips it to the requested mode and tracks
+        # its counters as deltas from here.
+        self.analyses = world.analyses
+        self.analyses.set_enabled(options.cache_analyses)
+        self._analysis_base = self._analysis_counters()
+
+    # -- analysis-cache telemetry -------------------------------------------
+
+    def _analysis_counters(self) -> tuple[int, int, int]:
+        counters = self.analyses.stats
+        return (counters.hits, counters.misses, counters.invalidations)
+
+    def _with_analysis_delta(self, result: dict,
+                             before: tuple[int, int, int]) -> dict:
+        if not self.options.cache_analyses:
+            return result
+        now = self._analysis_counters()
+        result = dict(result)
+        result["analysis_hits"] = now[0] - before[0]
+        result["analysis_misses"] = now[1] - before[1]
+        result["analysis_invalidations"] = now[2] - before[2]
+        return result
+
+    def finish(self) -> None:
+        now = self._analysis_counters()
+        base = self._analysis_base
+        self.stats.analysis_cache = {
+            "enabled": int(self.options.cache_analyses),
+            "hits": now[0] - base[0],
+            "misses": now[1] - base[1],
+            "invalidations": now[2] - base[2],
+        }
 
     # -- checkpoints --------------------------------------------------------
 
     def _take_checkpoint(self) -> None:
         from ..core.snapshot import snapshot_world
 
+        if (self.options.cache_analyses and self.checkpoint is not None
+                and self._checkpoint_generation == self.world.generation):
+            # The generation covers every snapshot-visible mutation (def
+            # creation, use-edge rewiring, registry surgery), so an
+            # unchanged generation means the previous snapshot is still
+            # an exact image of the graph: re-establish it for free.
+            # Read-only churn (GVN hit counters) may have advanced; a
+            # rollback through the reused snapshot rewinds it to the
+            # snapshot's values, which is the rollback contract anyway.
+            self.stats.checkpoints += 1
+            self.stats.checkpoints_reused += 1
+            return
         self.checkpoint = snapshot_world(self.world)
+        self._checkpoint_generation = self.world.generation
         self.stats.checkpoints += 1
+
+    def run_cleanup(self, label: str) -> dict:
+        """Run (or provably skip) one cleanup phase.
+
+        Cleanup is deterministic and idempotent: on a world that has not
+        mutated since the previous cleanup completed, it rewrites
+        nothing.  Under ``cache_analyses`` the mutation generation
+        witnesses exactly that, so the phase is skipped outright —
+        bit-identical to running it, minus the full-graph sweeps.  A
+        rollback cannot fake this: ``restore_world`` always advances the
+        generation.
+        """
+        if (self.options.cache_analyses
+                and self._clean_generation == self.world.generation):
+            return {"noop": 1}
+        result = self.run(label, lambda: cleanup(self.world))
+        if "rolled_back" not in result and "quarantined" not in result:
+            self._clean_generation = self.world.generation
+        return result
 
     def new_round(self) -> None:
         """Round boundary: refresh the checkpoint in "round" granularity."""
@@ -244,11 +325,12 @@ class _PhaseRunner:
     def run(self, phase: str, body: Callable[[], dict]) -> dict:
         options = self.options
         if options.strict:
+            before = self._analysis_counters()
             result = body()
             if options.pass_hook is not None:
                 options.pass_hook(phase, self.world)
             self._verify(phase)
-            return result
+            return self._with_analysis_delta(result, before)
 
         if _quarantine_key(phase) in self.quarantine:
             self.stats.skipped.append(phase)
@@ -256,6 +338,7 @@ class _PhaseRunner:
 
         if options.checkpoint_granularity != "round" or self.checkpoint is None:
             self._take_checkpoint()
+        before = self._analysis_counters()
         started = time.perf_counter()
         try:
             with deadline(options.pass_deadline, what=f"pass {phase}"):
@@ -273,7 +356,7 @@ class _PhaseRunner:
             if size > self.growth_cap:
                 raise PassGrowthError(phase, size, self.growth_cap)
             self._verify(phase)
-            return result
+            return self._with_analysis_delta(result, before)
         except Exception as exc:
             self._rollback(phase, exc)
             return {"rolled_back": 1}
@@ -338,9 +421,7 @@ def _run_static_rounds(world: World, options: OptimizeOptions,
             result = runner.run(phase, body)
             stats.record(phase, result)
             changed += result.get(changed_key, 0)
-            stats.record("cleanup",
-                         runner.run(f"cleanup({phase})",
-                                    lambda: cleanup(world)))
+            stats.record("cleanup", runner.run_cleanup(f"cleanup({phase})"))
         if not changed:
             break
 
@@ -348,8 +429,7 @@ def _run_static_rounds(world: World, options: OptimizeOptions,
 def _optimize_guarded(world: World, options: OptimizeOptions,
                       profile, stats: PipelineStats,
                       runner: _PhaseRunner) -> PipelineStats:
-    stats.record("cleanup",
-                 runner.run("cleanup(initial)", lambda: cleanup(world)))
+    stats.record("cleanup", runner.run_cleanup("cleanup(initial)"))
     _run_static_rounds(world, options, stats, runner)
 
     if profile is not None:
@@ -362,9 +442,7 @@ def _optimize_guarded(world: World, options: OptimizeOptions,
                 min_count=options.pgo_loop_min_count,
                 budget=options.pgo_loop_budget))
         stats.record("pgo_loops", loop_stats)
-        stats.record("cleanup",
-                     runner.run("cleanup(pgo_loops)",
-                                lambda: cleanup(world)))
+        stats.record("cleanup", runner.run_cleanup("cleanup(pgo_loops)"))
 
         inline_stats = runner.run(
             "pgo_inline",
@@ -374,9 +452,7 @@ def _optimize_guarded(world: World, options: OptimizeOptions,
                 min_fraction=options.pgo_hot_call_fraction,
                 budget=options.pgo_inline_budget))
         stats.record("pgo_inline", inline_stats)
-        stats.record("cleanup",
-                     runner.run("cleanup(pgo_inline)",
-                                lambda: cleanup(world)))
+        stats.record("cleanup", runner.run_cleanup("cleanup(pgo_inline)"))
 
         if (loop_stats.get("loops_peeled", 0)
                 or inline_stats.get("pgo_inlined", 0)):
@@ -405,6 +481,7 @@ def _optimize_guarded(world: World, options: OptimizeOptions,
             stats.incidents.append(
                 PassIncident("pipeline-exit(cff)", stats.rounds, "verify",
                              repr(error)))
+    runner.finish()
     return stats
 
 
@@ -427,6 +504,25 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
         from dataclasses import replace
         options = replace(options, max_rounds=max_rounds)
 
+    # The IR graph is cyclic by construction (use-lists point back at
+    # users), and during optimization everything is reachable from the
+    # world, so the cyclic collector can never free anything here — it
+    # only re-traces an ever-growing heap on every threshold crossing.
+    # Pause it for the duration; dead IR is reclaimed after we return.
+    import gc
+
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _optimize_paused(world, options, profile)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _optimize_paused(world: World, options: OptimizeOptions,
+                     profile) -> PipelineStats:
     stats = PipelineStats()
     runner = _PhaseRunner(world, options, stats)
     if options.strict:
@@ -435,6 +531,12 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
     from ..core.snapshot import snapshot_world
 
     entry_snapshot = snapshot_world(world)
+    if options.cache_analyses:
+        # The first phase checkpoint would re-capture this exact world;
+        # hand it the entry snapshot so generation-based reuse applies.
+        runner.checkpoint = entry_snapshot
+        runner._checkpoint_generation = world.generation
+        stats.checkpoints += 1
     try:
         return _optimize_guarded(world, options, profile, stats, runner)
     except Exception as exc:

@@ -1,0 +1,282 @@
+"""The incremental analysis manager: generations, invalidation, identity.
+
+Three layers of guarantees, mirroring ``core/analyses.py``:
+
+* every world-mutating API strictly increases ``World.generation`` (the
+  cache key) and nothing ever rewinds it;
+* cached analyses are dropped exactly when a touched def is a member of
+  their scope — hits return the identical object, misses rebuild, and
+  anything that cannot report what it touched loses everything;
+* with caching on, the optimization pipeline produces byte-identical
+  printed IR and identical program behaviour to the uncached pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import types as ct
+from repro.core.analyses import PENDING_CAP
+from repro.core.scope import Scope, top_level_of
+from repro.core.snapshot import restore_world, snapshot_world
+from repro.core.world import World
+
+from .helpers import FN_I64, RET_I64, make_add_const, make_fib, make_identity
+
+
+@pytest.fixture
+def world():
+    return World("t")
+
+
+def constructed_during(fn):
+    before = Scope.constructed
+    result = fn()
+    return result, Scope.constructed - before
+
+
+class TestGenerationMonotone:
+    """Every mutation strictly increases the generation; nothing rewinds it."""
+
+    def test_continuation_creation(self, world):
+        g = world.generation
+        world.continuation(FN_I64, "f")
+        assert world.generation > g
+
+    def test_primop_creation(self, world):
+        f = make_identity(world)
+        g = world.generation
+        world.add(f.param(1), world.literal(ct.I64, 41))
+        assert world.generation > g
+
+    def test_gvn_hit_never_rewinds(self, world):
+        f = make_identity(world)
+        world.add(f.param(1), world.literal(ct.I64, 41))
+        g = world.generation
+        world.add(f.param(1), world.literal(ct.I64, 41))  # same node
+        assert world.generation >= g
+
+    def test_jump_retarget(self, world):
+        f = make_identity(world)
+        mem, x, ret = f.params
+        g = world.generation
+        world.jump(f, ret, (mem, world.add(x, world.one(ct.I64))))
+        assert world.generation > g
+
+    def test_append_and_remove_param(self, world):
+        f = world.continuation(FN_I64, "f")
+        g = world.generation
+        f.append_param(ct.I64, "extra")
+        assert world.generation > g
+        g = world.generation
+        f.remove_param(f.num_params - 1)
+        assert world.generation > g
+
+    def test_make_and_remove_external(self, world):
+        f = make_identity(world)
+        g = world.generation
+        world.make_external(f)
+        assert world.generation > g
+        g = world.generation
+        world.remove_external(f)
+        assert world.generation > g
+
+    def test_snapshot_restore_advances(self, world):
+        make_fib(world)
+        snap = snapshot_world(world)
+        g = world.generation
+        restore_world(snap, into=world)
+        assert world.generation > g, \
+            "a restored world must never look unmutated to caches"
+
+    def test_mutation_trace_is_strictly_increasing(self, world):
+        """Property-style sweep: a mixed mutation sequence never repeats
+        or decreases the generation at any step."""
+        f = make_identity(world)
+        mem, x, ret = f.params
+        mutations = [
+            lambda: world.continuation(RET_I64, "k"),
+            lambda: world.add(x, world.literal(ct.I64, 7)),
+            lambda: world.jump(f, ret, (mem, world.mul(x, x))),
+            lambda: f.append_param(ct.I64, "p"),
+            lambda: f.remove_param(f.num_params - 1),
+            lambda: world.make_external(f),
+            lambda: world.remove_external(f),
+            lambda: restore_world(snapshot_world(world), into=world),
+        ]
+        seen = [world.generation]
+        for mutate in mutations:
+            mutate()
+            assert world.generation > seen[-1]
+            seen.append(world.generation)
+
+
+class TestManagerInvalidation:
+    def test_scope_hit_is_identical_object(self, world):
+        f = make_fib(world)
+        manager = world.analyses
+        first = manager.scope(f)
+        second, built = constructed_during(lambda: manager.scope(f))
+        assert second is first
+        assert built == 0
+        assert manager.stats.hits >= 1
+
+    def test_touched_member_drops_scope(self, world):
+        f = make_identity(world)
+        mem, x, ret = f.params
+        manager = world.analyses
+        first = manager.scope(f)
+        world.jump(f, ret, (mem, world.add(x, world.one(ct.I64))))
+        second = manager.scope(f)
+        assert second is not first
+        assert manager.stats.invalidations >= 1
+
+    def test_untouched_scope_survives(self, world):
+        f = make_identity(world, "f")
+        g = make_add_const(world, 3, "g")
+        manager = world.analyses
+        scope_f = manager.scope(f)
+        scope_g = manager.scope(g)
+        gm, gx, gret = g.params
+        world.jump(g, gret, (gm, world.mul(gx, gx)))
+        assert manager.scope(f) is scope_f, \
+            "mutating g must not evict f's cached scope"
+        assert manager.scope(g) is not scope_g
+
+    def test_restore_drops_everything(self, world):
+        f = make_fib(world)
+        manager = world.analyses
+        cached = manager.scope(f)
+        restore_world(snapshot_world(world), into=world)
+        drop_alls = manager.stats.drop_alls
+        assert manager.scope(f) is not cached
+        assert manager.stats.drop_alls == drop_alls + 1
+
+    def test_pending_overflow_escalates_to_drop_all(self, world):
+        f = make_fib(world)
+        manager = world.analyses
+        manager.scope(f)
+        flood = [world.literal(ct.I64, i) for i in range(PENDING_CAP + 1)]
+        manager.invalidate(flood)
+        before = manager.stats.drop_alls
+        manager.scope(f)
+        assert manager.stats.drop_alls == before + 1
+
+    def test_invalidate_none_is_drop_all(self, world):
+        f = make_fib(world)
+        manager = world.analyses
+        cached = manager.scope(f)
+        manager.invalidate(None)
+        assert manager.scope(f) is not cached
+
+    def test_disabled_manager_builds_fresh(self, world):
+        f = make_fib(world)
+        manager = world.analyses
+        manager.set_enabled(False)
+        assert manager.scope(f) is not manager.scope(f)
+
+    def test_derived_analyses_follow_scope(self, world):
+        f = make_fib(world)
+        manager = world.analyses
+        cfg = manager.cfg(f)
+        dom = manager.domtree(f)
+        loops = manager.looptree(f)
+        sched = manager.schedule(f)
+        assert manager.cfg(f) is cfg
+        assert manager.domtree(f) is dom
+        assert manager.looptree(f) is loops
+        assert manager.schedule(f) is sched
+        mem, n, ret = f.params
+        world.jump(f, ret, (mem, n))
+        assert manager.cfg(f) is not cfg
+
+
+class TestTopLevelSweep:
+    def test_cached_call_builds_no_scopes(self, world):
+        make_fib(world)
+        make_identity(world)
+        manager = world.analyses
+        first = manager.top_level()
+        second, built = constructed_during(manager.top_level)
+        assert second == first
+        assert built == 0, \
+            "an unmutated world must answer top_level from cache"
+
+    def test_fresh_sweep_is_single_pass(self, world):
+        """The shared sweep builds at most one scope per continuation
+        (the old implementation recomputed inner scopes per candidate)."""
+        make_fib(world)
+        make_identity(world)
+        make_add_const(world, 9)
+        _, built = constructed_during(lambda: top_level_of(world))
+        assert built <= len(world.continuations())
+
+    def test_new_continuation_invalidates(self, world):
+        f = make_identity(world)
+        manager = world.analyses
+        manager.top_level()
+        g = make_add_const(world, 1, "late")
+        tops = manager.top_level()
+        assert f in tops and g in tops
+
+
+class TestCachedPipelineIdentity:
+    PROGRAMS = ("quicksort", "sort_hof", "compose", "sieve")
+
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_bit_identical_ir_and_behaviour(self, name):
+        from repro import compile_source
+        from repro.backend.interp import Interpreter
+        from repro.core.printer import print_world
+        from repro.programs.suite import by_name
+        from repro.transform.pipeline import OptimizeOptions
+
+        program = by_name(name)
+        world_off = compile_source(
+            program.source, options=OptimizeOptions(cache_analyses=False))
+        world_on = compile_source(
+            program.source, options=OptimizeOptions(cache_analyses=True))
+        assert print_world(world_off) == print_world(world_on)
+        ref = Interpreter(world_off)
+        got = Interpreter(world_on)
+        assert (ref.call(program.entry, *program.test_args)
+                == got.call(program.entry, *program.test_args))
+        assert "".join(ref.output) == "".join(got.output)
+
+    def test_cache_telemetry(self):
+        from repro.frontend import compile_to_ast, emit_module
+        from repro.programs.suite import by_name
+        from repro.transform.pipeline import OptimizeOptions, optimize
+
+        program = by_name("quicksort")
+        module = compile_to_ast(program.source)
+        world = World("t")
+        emit_module(module, world)
+        stats = optimize(world,
+                         options=OptimizeOptions(cache_analyses=True))
+        assert stats.analysis_cache["enabled"] == 1
+        assert stats.analysis_cache["hits"] > 0
+        assert stats.checkpoints_reused > 0, \
+            "quiescent phases should reuse the previous checkpoint"
+
+        module = compile_to_ast(program.source)
+        world = World("t")
+        emit_module(module, world)
+        stats = optimize(world,
+                         options=OptimizeOptions(cache_analyses=False))
+        assert stats.analysis_cache["enabled"] == 0
+        assert stats.checkpoints_reused == 0
+
+
+class TestOracleCacheCheck:
+    def test_fuzz_smoke_with_cache_check(self):
+        from repro.fuzz.gen import generate_program
+        from repro.fuzz.oracle import OracleConfig, run_oracle
+
+        for seed in range(4):
+            prog = generate_program(seed)
+            config = OracleConfig(run_c=False, run_pgo=False,
+                                  check_cache=True, record={})
+            failure = run_oracle(prog, config)
+            assert failure is None, failure.describe()
+            assert "cache(static)" in config.record["paths"]
