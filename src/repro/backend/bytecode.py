@@ -254,6 +254,21 @@ def field_offset(agg: Type, index: int) -> int:
 # --------------------------------------------------------------------------
 
 
+def _operand_repr(operand) -> str:
+    """Deterministic operand rendering for disassembly listings.
+
+    Arith/cmp instructions embed the folding callable itself; its
+    default repr carries a memory address, which would make the
+    disassembly differ run to run.  Render callables by qualified name
+    so the listing is a stable, content-addressable artifact.
+    """
+    if callable(operand) and not isinstance(operand, type):
+        name = getattr(operand, "__qualname__", None)
+        if name:
+            return f"<fn {name}>"
+    return repr(operand)
+
+
 class VMFunction:
     """One compiled function: flat code array, block starts resolved."""
 
@@ -285,7 +300,7 @@ class VMFunction:
         lines = []
         for pc, instr in enumerate(self.code):
             op = OPCODE_NAMES.get(instr[0], str(instr[0]))
-            rest = " ".join(repr(x) for x in instr[1:])
+            rest = " ".join(_operand_repr(x) for x in instr[1:])
             lines.append(f"  {pc:4d}: {op} {rest}")
         return f"fn {self.name}/{self.num_params} regs={self.num_regs}\n" + \
             "\n".join(lines)

@@ -58,6 +58,7 @@ from ..core.types import (
     MemType,
     PrimType,
     PtrType,
+    StructType,
     TupleType,
     Type,
 )
@@ -147,18 +148,102 @@ class WorldCodegen:
         return addr
 
 
+def _const_value(d: Def):
+    """Evaluate a parameter-free value; aggregates become nested lists,
+    undef becomes ``None``.
+
+    Raises :class:`fold.EvalError` when evaluation itself traps (e.g. a
+    constant integer division by zero that folding deliberately left in
+    the program) — callers emit a *runtime* trap for those, because the
+    trap belongs to whichever block references the value, not to compile
+    time.  Operands are evaluated before undef short-circuiting, same
+    order as the reference interpreter.
+    """
+    d = _peel(d)
+    if isinstance(d, Literal):
+        return d.value
+    if isinstance(d, Bottom):
+        return None
+    if isinstance(d, (TupleVal, StructVal, ArrayVal)):
+        return [_const_value(op) for op in d.ops]
+    if isinstance(d, ArithOp):
+        prim = d.type
+        assert isinstance(prim, PrimType)
+        lhs, rhs = _const_value(d.lhs), _const_value(d.rhs)
+        if lhs is None or rhs is None:
+            return None
+        return fold.arith(d.kind, prim, lhs, rhs)
+    if isinstance(d, Cmp):
+        prim = d.lhs.type
+        assert isinstance(prim, PrimType)
+        lhs, rhs = _const_value(d.lhs), _const_value(d.rhs)
+        if lhs is None or rhs is None:
+            return None
+        return fold.compare(d.rel, prim, lhs, rhs)
+    if isinstance(d, MathOp):
+        prim = d.type
+        assert isinstance(prim, PrimType)
+        value = _const_value(d.value)
+        return None if value is None else fold.math_op(d.kind, prim, value)
+    if isinstance(d, Cast):
+        to, frm = d.type, d.value.type
+        assert isinstance(to, PrimType) and isinstance(frm, PrimType)
+        value = _const_value(d.value)
+        return None if value is None else fold.cast(to, frm, value)
+    if isinstance(d, Bitcast):
+        to, frm = d.type, d.value.type
+        if not (isinstance(to, PrimType) and isinstance(frm, PrimType)):
+            raise CodegenError(f"unsupported constant bitcast {d!r}")
+        value = _const_value(d.value)
+        return None if value is None else fold.bitcast(to, frm, value)
+    if isinstance(d, Select):
+        cond = _const_value(d.cond)
+        tval, fval = _const_value(d.tval), _const_value(d.fval)
+        if cond is None:
+            return None
+        return tval if cond else fval
+    if isinstance(d, Extract):
+        agg, index = _const_value(d.agg), _const_value(d.index)
+        if agg is None or index is None:
+            return None
+        if not 0 <= index < len(agg):
+            return None  # out of bounds: bottom
+        return agg[index]
+    if isinstance(d, Insert):
+        agg, index = _const_value(d.agg), _const_value(d.index)
+        value = _const_value(d.value)
+        if agg is None or index is None:
+            return None
+        if not 0 <= index < len(agg):
+            return None
+        agg = list(agg)
+        agg[index] = value
+        return agg
+    raise CodegenError(f"unsupported global initializer {d!r}")
+
+
+def _value_words(value, type_: Type) -> list:
+    """Flatten an evaluated constant into its heap word image."""
+    size = bc.word_size(type_)
+    if value is None:
+        return [0] * size
+    if isinstance(type_, TupleType):
+        elem_types: tuple[Type, ...] = type_.elem_types
+    elif isinstance(type_, StructType):
+        elem_types = type_.field_types
+    elif isinstance(type_, DefiniteArrayType):
+        elem_types = (type_.elem_type,) * type_.length
+    else:
+        return [value]
+    words: list = []
+    for elem, elem_type in zip(value, elem_types):
+        words.extend(_value_words(elem, elem_type))
+    return words
+
+
 def _const_words(d: Def) -> list:
     """Flattened word image of a parameter-free value (global initializers)."""
-    if isinstance(d, Literal):
-        return [d.value]
-    if isinstance(d, Bottom):
-        return [0] * bc.word_size(d.type)
-    if isinstance(d, (TupleVal, StructVal, ArrayVal)):
-        words: list = []
-        for op in d.ops:
-            words.extend(_const_words(op))
-        return words
-    raise CodegenError(f"unsupported global initializer {d!r}")
+    return _value_words(_const_value(d), d.type)
 
 
 class FunctionCodegen:
@@ -257,11 +342,17 @@ class FunctionCodegen:
         if isinstance(d, Bottom):
             return self._const_reg(d, None)
         if isinstance(d, Global):
-            return self._const_reg(d, self.parent.global_address(d))
+            try:
+                return self._const_reg(d, self.parent.global_address(d))
+            except fold.EvalError as trap:
+                return self._emit_trap_value(trap)
         if isinstance(d, PrimOp) and d not in self.scope:
             # A shared, parameter-free primop (constant expression that
             # escaped folding, e.g. chained inserts over bottom).
-            return self._const_reg(d, self._eval_const(d))
+            try:
+                return self._const_reg(d, self._eval_const(d))
+            except fold.EvalError as trap:
+                return self._emit_trap_value(trap)
         if isinstance(d, Param):
             raise CodegenError(
                 f"{self.entry.unique_name()}: foreign parameter "
@@ -280,10 +371,21 @@ class FunctionCodegen:
         return reg
 
     def _eval_const(self, d: PrimOp):
-        words = _const_words(d)
         if bc.word_size(d.type) == 1:
-            return words[0]
-        return words
+            return _const_value(d)
+        return _const_words(d)
+
+    def _emit_trap_value(self, trap: fold.EvalError) -> int:
+        """A constant expression that traps when evaluated.
+
+        The trap is emitted *inline* at the current emission point — not
+        into the constant prologue, which runs unconditionally at
+        function entry — so it fires exactly when the referencing block
+        executes, matching the reference interpreter's lazy evaluation.
+        The register is only a placeholder; nothing past the trap runs.
+        """
+        self.fn.emit(bc.OP_TRAP, str(trap))
+        return self._scratch_reg()
 
     def _def_reg(self, d: Def) -> int:
         reg = self._regs.get(d)

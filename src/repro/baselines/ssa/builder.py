@@ -58,6 +58,14 @@ def lower_module(module: ast.Module, name: str = "module") -> Module:
         fns[decl] = fn
     for decl in module.functions:
         _FnLowerer(out, fns, decl, fns[decl]).run()
+    # The eager statement-at-a-time placement above executes every
+    # division where its *statement* stood; sink possibly-trapping
+    # chains to their demand points so unoptimized and optimized SSA
+    # both trap exactly where the graph interpreter does.
+    from .passes import align_traps
+
+    for fn in out.functions.values():
+        align_traps(fn)
     return out
 
 

@@ -50,6 +50,7 @@ class PassStats:
         self.inlined_calls = 0
         self.blocks_cloned = 0
         self.values_remapped = 0
+        self.trap_moves = 0           # trapping chains sunk to demand points
 
     def merge(self, other: "PassStats") -> None:
         for key, value in vars(other).items():
@@ -281,6 +282,104 @@ def simplify_cfg(fn: Function) -> PassStats:
             stats.blocks_merged += 1
             changed = True
             break
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# trap alignment
+# ---------------------------------------------------------------------------
+
+
+def _maybe_traps(instr: Instr) -> bool:
+    """Can executing *instr* trap?  Integer ``div``/``rem`` whose divisor
+    is not a provably nonzero constant (undef counts as possibly zero)."""
+    if instr.opcode is not Opcode.ARITH or not instr.extra.is_division:
+        return False
+    prim = instr.type
+    if not (isinstance(prim, ct.PrimType) and prim.is_int):
+        return False
+    rhs = instr.operands[1]
+    return not (isinstance(rhs, Const) and rhs.value not in (None, 0))
+
+
+def align_traps(fn: Function) -> PassStats:
+    """Match the graph IR's lazy trap semantics on the eager SSA lowering.
+
+    The AST lowerer places every instruction in the block where its
+    statement appeared, so ``let d = a / b;`` executes the division even
+    when no path that *uses* ``d`` runs — the classical baseline traps
+    where the graph interpreter (which only evaluates primops referenced
+    by an executed body) does not.  This pass sinks every pure
+    instruction whose transitive pure-operand chain can trap to its
+    actual demand points: a fresh clone of the chain is materialized
+    immediately before each effectful user, before the terminator for
+    branch/return uses, and at the tail of the predecessor block for phi
+    edges; the hoisted originals are then deleted.  An unused trapping
+    chain disappears entirely — exactly like a dead primop in the graph.
+    """
+    stats = PassStats()
+    tainted: set[Instr] = set()
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for instr in block.instrs:
+                if instr in tainted or instr.opcode not in _PURE_OPCODES:
+                    continue
+                if _maybe_traps(instr) or any(
+                        o in tainted for o in instr.operands):
+                    tainted.add(instr)
+                    changed = True
+    if not tainted:
+        return stats
+
+    def clone_chain(value: Value, out: list[Instr],
+                    memo: dict[Instr, Instr]) -> Value:
+        if not isinstance(value, Instr) or value not in tainted:
+            return value
+        hit = memo.get(value)
+        if hit is not None:
+            return hit
+        ops = [clone_chain(o, out, memo) for o in value.operands]
+        clone = Instr(value.opcode, value.type, ops, value.name, value.extra)
+        out.append(clone)
+        memo[value] = clone
+        stats.trap_moves += 1
+        return clone
+
+    for block in fn.blocks:
+        rebuilt: list[Instr] = []
+        for instr in block.instrs:
+            if instr in tainted:
+                continue  # materialized on demand at its anchors
+            if any(o in tainted for o in instr.operands):
+                memo: dict[Instr, Instr] = {}
+                instr.operands = [clone_chain(o, rebuilt, memo)
+                                  for o in instr.operands]
+            rebuilt.append(instr)
+        t = block.terminator
+        if isinstance(t, Br) and isinstance(t.cond, Instr) \
+                and t.cond in tainted:
+            t.cond = clone_chain(t.cond, rebuilt, {})
+        elif isinstance(t, Ret) and isinstance(t.value, Instr) \
+                and t.value in tainted:
+            t.value = clone_chain(t.value, rebuilt, {})
+        block.instrs = rebuilt
+        for instr in rebuilt:
+            instr.block = block
+
+    # Phi edges: the incoming value is demanded when the predecessor
+    # commits to the edge, so the chain belongs at the predecessor tail.
+    for block in fn.blocks:
+        for phi in block.phis:
+            for i, (pred, value) in enumerate(phi.incoming):
+                if isinstance(value, Instr) and value in tainted:
+                    tail: list[Instr] = []
+                    replacement = clone_chain(value, tail, {})
+                    for extra_instr in tail:
+                        pred.append(extra_instr)
+                    phi.incoming[i] = (pred, replacement)
+                    stats.phi_repairs += 1
     return stats
 
 

@@ -1,0 +1,279 @@
+"""Fork-based process pools shared by the fuzzer and the compile server.
+
+Two tools live here:
+
+* :func:`map_cases` — the fuzz CLI's one-shot fan-out: lazily map a
+  function over a case stream on N forked processes, results in
+  submission order.  Extracted from ``fuzz/cli.py`` so the serve smoke
+  driver and benchmarks can reuse it.
+* :class:`WorkerPool` / :class:`ForkWorker` — *persistent* crash-
+  isolated workers for the compile service.  Each worker is a forked
+  child on a duplex pipe; a job that crashes the child (segfault,
+  ``SIGKILL`` fault injection, runaway recursion) surfaces as a
+  structured :class:`WorkerCrash` in the parent while the pool respawns
+  the seat, so one poisoned request never takes the server down.
+
+Fork (not spawn) is deliberate in both cases: children inherit the
+loaded modules and the handler closure, so there is no re-import or
+re-pickle cost per seat, and handlers may close over rich objects.
+POSIX-only, like the rest of the fuzz tooling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import time
+import traceback
+
+
+def map_cases(worker, cases, jobs):
+    """Lazily map *worker* over *cases*, in order, on *jobs* processes.
+
+    ``jobs <= 1`` degrades to plain in-process ``map``.  Parallel runs
+    use a fork-context pool (workers inherit the loaded modules; no
+    re-import cost per task) and ``imap`` so results come back in
+    submission order — the campaign report stays deterministic.
+    """
+    if jobs <= 1:
+        yield from map(worker, cases)
+        return
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=jobs) as pool:
+        yield from pool.imap(worker, cases, chunksize=1)
+
+
+class WorkerCrash(Exception):
+    """A forked worker died (or hung past its deadline) mid-job.
+
+    Distinct from an *error result*: the handler never got to reply.
+    Carries enough for the caller to write a crash bundle — the job
+    that killed the worker and how the death was observed.
+    """
+
+    def __init__(self, reason: str, job=None, exitcode: int | None = None):
+        self.reason = reason
+        self.job = job
+        self.exitcode = exitcode
+        super().__init__(reason)
+
+
+class JobError(Exception):
+    """The handler raised inside the worker; the worker itself survived.
+
+    ``kind`` is the original exception class name, ``detail`` its
+    message, and ``trace`` the formatted traceback from the child.
+    """
+
+    def __init__(self, kind: str, detail: str, trace: str):
+        self.kind = kind
+        self.detail = detail
+        self.trace = trace
+        super().__init__(f"{kind}: {detail}")
+
+
+def _child_loop(conn, handler):
+    """Worker main: serve jobs off *conn* until EOF or parent death."""
+    # A fresh process group would also work, but keeping the parent's
+    # group lets Ctrl-C at the terminal reach the whole tree.
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            os._exit(0)
+        if job is _SHUTDOWN:
+            os._exit(0)
+        try:
+            result = handler(job)
+            reply = ("ok", result)
+        except BaseException as exc:  # noqa: BLE001 — child must not die
+            reply = ("error", (type(exc).__name__, str(exc),
+                               traceback.format_exc()))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            os._exit(1)
+
+
+class _Shutdown:
+    def __reduce__(self):
+        return (_shutdown_sentinel, ())
+
+
+def _shutdown_sentinel():
+    return _SHUTDOWN
+
+
+_SHUTDOWN = _Shutdown()
+
+
+class ForkWorker:
+    """One persistent forked worker on a duplex pipe.
+
+    ``run(job, timeout)`` is synchronous: send the job, poll for the
+    reply, and translate every way the child can fail into a structured
+    exception.  Not thread-safe — :class:`WorkerPool` serializes access
+    per seat.
+    """
+
+    def __init__(self, handler):
+        self._handler = handler
+        self._spawn()
+
+    def _spawn(self):
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_child_loop, args=(child_conn, self._handler),
+            daemon=True)
+        self._proc.start()
+        child_conn.close()
+        self._conn = parent_conn
+        self.jobs_done = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self._proc.pid
+
+    def alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def run(self, job, timeout: float | None = None):
+        """Execute *job* in the child; return the handler's result.
+
+        Raises :class:`JobError` if the handler raised (worker fine),
+        :class:`WorkerCrash` if the child died or blew *timeout* —
+        in both crash cases the seat is killed and respawned before
+        the exception propagates, so the worker is immediately
+        reusable.
+        """
+        if not self.alive():
+            self._respawn()
+        try:
+            self._conn.send(job)
+        except (BrokenPipeError, OSError):
+            self._respawn()
+            raise WorkerCrash("worker pipe closed before submit", job=job)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            wait = 0.25 if deadline is None else min(
+                0.25, max(0.0, deadline - time.monotonic()))
+            if self._conn.poll(wait):
+                try:
+                    status, payload = self._conn.recv()
+                except (EOFError, OSError):
+                    exitcode = self._reap()
+                    raise WorkerCrash(
+                        f"worker died mid-job (exitcode={exitcode})",
+                        job=job, exitcode=exitcode)
+                self.jobs_done += 1
+                if status == "ok":
+                    return payload
+                kind, detail, trace = payload
+                raise JobError(kind, detail, trace)
+            if not self._proc.is_alive():
+                exitcode = self._reap()
+                raise WorkerCrash(
+                    f"worker died mid-job (exitcode={exitcode})",
+                    job=job, exitcode=exitcode)
+            if deadline is not None and time.monotonic() >= deadline:
+                exitcode = self._reap()
+                raise WorkerCrash(
+                    f"worker deadline exceeded ({timeout:g}s); killed",
+                    job=job, exitcode=exitcode)
+
+    def _reap(self) -> int | None:
+        """Kill (if needed) and respawn; return the old exitcode."""
+        if self._proc.is_alive():
+            self._proc.kill()
+        self._proc.join(timeout=5.0)
+        exitcode = self._proc.exitcode
+        self._respawn()
+        return exitcode
+
+    def _respawn(self):
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        if self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(timeout=5.0)
+        self._spawn()
+
+    def close(self):
+        if self._proc.is_alive():
+            try:
+                self._conn.send(_SHUTDOWN)
+            except (BrokenPipeError, OSError):
+                pass
+            self._proc.join(timeout=2.0)
+            if self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join(timeout=5.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """A fixed set of :class:`ForkWorker` seats behind a checkout lock.
+
+    ``run(job, timeout)`` blocks until a seat is free (bounded by the
+    caller's own admission control — the server sheds load *before*
+    reaching here), runs the job, and returns the seat even when the
+    job crashed it (the seat respawned itself).  Thread-safe: designed
+    to be driven from an executor under asyncio.
+    """
+
+    def __init__(self, handler, size: int = 2):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self._workers = [ForkWorker(handler) for _ in range(size)]
+        self._idle = list(self._workers)
+        self._cond = threading.Condition()
+        self._closed = False
+        self.crashes = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    def run(self, job, timeout: float | None = None):
+        with self._cond:
+            while not self._idle:
+                if self._closed:
+                    raise RuntimeError("pool is closed")
+                self._cond.wait()
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            worker = self._idle.pop()
+        try:
+            return worker.run(job, timeout=timeout)
+        except WorkerCrash:
+            with self._cond:
+                self.crashes += 1
+            raise
+        finally:
+            with self._cond:
+                self._idle.append(worker)
+                self._cond.notify()
+
+    def close(self):
+        with self._cond:
+            self._closed = True
+            workers, self._workers = self._workers, []
+            self._idle = []
+            self._cond.notify_all()
+        for worker in workers:
+            worker.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -93,6 +93,18 @@ if TYPE_CHECKING:  # pragma: no cover
 SNAPSHOT_FORMAT = 1
 
 
+def canonical_json(obj) -> str:
+    """Deterministic JSON: sorted keys, compact separators, ASCII-safe.
+
+    The one encoding used everywhere bytes must be reproducible —
+    snapshots, compile-service cache keys, artifact files.  Two
+    structurally equal objects always encode to the same string, so
+    hashing the result is a sound content address.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
 class SnapshotError(Exception):
     """A world could not be serialized or restored."""
 
@@ -280,7 +292,7 @@ class Snapshot:
         self.data = data
 
     def to_json(self) -> str:
-        return json.dumps(self.data, sort_keys=True, separators=(",", ":"))
+        return canonical_json(self.data)
 
     @classmethod
     def from_json(cls, text: str) -> "Snapshot":

@@ -336,9 +336,48 @@ class World:
         key = (ArithOp, prim, self._ops_key((lhs, rhs)), (kind,))
         return self._unify(key, lambda: ArithOp(self, kind, lhs, rhs))
 
+    def may_trap(self, d: Def) -> bool:
+        """Can evaluating *d*'s primop subtree trap at run time?
+
+        True when the subtree contains an integer ``div``/``rem`` whose
+        divisor is not a provably nonzero literal (``INT_MIN / -1``
+        wraps, float division follows IEEE — neither traps).  The walk
+        treats continuations, parameters and literals as leaves: the
+        reference interpreter evaluates every primop operand of an
+        executed body, but never the body of a closure it merely builds.
+        """
+        stack = [d]
+        seen: set[int] = set()
+        while stack:
+            cur = stack.pop()
+            if id(cur) in seen:
+                continue
+            seen.add(id(cur))
+            if not isinstance(cur, PrimOp):
+                continue
+            if (isinstance(cur, ArithOp) and cur.kind.is_division
+                    and isinstance(cur.type, PrimType) and cur.type.is_int):
+                divisor = cur.ops[1]
+                if not (isinstance(divisor, Literal) and divisor.value != 0):
+                    return True
+            stack.extend(cur.ops)
+        return False
+
+    def _can_discard(self, *defs: Def) -> bool:
+        """May these operand subtrees be folded away?
+
+        A fold that *discards* an operand the reference interpreter
+        would have evaluated must not lose a trap: ``(1/x) * 0`` still
+        divides by ``x`` at run time, so it must not fold to ``0``.
+        Every discarding fold below is gated on this predicate.
+        """
+        return not any(self.may_trap(d) for d in defs)
+
     def _fold_arith(self, kind: ArithKind, prim: PrimType, lhs: Def, rhs: Def) -> Def | None:
         if isinstance(lhs, Bottom) or isinstance(rhs, Bottom):
-            return self.bottom(prim)
+            if self._can_discard(lhs, rhs):
+                return self.bottom(prim)
+            return None
         if isinstance(lhs, Literal) and isinstance(rhs, Literal):
             if kind.is_division and prim.is_int and rhs.value == 0:
                 return None  # leave the trap in the program
@@ -362,10 +401,12 @@ class World:
         elif kind is ArithKind.SUB:
             if is_zero(rhs):
                 return lhs
-            if lhs is rhs and prim.is_int:
+            if lhs is rhs and prim.is_int and self._can_discard(lhs):
                 return self.zero(prim)
         elif kind is ArithKind.MUL:
-            if prim.is_int and (is_zero(lhs) or is_zero(rhs)):
+            if prim.is_int and is_zero(lhs) and self._can_discard(rhs):
+                return self.zero(prim)
+            if prim.is_int and is_zero(rhs) and self._can_discard(lhs):
                 return self.zero(prim)
             if is_one(lhs) and not prim.is_bool:
                 return rhs
@@ -375,7 +416,9 @@ class World:
             if is_one(rhs) and not prim.is_bool:
                 return lhs
         elif kind is ArithKind.AND:
-            if is_zero(lhs) or is_zero(rhs):
+            if is_zero(lhs) and self._can_discard(rhs):
+                return self.zero(prim) if prim.is_int else self.false_()
+            if is_zero(rhs) and self._can_discard(lhs):
                 return self.zero(prim) if prim.is_int else self.false_()
             if lhs is rhs:
                 return lhs
@@ -393,18 +436,26 @@ class World:
                 return lhs
             if prim.is_bool:
                 if isinstance(lhs, Literal):
-                    return self.true_() if lhs.value else rhs
-                if isinstance(rhs, Literal):
-                    return self.true_() if rhs.value else lhs
+                    if not lhs.value:
+                        return rhs
+                    if self._can_discard(rhs):
+                        return self.true_()
+                elif isinstance(rhs, Literal):
+                    if not rhs.value:
+                        return lhs
+                    if self._can_discard(lhs):
+                        return self.true_()
             else:
                 if is_zero(lhs):
                     return rhs
                 if is_zero(rhs):
                     return lhs
-                if is_all_ones(lhs) or is_all_ones(rhs):
+                if is_all_ones(lhs) and self._can_discard(rhs):
+                    return self.literal(prim, (1 << prim.bitwidth) - 1)
+                if is_all_ones(rhs) and self._can_discard(lhs):
                     return self.literal(prim, (1 << prim.bitwidth) - 1)
         elif kind is ArithKind.XOR:
-            if lhs is rhs:
+            if lhs is rhs and self._can_discard(lhs):
                 return self.false_() if prim.is_bool else self.zero(prim)
             if is_zero(lhs):
                 return rhs
@@ -422,7 +473,7 @@ class World:
         elif kind in (ArithKind.SHL, ArithKind.SHR):
             if is_zero(rhs):
                 return lhs
-            if is_zero(lhs):
+            if is_zero(lhs) and self._can_discard(rhs):
                 return self.zero(prim)
         return None
 
@@ -497,12 +548,13 @@ class World:
         assert isinstance(prim, PrimType), f"cmp on non-scalar {prim}"
         if self.folding:
             if isinstance(lhs, Bottom) or isinstance(rhs, Bottom):
-                return self._folded(self.bottom(BOOL))
-            if isinstance(lhs, Literal) and isinstance(rhs, Literal):
+                if self._can_discard(lhs, rhs):
+                    return self._folded(self.bottom(BOOL))
+            elif isinstance(lhs, Literal) and isinstance(rhs, Literal):
                 return self._folded(
                     self.lit_bool(fold.compare(rel, prim, lhs.value, rhs.value))
                 )
-            if lhs is rhs and not prim.is_float:
+            elif lhs is rhs and not prim.is_float and self._can_discard(lhs):
                 if rel in (CmpRel.EQ, CmpRel.LE, CmpRel.GE):
                     return self._folded(self.true_())
                 return self._folded(self.false_())
@@ -574,10 +626,13 @@ class World:
         )
         if self.folding:
             if isinstance(cond, Literal):
-                return self._folded(tval if cond.value else fval)
-            if isinstance(cond, Bottom):
-                return self._folded(self.bottom(tval.type))
-            if tval is fval:
+                discarded = fval if cond.value else tval
+                if self._can_discard(discarded):
+                    return self._folded(tval if cond.value else fval)
+            elif isinstance(cond, Bottom):
+                if self._can_discard(tval, fval):
+                    return self._folded(self.bottom(tval.type))
+            elif tval is fval and self._can_discard(cond):
                 return self._folded(tval)
             # select(!c, a, b) -> select(c, b, a)
             negated = self._negated_cond(cond)
@@ -639,18 +694,33 @@ class World:
 
     def _fold_extract(self, agg: Def, index: Def, type: Type) -> Def | None:
         if isinstance(agg, Bottom):
-            return self.bottom(type)
+            if self._can_discard(index):
+                return self.bottom(type)
+            return None
         if isinstance(index, Literal):
             if isinstance(agg, (TupleVal, StructVal)):
-                return agg.op(index.value)
+                siblings = [op for i, op in enumerate(agg.ops)
+                            if i != index.value]
+                if self._can_discard(*siblings):
+                    return agg.op(index.value)
+                return None
             if isinstance(agg, ArrayVal):
                 if index.value < agg.num_ops:
-                    return agg.op(index.value)
-                return self.bottom(type)
+                    siblings = [op for i, op in enumerate(agg.ops)
+                                if i != index.value]
+                    if self._can_discard(*siblings):
+                        return agg.op(index.value)
+                    return None
+                if self._can_discard(agg):
+                    return self.bottom(type)
+                return None
             if isinstance(agg, Insert) and isinstance(agg.index, Literal):
                 if agg.index.value == index.value:
-                    return agg.value
-                return self.extract(agg.agg, index)
+                    if self._can_discard(agg.agg):
+                        return agg.value
+                    return None
+                if self._can_discard(agg.value):
+                    return self.extract(agg.agg, index)
         return None
 
     def insert(self, agg: Def, index, value: Def) -> Def:
@@ -674,23 +744,31 @@ class World:
             return None
         i = index.value
         if isinstance(agg, TupleVal):
+            if not self._can_discard(agg.op(i)):
+                return None
             elems = list(agg.ops)
             elems[i] = value
             return self.tuple_(elems)
         if isinstance(agg, StructVal):
             assert isinstance(agg.type, StructType)
+            if not self._can_discard(agg.op(i)):
+                return None
             fields = list(agg.ops)
             fields[i] = value
             return self.struct_val(agg.type, fields)
         if isinstance(agg, ArrayVal):
             assert isinstance(agg.type, DefiniteArrayType)
             if i < agg.num_ops:
+                if not self._can_discard(agg.op(i)):
+                    return None
                 elems = list(agg.ops)
                 elems[i] = value
                 return self.definite_array(agg.type.elem_type, elems)
-            return self.bottom(agg.type)
+            if self._can_discard(agg, value):
+                return self.bottom(agg.type)
+            return None
         if isinstance(agg, Insert) and isinstance(agg.index, Literal):
-            if agg.index.value == i:
+            if agg.index.value == i and self._can_discard(agg.value):
                 return self.insert(agg.agg, index, value)
         if isinstance(agg, Bottom) and isinstance(agg.type, DefiniteArrayType):
             # Building up a fresh array over bottom: keep as chained inserts.
@@ -760,7 +838,8 @@ class World:
         )
         if self.folding:
             # Dead-store elimination through the same memory token.
-            if isinstance(mem, Store) and mem.ptr is ptr:
+            if (isinstance(mem, Store) and mem.ptr is ptr
+                    and self._can_discard(mem.value)):
                 return self.store(mem.mem, ptr, value)
         key = (Store, MEM, self._ops_key((mem, ptr, value)), ())
         return self._unify(key, lambda: Store(self, MEM, mem, ptr, value))
@@ -825,20 +904,24 @@ class World:
             if isinstance(target, Continuation) and target.intrinsic == Intrinsic.BRANCH:
                 mem, cond, tgt_t, tgt_f = args
                 if isinstance(cond, Literal):
-                    self.stats.folds += 1
-                    self.jump(cont, tgt_t if cond.value else tgt_f, (mem,))
-                    return
-                if tgt_t is tgt_f:
+                    dropped = tgt_f if cond.value else tgt_t
+                    if self._can_discard(dropped):
+                        self.stats.folds += 1
+                        self.jump(cont, tgt_t if cond.value else tgt_f, (mem,))
+                        return
+                elif tgt_t is tgt_f and self._can_discard(cond):
                     self.stats.folds += 1
                     self.jump(cont, tgt_t, (mem,))
                     return
             if isinstance(callee, Select):
                 # jump select(c, t, f)(args) == branch-like dispatch
                 if isinstance(callee.cond, Literal):
-                    self.stats.folds += 1
-                    picked = callee.tval if callee.cond.value else callee.fval
-                    self.jump(cont, picked, args)
-                    return
+                    dropped = callee.fval if callee.cond.value else callee.tval
+                    if self._can_discard(dropped):
+                        self.stats.folds += 1
+                        picked = callee.tval if callee.cond.value else callee.fval
+                        self.jump(cont, picked, args)
+                        return
         cont.jump(callee, args)
 
     def rebuild(self, op: PrimOp, new_ops: tuple[Def, ...]) -> Def:

@@ -36,11 +36,11 @@ the pipeline failed to recover or the recovered program diverged.
 from __future__ import annotations
 
 import argparse
-import multiprocessing
 import sys
 import time
 
 from ..core.limits import DeadlineExceeded, deadline
+from ..core.pool import map_cases as _map_cases
 from .gen import GenConfig, generate_program
 from .oracle import OracleConfig, run_oracle
 from .shrink import shrink_failure, write_repro
@@ -96,22 +96,6 @@ def _parse_args(argv):
                         help="limit the fault matrix to the first N "
                              "suite programs (default: all)")
     return parser.parse_args(argv)
-
-
-def _map_cases(worker, cases, jobs):
-    """Lazily map *worker* over *cases*, in order, on *jobs* processes.
-
-    ``jobs <= 1`` degrades to plain in-process ``map``.  Parallel runs
-    use a fork-context pool (workers inherit the loaded modules; no
-    re-import cost per task) and ``imap`` so results come back in
-    submission order — the campaign report stays deterministic.
-    """
-    if jobs <= 1:
-        yield from map(worker, cases)
-        return
-    ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(processes=jobs) as pool:
-        yield from pool.imap(worker, cases, chunksize=1)
 
 
 # --- fault campaign ---------------------------------------------------------

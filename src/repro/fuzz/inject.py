@@ -17,6 +17,12 @@ Two kinds of damage live here:
   - ``stall``   — the pass sleeps past its wall-clock deadline;
   - ``growth``  — the world balloons past the pipeline's growth cap.
 
+  A fifth mode, ``kill``, hard-kills the *process* (``SIGKILL`` to
+  self) — nothing in-process can absorb that, so it is deliberately
+  excluded from :data:`FAULT_MODES` (the fault campaign iterates that
+  tuple) and exists for the compile service's crash-isolated worker
+  pool, where the parent must survive a worker dying mid-compile.
+
 ``drop_one_argument`` is a mangler misuse: it picks a call site
 ``caller → callee(args)`` of an ordinary bodied continuation, mangles
 the callee with one ``i64`` parameter *specialized to literal 0* (as if
@@ -33,6 +39,8 @@ shrinker test uses it for.
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from dataclasses import dataclass
 
@@ -43,7 +51,12 @@ from ..core.scope import Scope
 from ..core.world import World
 from ..transform.mangle import drop
 
+# In-process faults the pipeline's isolation machinery must absorb.
+# The fault campaign iterates exactly these.
 FAULT_MODES = ("raise", "corrupt", "stall", "growth")
+# ``kill`` is process-fatal by design (see module docstring); valid for
+# a FaultPlan, never part of the in-process campaign.
+_PROCESS_MODES = FAULT_MODES + ("kill",)
 
 
 class InjectedFault(RuntimeError):
@@ -67,9 +80,9 @@ class FaultPlan:
     blowup: int = 8192
 
     def __post_init__(self):
-        if self.mode not in FAULT_MODES:
+        if self.mode not in _PROCESS_MODES:
             raise ValueError(f"unknown fault mode {self.mode!r}; "
-                             f"expected one of {FAULT_MODES}")
+                             f"expected one of {_PROCESS_MODES}")
 
 
 class FaultInjector:
@@ -108,6 +121,10 @@ class FaultInjector:
             time.sleep(self.plan.stall_seconds)
         elif mode == "growth":
             blow_up_world(world, self.plan.blowup)
+        elif mode == "kill":
+            # Process-fatal: simulate a segfaulting pass.  Only a
+            # crash-isolated worker pool survives this one.
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 def corrupt_world(world: World) -> str | None:

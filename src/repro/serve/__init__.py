@@ -1,0 +1,40 @@
+"""The compile service: an async daemon around the optimizer.
+
+``python -m repro.serve`` starts a newline-delimited-JSON socket server
+that compiles Impala-lite sources through the full pipeline and replies
+with artifacts — printed Thorin IR, C source, VM bytecode listing, and
+the :class:`~repro.transform.pipeline.PipelineStats` record — at any of
+the three optimization levels (``none``, ``static``, ``pgo``).
+
+The interesting parts, each in its own module:
+
+* :mod:`.protocol` — wire format: one JSON object per line, bounded
+  line length, structured error replies;
+* :mod:`.cache` — content-addressed artifact cache keyed by
+  ``sha256(source × options × profile digest)``; in-memory LRU over an
+  on-disk object store;
+* :mod:`.worker` — the compile job itself, executed in crash-isolated
+  forked workers (:mod:`repro.core.pool`) so a segfaulting pass kills
+  one request, not the server;
+* :mod:`.server` — asyncio front end: admission control with load
+  shedding, single-flight coalescing of identical in-flight requests,
+  introspection, clean SIGTERM shutdown;
+* :mod:`.client` — a small blocking client for tests, benchmarks and
+  scripts.
+"""
+
+from .cache import ArtifactCache, cache_key
+from .client import ServeClient
+from .protocol import ProtocolError, decode_line, encode_message
+from .server import CompileServer, ServerConfig
+
+__all__ = [
+    "ArtifactCache",
+    "cache_key",
+    "CompileServer",
+    "ProtocolError",
+    "ServeClient",
+    "ServerConfig",
+    "decode_line",
+    "encode_message",
+]

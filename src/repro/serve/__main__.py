@@ -1,0 +1,55 @@
+"""``python -m repro.serve`` — run the compile service daemon.
+
+Foreground process; logs one line on start, exits 0 on SIGTERM/SIGINT.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .server import ServerConfig, run_server
+
+
+def _parse_args(argv=None) -> ServerConfig:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="async compile server with content-addressed artifact "
+                    "cache and crash-isolated workers")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7767,
+                        help="TCP port (default 7767)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="forked compile workers (default 2)")
+    parser.add_argument("--cache-dir", default="serve_cache",
+                        help="artifact store directory; 'none' disables "
+                             "the on-disk tier (default serve_cache)")
+    parser.add_argument("--crash-dir", default="crash_reports",
+                        help="where worker-crash bundles go")
+    parser.add_argument("--max-pending", type=int, default=32, metavar="N",
+                        help="compiles queued or running before the server "
+                             "sheds load (default 32)")
+    parser.add_argument("--request-timeout", type=float, default=120.0,
+                        metavar="S",
+                        help="per-compile wall-clock budget in seconds; "
+                             "overruns kill the worker (default 120)")
+    args = parser.parse_args(argv)
+    return ServerConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        cache_dir=None if args.cache_dir == "none" else args.cache_dir,
+        crash_dir=args.crash_dir, max_pending=args.max_pending,
+        request_timeout=args.request_timeout)
+
+
+def main(argv=None) -> int:
+    config = _parse_args(argv)
+    print(f"repro.serve listening on {config.host}:{config.port} "
+          f"({config.workers} workers, cache={config.cache_dir})",
+          flush=True)
+    run_server(config)
+    print("repro.serve: clean shutdown", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

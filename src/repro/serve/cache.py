@@ -1,0 +1,162 @@
+"""Content-addressed artifact cache for the compile service.
+
+The cache key is a sha256 over the *complete semantic input* of a
+compile: the source text, the optimization level, the canonicalized
+:class:`~repro.transform.pipeline.OptimizeOptions`, and — for PGO — a
+digest of the profile (or of the training workload that determines it).
+Everything the pipeline's output depends on is in the key; nothing
+else is.  Operational knobs that cannot change the artifacts
+(``crash_dir``, ``crash_context``, ``pass_hook``) are excluded, so two
+servers with different crash directories share cache entries.
+
+Layout: an in-memory LRU (dict-ordered, capped by entry count) in
+front of an on-disk object store ``<cache_dir>/objects/<k[:2]>/<k>.json``
+— the git-style fan-out keeps directories small.  Disk writes are
+atomic (tmp + rename) so a killed server never leaves a torn object,
+and a hit promotes the entry back into memory.
+
+The store is shared-nothing-safe: entries are immutable once written
+(content-addressed), so concurrent servers on one directory can only
+race to write identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from ..core.snapshot import canonical_json
+from ..transform.pipeline import OptimizeOptions
+
+CACHE_FORMAT = 1
+
+# Options fields with no bearing on the produced artifacts.
+_NON_SEMANTIC_OPTIONS = ("crash_dir", "crash_context", "pass_hook")
+
+_OPTION_NAMES = frozenset(f.name for f in fields(OptimizeOptions))
+
+
+def canonical_options(overrides: dict | None = None) -> dict:
+    """Defaults + *overrides* as a stable, artifact-relevant dict.
+
+    Unknown override names raise ``ValueError`` (surfaces as a
+    bad-request to clients) rather than being silently dropped into
+    the key, which would fragment the cache.
+    """
+    overrides = dict(overrides or {})
+    unknown = set(overrides) - _OPTION_NAMES
+    if unknown:
+        raise ValueError(f"unknown OptimizeOptions field(s): "
+                         f"{', '.join(sorted(unknown))}")
+    options = OptimizeOptions(**overrides)
+    out = asdict(options)
+    for name in _NON_SEMANTIC_OPTIONS:
+        out.pop(name, None)
+    return out
+
+
+def profile_digest(request: dict) -> str | None:
+    """Digest of whatever determines the PGO profile, or ``None``.
+
+    An explicit precollected profile is hashed directly.  A training
+    workload (``entry`` + ``train_args``) determines the profile
+    deterministically — the VM is deterministic — so hashing the
+    workload description is equivalent to hashing the profile it will
+    produce.
+    """
+    if request.get("opt") != "pgo":
+        return None
+    profile = request.get("profile")
+    if profile is not None:
+        payload = {"profile": profile}
+    else:
+        payload = {"entry": request.get("entry"),
+                   "train_args": request.get("train_args")}
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def cache_key(request: dict) -> str:
+    """The content address of a validated compile request."""
+    material = {
+        "format": CACHE_FORMAT,
+        "source": request["source"],
+        "opt": request.get("opt", "static"),
+        "options": canonical_options(request.get("options")),
+        "profile": profile_digest(request),
+    }
+    return hashlib.sha256(
+        canonical_json(material).encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """In-memory LRU over an on-disk content-addressed object store."""
+
+    def __init__(self, cache_dir: str | Path | None,
+                 memory_entries: int = 128):
+        self.root = None if cache_dir is None else Path(cache_dir)
+        self.memory_entries = memory_entries
+        self._memory: dict[str, dict] = {}  # insertion order = LRU order
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> tuple[dict, str] | None:
+        """Look *key* up; returns ``(entry, tier)`` or ``None``.
+
+        ``tier`` is ``"memory"`` or ``"disk"``; a disk hit is promoted
+        into the in-memory LRU on the way out.
+        """
+        entry = self._memory.get(key)
+        if entry is not None:
+            # Promote: re-insert at the MRU end.
+            self._memory.pop(key)
+            self._memory[key] = entry
+            self.hits_memory += 1
+            return entry, "memory"
+        if self.root is not None:
+            path = self._object_path(key)
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                entry = None
+            if entry is not None:
+                self.hits_disk += 1
+                self._remember(key, entry)
+                return entry, "disk"
+        self.misses += 1
+        return None
+
+    def put(self, key: str, entry: dict) -> None:
+        self._remember(key, entry)
+        if self.root is None:
+            return
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(canonical_json(entry))
+        os.replace(tmp, path)
+
+    def _remember(self, key: str, entry: dict) -> None:
+        self._memory.pop(key, None)
+        self._memory[key] = entry
+        while len(self._memory) > self.memory_entries:
+            self._memory.pop(next(iter(self._memory)))
+
+    def stats(self) -> dict:
+        total = self.hits_memory + self.hits_disk + self.misses
+        return {
+            "memory_entries": len(self._memory),
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "hit_rate": (0.0 if not total
+                         else round((self.hits_memory + self.hits_disk)
+                                    / total, 4)),
+        }

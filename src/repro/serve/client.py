@@ -1,0 +1,112 @@
+"""Blocking client for the compile service.
+
+Synchronous on purpose: tests, benchmarks and shell scripts want a
+plain request/reply call, not an event loop.  One socket, line-framed
+JSON both ways; safe to reuse across requests, not across threads.
+
+    with ServeClient("127.0.0.1", 7767) as client:
+        reply = client.compile(source, opt="static")
+        assert reply["ok"]
+        print(reply["artifacts"]["ir"])
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from .protocol import MAX_LINE_BYTES, encode_message
+
+
+class ServeClientError(Exception):
+    """Transport-level failure (connection, framing) — not an error reply."""
+
+
+class ServeClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 7767, *,
+                 timeout: float | None = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buffer = b""
+
+    def connect(self) -> "ServeClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buffer = b""
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- wire ---------------------------------------------------------------
+
+    def request(self, message: dict) -> dict:
+        """Send one request object; block for its reply object."""
+        self.connect()
+        assert self._sock is not None
+        try:
+            self._sock.sendall(encode_message(message))
+            line = self._read_line()
+        except OSError as exc:
+            self.close()
+            raise ServeClientError(f"transport failure: {exc}") from exc
+        try:
+            return json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServeClientError(
+                f"server sent a non-JSON reply: {line[:200]!r}") from exc
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ServeClientError("reply exceeded the line limit")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServeClientError("server closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    # -- convenience --------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def compile(self, source: str, *, opt: str = "static",
+                entry: str | None = None,
+                train_args: list | None = None,
+                options: dict | None = None,
+                profile: dict | None = None,
+                fault: dict | None = None,
+                request_id=None) -> dict:
+        message: dict = {"op": "compile", "source": source, "opt": opt}
+        if entry is not None:
+            message["entry"] = entry
+        if train_args is not None:
+            message["train_args"] = [list(a) for a in train_args]
+        if options:
+            message["options"] = options
+        if profile is not None:
+            message["profile"] = profile
+        if fault is not None:
+            message["fault"] = fault
+        if request_id is not None:
+            message["id"] = request_id
+        return self.request(message)

@@ -1,0 +1,154 @@
+"""Wire format for the compile service: newline-delimited JSON.
+
+One request or reply per line, UTF-8, ``\\n`` terminated.  Chosen over
+a binary framing because every peer the repo cares about (tests, CI,
+the bench driver, `nc` at a terminal) can speak it with no library.
+
+Requests
+--------
+
+``{"op": "compile", "source": ..., "opt": "none"|"static"|"pgo", ...}``
+    Compile ``source`` and return artifacts.  Optional fields:
+    ``entry`` + ``train_args`` (PGO training workload), ``profile`` (a
+    precollected profile JSON, skips training), ``options`` (overrides
+    for :class:`~repro.transform.pipeline.OptimizeOptions` fields),
+    ``fault`` (test-only fault injection: ``{"mode", "target", "nth"}``),
+    ``id`` (opaque, echoed in the reply).
+
+``{"op": "stats"}``
+    Introspection: counters, latency histograms, cache rates,
+    aggregated per-phase pipeline timings.
+
+``{"op": "ping"}``
+    Liveness probe; replies ``{"ok": true, "pong": true}``.
+
+Replies
+-------
+
+Success: ``{"ok": true, "id": ..., ...}`` — compile replies add
+``key`` (the content address), ``cached`` (``"memory"``, ``"disk"`` or
+``false``), ``coalesced`` and ``artifacts``.
+
+Failure: ``{"ok": false, "error": {"code": ..., "message": ...}}`` with
+``code`` one of :data:`ERROR_CODES`; ``worker-crash`` errors add
+``crash_bundle`` (the report directory written by
+:func:`repro.transform.crashreport.write_worker_crash_report`).
+"""
+
+from __future__ import annotations
+
+import json
+
+# Hard ceiling on one request/reply line.  Artifacts for the suite
+# programs are tens of KiB; 8 MiB leaves room without letting a rogue
+# client buffer the server into the ground.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+OPT_LEVELS = ("none", "static", "pgo")
+
+ERROR_CODES = (
+    "malformed-json",   # the line was not a JSON object
+    "oversized",        # the line exceeded MAX_LINE_BYTES
+    "bad-request",      # JSON fine, contents invalid (op, opt, fields)
+    "compile-error",    # the compiler rejected the program (worker fine)
+    "worker-crash",     # the worker process died or hung; bundle written
+    "overloaded",       # admission control shed the request
+    "shutting-down",    # server received SIGTERM mid-request
+)
+
+
+class ProtocolError(Exception):
+    """A request that could not be accepted; maps onto an error reply."""
+
+    def __init__(self, code: str, message: str):
+        assert code in ERROR_CODES, code
+        self.code = code
+        super().__init__(message)
+
+    def as_reply(self, request_id=None) -> dict:
+        return error_reply(self.code, str(self), request_id=request_id)
+
+
+def encode_message(message: dict) -> bytes:
+    """One reply/request as a wire line (compact JSON + newline)."""
+    return (json.dumps(message, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`ProtocolError` on bad input."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "oversized",
+            f"request line of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte limit")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("malformed-json",
+                            f"request is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("malformed-json",
+                            "request must be a JSON object")
+    return message
+
+
+def error_reply(code: str, message: str, *, request_id=None,
+                **extra) -> dict:
+    assert code in ERROR_CODES, code
+    reply = {"ok": False, "error": {"code": code, "message": message,
+                                    **extra}}
+    if request_id is not None:
+        reply["id"] = request_id
+    return reply
+
+
+def validate_compile_request(request: dict) -> dict:
+    """Check a compile request's shape; returns the normalized request.
+
+    Raises :class:`ProtocolError("bad-request")` with a message naming
+    the offending field — the client sees exactly what to fix.
+    """
+    source = request.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError("bad-request",
+                            "'source' must be a non-empty string")
+    opt = request.get("opt", "static")
+    if opt not in OPT_LEVELS:
+        raise ProtocolError(
+            "bad-request", f"'opt' must be one of {OPT_LEVELS}, got {opt!r}")
+    options = request.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError("bad-request", "'options' must be an object")
+    normalized = {"op": "compile", "source": source, "opt": opt,
+                  "options": options}
+    if opt == "pgo":
+        profile = request.get("profile")
+        if profile is not None:
+            if not isinstance(profile, dict):
+                raise ProtocolError("bad-request",
+                                    "'profile' must be an object")
+            normalized["profile"] = profile
+        else:
+            entry = request.get("entry")
+            train_args = request.get("train_args")
+            if not isinstance(entry, str):
+                raise ProtocolError(
+                    "bad-request",
+                    "pgo requests need 'entry' (and 'train_args') or a "
+                    "precollected 'profile'")
+            if not (isinstance(train_args, list)
+                    and all(isinstance(a, list) for a in train_args)):
+                raise ProtocolError(
+                    "bad-request",
+                    "'train_args' must be a list of argument lists")
+            normalized["entry"] = entry
+            normalized["train_args"] = train_args
+    fault = request.get("fault")
+    if fault is not None:
+        if not (isinstance(fault, dict) and isinstance(fault.get("mode"),
+                                                       str)):
+            raise ProtocolError("bad-request",
+                                "'fault' must be an object with a 'mode'")
+        normalized["fault"] = fault
+    return normalized

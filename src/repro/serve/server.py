@@ -1,0 +1,329 @@
+"""The asyncio compile server.
+
+One connection = one NDJSON request/reply stream.  The event loop only
+parses, routes and replies; every compile runs in a forked worker
+(:class:`repro.core.pool.WorkerPool`) reached through a small thread
+executor, so the loop stays responsive while compiles grind and stays
+*alive* when a compile takes its whole process down.
+
+Request flow, in order:
+
+1. **cache** — a content-address hit (memory or disk) replies
+   immediately; no worker, no queue.
+2. **single-flight** — an identical request already compiling joins its
+   in-flight future instead of compiling twice; joiners are marked
+   ``coalesced`` in the reply.
+3. **admission** — at most ``max_pending`` compiles may be queued or
+   running; beyond that the server sheds load with an ``overloaded``
+   reply instead of buffering unboundedly.
+4. **execute** — the job runs in a pool worker under the per-request
+   deadline.  A worker death (segfault, injected ``kill``, deadline
+   overrun) becomes a structured ``worker-crash`` reply carrying the
+   crash-bundle path, the seat respawns, and the server keeps serving.
+
+Fault-injected requests bypass the cache in both directions: their
+artifacts are not representative and must never be served to (or
+poisoned by) clean requests.
+
+SIGTERM/SIGINT drain cleanly: the listener closes, queued requests get
+``shutting-down`` replies, the pool is torn down, ``run()`` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.pool import JobError, WorkerCrash, WorkerPool
+from .cache import ArtifactCache, cache_key
+from .metrics import Metrics
+from .protocol import (MAX_LINE_BYTES, ProtocolError, decode_line,
+                       encode_message, error_reply,
+                       validate_compile_request)
+from .worker import CompileHandler
+
+
+@dataclass
+class ServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 7767
+    workers: int = 2
+    cache_dir: str | None = "serve_cache"
+    crash_dir: str = "crash_reports"
+    # Admission control: queued-or-running compiles beyond this are shed.
+    max_pending: int = 32
+    # Per-request wall-clock budget inside the worker; overruns kill
+    # and respawn the seat (the request gets a worker-crash reply).
+    request_timeout: float = 120.0
+    memory_cache_entries: int = 128
+
+
+class CompileServer:
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.metrics = Metrics()
+        self.cache = ArtifactCache(self.config.cache_dir,
+                                   self.config.memory_cache_entries)
+        self.pool: WorkerPool | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending = 0
+        self._stopping = asyncio.Event()
+        self.started = time.time()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self.pool = WorkerPool(CompileHandler(self.config.crash_dir),
+                               size=self.config.workers)
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.workers + 2,
+            thread_name_prefix="serve-pool")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES + 2)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` in tests)."""
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for future in list(self._inflight.values()):
+            if not future.done():
+                future.set_result(error_reply(
+                    "shutting-down", "server is shutting down"))
+        self._inflight.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.pool is not None:
+            self.pool.close()
+
+    async def run(self) -> None:
+        """Start, install signal handlers, serve until SIGTERM/SIGINT."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self._stopping.set)
+        try:
+            await self._stopping.wait()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(signum)
+            await self.stop()
+
+    # -- connections --------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # The line outgrew the stream limit; the framing is
+                    # lost, so reply and drop the connection.
+                    await self._send(writer, error_reply(
+                        "oversized",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                    break
+                if not line or not line.endswith(b"\n"):
+                    break  # EOF (possibly mid-request): just drop it.
+                if line.strip() == b"":
+                    continue
+                reply = await self._dispatch(line)
+                await self._send(writer, reply)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished mid-reply; nothing to salvage
+        except asyncio.CancelledError:
+            pass  # server shutdown with this connection still open
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    reply: dict) -> None:
+        writer.write(encode_message(reply))
+        await writer.drain()
+
+    # -- request routing ----------------------------------------------------
+
+    async def _dispatch(self, line: bytes) -> dict:
+        started = time.perf_counter()
+        self.metrics.bump("requests_total")
+        request_id = None
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            op = message.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True,
+                        **({"id": request_id} if request_id is not None
+                           else {})}
+            if op == "stats":
+                return self._stats_reply(request_id)
+            if op == "compile":
+                return await self._compile(message, request_id, started)
+            raise ProtocolError("bad-request",
+                                f"unknown op {op!r}; expected "
+                                f"'compile', 'stats' or 'ping'")
+        except ProtocolError as exc:
+            self.metrics.bump(f"errors_{exc.code}")
+            return exc.as_reply(request_id)
+        finally:
+            self.metrics.observe("request", time.perf_counter() - started)
+
+    def _stats_reply(self, request_id) -> dict:
+        assert self.pool is not None
+        reply = {
+            "ok": True,
+            "uptime_s": round(time.time() - self.started, 3),
+            "workers": self.pool.size,
+            "worker_crashes": self.pool.crashes,
+            "pending": self._pending,
+            "inflight_keys": len(self._inflight),
+            "cache": self.cache.stats(),
+            **self.metrics.snapshot(),
+        }
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply
+
+    # -- the compile path ---------------------------------------------------
+
+    async def _compile(self, message: dict, request_id, started) -> dict:
+        self.metrics.bump("compile_requests")
+        request = validate_compile_request(message)
+        try:
+            key = cache_key(request)
+        except ValueError as exc:  # unknown options field
+            raise ProtocolError("bad-request", str(exc)) from exc
+
+        cacheable = "fault" not in request
+        if cacheable:
+            hit = self.cache.get(key)
+            if hit is not None:
+                entry, tier = hit
+                self.metrics.bump("cache_hits")
+                self.metrics.observe("compile_cached",
+                                     time.perf_counter() - started)
+                return self._ok(request_id, key, entry, cached=tier)
+            self.metrics.bump("cache_misses")
+
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                self.metrics.bump("coalesced")
+                reply = dict(await inflight)
+                if reply.get("ok"):
+                    reply = self._ok(request_id, key,
+                                     reply["artifacts"], cached=False,
+                                     coalesced=True)
+                elif request_id is not None:
+                    reply["id"] = request_id
+                return reply
+
+        if self._pending >= self.config.max_pending:
+            self.metrics.bump("shed")
+            raise ProtocolError(
+                "overloaded",
+                f"{self._pending} compiles already pending "
+                f"(max {self.config.max_pending}); retry later")
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if cacheable:
+            self._inflight[key] = future
+        self._pending += 1
+        try:
+            reply = await self._execute(request, key, request_id, started)
+        finally:
+            self._pending -= 1
+            if cacheable and self._inflight.get(key) is future:
+                del self._inflight[key]
+            if not future.done():
+                future.set_result(reply)
+        return reply
+
+    async def _execute(self, request: dict, key: str, request_id,
+                       started) -> dict:
+        assert self.pool is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        try:
+            artifacts = await loop.run_in_executor(
+                self._executor,
+                lambda: self.pool.run(request,
+                                      timeout=self.config.request_timeout))
+        except JobError as exc:
+            self.metrics.bump("compile_errors")
+            return error_reply(
+                "compile-error", f"{exc.kind}: {exc.detail}",
+                request_id=request_id, kind=exc.kind)
+        except WorkerCrash as exc:
+            self.metrics.bump("worker_crashes")
+            if "deadline" in exc.reason:
+                self.metrics.bump("deadline_kills")
+            bundle = self._write_crash_bundle(exc, request)
+            return error_reply(
+                "worker-crash", exc.reason, request_id=request_id,
+                crash_bundle=bundle, exitcode=exc.exitcode)
+        except RuntimeError as exc:  # pool closed during shutdown
+            return error_reply("shutting-down", str(exc),
+                               request_id=request_id)
+
+        self._record_phase_timings(artifacts)
+        if "fault" not in request:
+            self.cache.put(key, artifacts)
+        self.metrics.observe("compile_cold", time.perf_counter() - started)
+        return self._ok(request_id, key, artifacts, cached=False)
+
+    def _write_crash_bundle(self, crash: WorkerCrash,
+                            request: dict) -> str | None:
+        from ..transform.crashreport import write_worker_crash_report
+
+        try:
+            bundle = write_worker_crash_report(
+                directory=self.config.crash_dir, error=crash,
+                request=request,
+                context={"server": f"{self.config.host}:{self.config.port}"})
+            return str(bundle)
+        except Exception:  # reporting is best-effort
+            return None
+
+    def _record_phase_timings(self, artifacts: dict) -> None:
+        stats = artifacts.get("stats")
+        if not isinstance(stats, dict):
+            return
+        if "timings" in stats:
+            self.metrics.record_phase_timings(stats["timings"])
+        else:  # PGO: one record per phase group
+            for sub in stats.values():
+                if isinstance(sub, dict):
+                    self.metrics.record_phase_timings(sub.get("timings"))
+
+    @staticmethod
+    def _ok(request_id, key: str, artifacts: dict, *, cached,
+            coalesced: bool = False) -> dict:
+        reply = {"ok": True, "key": key, "cached": cached,
+                 "coalesced": coalesced, "artifacts": artifacts}
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply
+
+
+def run_server(config: ServerConfig) -> None:
+    """Blocking entry point used by ``python -m repro.serve``."""
+    if config.cache_dir is not None:
+        Path(config.cache_dir).mkdir(parents=True, exist_ok=True)
+    asyncio.run(CompileServer(config).run())

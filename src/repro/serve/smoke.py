@@ -1,0 +1,167 @@
+"""CI smoke driver: ``python -m repro.serve.smoke``.
+
+Boots a real daemon (``python -m repro.serve`` subprocess), fires a
+mixed batch of requests at it, and asserts the service contract:
+
+* every suite program compiles at every optimization level;
+* repeated requests hit the cache (hit rate > 0, warm replies marked);
+* served artifacts are **byte-identical** to a direct in-process
+  :func:`repro.serve.worker.compile_request` for the same request;
+* an injected worker ``kill`` yields a structured ``worker-crash``
+  reply with a crash bundle, and the server keeps serving afterwards;
+* SIGTERM produces a clean exit (status 0).
+
+Exit status 0 = contract holds.  Used by the ``serve-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+from ..programs.suite import ALL_PROGRAMS
+from .client import ServeClient
+from .worker import compile_request
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _wait_for_server(client: ServeClient, deadline: float) -> None:
+    while True:
+        try:
+            assert client.ping()["ok"]
+            return
+        except Exception:
+            if time.monotonic() > deadline:
+                raise SystemExit("server did not come up in time")
+            client.close()
+            time.sleep(0.2)
+
+
+def _mixed_requests(count: int) -> list[dict]:
+    """A deterministic batch: every program × level, then repeats."""
+    batch: list[dict] = []
+    for program in ALL_PROGRAMS:
+        for opt in ("none", "static", "pgo"):
+            request = {"op": "compile", "source": program.source,
+                       "opt": opt}
+            if opt == "pgo":
+                request["entry"] = program.entry
+                request["train_args"] = [list(program.test_args)]
+            batch.append(request)
+    while len(batch) < count:
+        batch.append(dict(batch[len(batch) % (len(ALL_PROGRAMS) * 3)]))
+    return batch[:count]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.serve.smoke")
+    parser.add_argument("--requests", type=int, default=50, metavar="N")
+    parser.add_argument("--workers", type=int, default=2, metavar="N")
+    parser.add_argument("--identity-checks", type=int, default=6,
+                        metavar="N",
+                        help="requests to re-run in-process and compare "
+                             "byte-for-byte (default 6; -1 = all)")
+    args = parser.parse_args(argv)
+
+    port = _free_port()
+    tmp = tempfile.mkdtemp(prefix="serve-smoke-")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", str(port),
+         "--workers", str(args.workers),
+         "--cache-dir", os.path.join(tmp, "cache"),
+         "--crash-dir", os.path.join(tmp, "crashes")],
+        env={**os.environ, "PYTHONPATH": os.environ.get("PYTHONPATH", "")},
+    )
+    failures: list[str] = []
+    try:
+        client = ServeClient(port=port, timeout=180.0)
+        _wait_for_server(client, time.monotonic() + 30.0)
+
+        batch = _mixed_requests(args.requests)
+        replies = []
+        for index, request in enumerate(batch):
+            reply = client.request({**request, "id": index})
+            if not reply.get("ok"):
+                failures.append(f"request {index} failed: {reply}")
+            replies.append(reply)
+        print(f"{len(batch)} requests, "
+              f"{sum(1 for r in replies if r.get('cached'))} served "
+              f"from cache")
+
+        stats = client.stats()
+        hit_rate = stats["cache"]["hit_rate"]
+        print(f"cache: {stats['cache']}")
+        if not hit_rate > 0:
+            failures.append(f"expected cache hit rate > 0, got {hit_rate}")
+
+        # Byte-identity: the daemon must return exactly what a direct
+        # in-process compile produces.
+        checks = (len(batch) if args.identity_checks < 0
+                  else min(args.identity_checks, len(batch)))
+        step = max(1, len(batch) // checks)
+        for index in range(0, checks * step, step):
+            request, reply = batch[index], replies[index]
+            if not reply.get("ok"):
+                continue
+            direct = compile_request(dict(request))
+            served = dict(reply["artifacts"])
+            for artifact in ("ir", "c", "bytecode"):
+                if served.get(artifact) != direct.get(artifact):
+                    failures.append(
+                        f"request {index} ({request['opt']}): artifact "
+                        f"{artifact!r} differs between daemon and direct "
+                        f"compile")
+        print(f"byte-identity verified on {checks} request(s)")
+
+        # Crash isolation: kill a worker mid-compile, expect a bundle
+        # and continued service.
+        source = ALL_PROGRAMS[0].source
+        crash = client.compile(source + "\n", opt="static",
+                               fault={"mode": "kill", "target": "inline"})
+        if crash.get("ok") or crash["error"]["code"] != "worker-crash":
+            failures.append(f"expected worker-crash reply, got {crash}")
+        elif not crash["error"].get("crash_bundle"):
+            failures.append(f"worker-crash reply without a bundle: {crash}")
+        else:
+            print(f"worker crash handled; bundle at "
+                  f"{crash['error']['crash_bundle']}")
+        after = client.compile(source, opt="static")
+        if not after.get("ok"):
+            failures.append(f"server unusable after worker crash: {after}")
+
+        client.close()
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            exit_code = daemon.wait(timeout=15.0)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            exit_code = None
+    if exit_code != 0:
+        failures.append(f"daemon exit status {exit_code} after SIGTERM "
+                        f"(want 0)")
+    else:
+        print("clean SIGTERM shutdown")
+
+    if failures:
+        print("SMOKE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""The compile job: request dict in, artifact dict out.
+
+This module is the *only* code the forked workers run.  The handler is
+deliberately a plain synchronous function over plain data (dicts in,
+dicts out) so that :class:`repro.core.pool.ForkWorker` can ship jobs
+and results over a pipe, and so that tests can call it in-process to
+establish the byte-identity baseline the server is checked against.
+
+A request compiles in one of three modes:
+
+* ``none``   — frontend only (construction-time folding still applies);
+* ``static`` — the full optimization pipeline;
+* ``pgo``    — static rounds, then profile-guided phases, driven either
+  by a precollected ``profile`` or by training on ``entry`` ×
+  ``train_args`` via :func:`repro.profile.driver.compile_profiled`.
+
+Artifacts are all text/JSON: ``ir`` (printed Thorin IR), ``c`` (the C
+emission), ``bytecode`` (the VM disassembly; ``None`` with a
+``bytecode_error`` when the world is not in control-flow form, e.g. an
+unoptimized higher-order program), and ``stats``
+(:meth:`PipelineStats.as_dict`, keyed per phase for PGO).
+
+``fault`` requests wire a :class:`repro.fuzz.inject.FaultInjector` into
+the pipeline as ``pass_hook`` — including the process-fatal ``kill``
+mode, which is what the server's crash-isolation test exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .. import compile_source
+from .cache import canonical_options
+
+
+def _pipeline_options(request: dict):
+    """Request overrides -> OptimizeOptions (semantic fields only)."""
+    from ..transform.pipeline import OptimizeOptions
+
+    overrides = dict(request.get("options") or {})
+    # canonical_options validates field names; reuse it for the error.
+    canonical_options(overrides)
+    return OptimizeOptions(**overrides)
+
+
+def _maybe_fault_hook(request: dict, options):
+    fault = request.get("fault")
+    if fault is None:
+        return options
+    from ..fuzz.inject import FaultInjector, FaultPlan
+
+    plan = FaultPlan(mode=fault["mode"], target=fault.get("target"),
+                     nth=int(fault.get("nth", 1)))
+    return replace(options, pass_hook=FaultInjector(plan))
+
+
+def _artifacts(world, stats_payload) -> dict:
+    from ..backend.c_emitter import emit_c
+    from ..backend.codegen import compile_world
+    from ..core.printer import print_world
+
+    artifacts = {"ir": print_world(world), "stats": stats_payload}
+    try:
+        artifacts["c"] = emit_c(world)
+    except Exception as exc:
+        artifacts["c"] = None
+        artifacts["c_error"] = f"{type(exc).__name__}: {exc}"
+    try:
+        artifacts["bytecode"] = compile_world(world).program.disassemble()
+    except Exception as exc:
+        artifacts["bytecode"] = None
+        artifacts["bytecode_error"] = f"{type(exc).__name__}: {exc}"
+    return artifacts
+
+
+def compile_request(request: dict) -> dict:
+    """Execute one validated compile request; returns the artifact dict.
+
+    Raises on compiler errors — the worker pool translates exceptions
+    into structured ``compile-error`` replies (and a dead process into
+    ``worker-crash``).
+    """
+    opt = request.get("opt", "static")
+    world = compile_source(request["source"], optimize=False)
+
+    if opt == "none":
+        return _artifacts(world, None)
+
+    options = _maybe_fault_hook(request, _pipeline_options(request))
+    if opt == "static":
+        stats = _optimize(world, options)
+        return _artifacts(world, stats.as_dict())
+
+    # opt == "pgo"
+    profile_data = request.get("profile")
+    if profile_data is not None:
+        from ..profile.model import Profile
+
+        static_stats = _optimize(world, options)
+        pgo_stats = _optimize(world, options,
+                              profile=Profile.from_dict(profile_data))
+        payload = {"static": static_stats.as_dict(),
+                   "pgo": pgo_stats.as_dict()}
+        return _artifacts(world, payload)
+
+    from ..profile.driver import compile_profiled
+
+    entry = request["entry"]
+    train_args = [tuple(args) for args in request["train_args"]]
+
+    def workload(compiled):
+        for args in train_args:
+            compiled.call(entry, *args)
+
+    _, _, stats = compile_profiled(world, workload, options=options)
+    payload = {"static": stats["static"].as_dict(),
+               "pgo": stats["pgo"].as_dict()}
+    return _artifacts(world, payload)
+
+
+def _optimize(world, options, profile=None):
+    from ..transform.pipeline import optimize
+
+    return optimize(world, options=options, profile=profile)
+
+
+class CompileHandler:
+    """The pool handler: picks the crash directory at server start.
+
+    Instances ride into the children via fork (no pickling), so this
+    can be configured with whatever the server was started with.
+    """
+
+    def __init__(self, crash_dir: str | None = None):
+        self.crash_dir = crash_dir
+
+    def __call__(self, request: dict) -> dict:
+        if self.crash_dir is not None:
+            options = dict(request.get("options") or {})
+            options.setdefault("crash_dir", self.crash_dir)
+            request = {**request, "options": options}
+        return compile_request(request)

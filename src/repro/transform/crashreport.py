@@ -130,3 +130,35 @@ def write_crash_report(*, directory, entry_snapshot, error, stats,
 
     (bundle / "report.json").write_text(json.dumps(report, indent=2))
     return bundle
+
+
+def write_worker_crash_report(*, directory, error, request,
+                              context=None) -> Path:
+    """Write a bundle for a compile *worker* that died mid-job.
+
+    The pipeline's own :func:`write_crash_report` runs inside the
+    failing process and holds the live world; here the process is
+    already gone (segfault, ``SIGKILL`` fault injection, OOM kill) and
+    the parent only has the request it submitted.  The bundle therefore
+    records the request verbatim — source, options, entry — which is
+    exactly enough to replay the compile offline, plus how the death
+    was observed (exit code, deadline).
+    """
+    bundle = _bundle_dir(directory, error)
+    report = {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "exitcode": getattr(error, "exitcode", None),
+        },
+        "request": _jsonable(request),
+        "context": _jsonable(dict(context or {})),
+    }
+    source = None
+    if isinstance(request, dict):
+        source = request.get("source")
+    if isinstance(source, str):
+        (bundle / "repro.impala").write_text(source + "\n")
+        report["repro"] = {"file": "repro.impala"}
+    (bundle / "report.json").write_text(json.dumps(report, indent=2))
+    return bundle

@@ -201,12 +201,41 @@ class PipelineStats:
         # Aggregate analysis-cache counters for this optimize() call
         # (per-pass deltas live in the ``details`` records).
         self.analysis_cache: dict[str, int] = {}
+        # Wall-clock seconds per pass *kind* (cleanup(inline) counts
+        # toward "cleanup"), summed over every invocation.  Per-phase
+        # elapsed times live in the ``details`` records as "elapsed_s".
+        self.timings: dict[str, float] = {}
 
     def record(self, phase: str, stats: dict) -> None:
         self.details.append((phase, dict(stats)))
 
+    def record_time(self, phase: str, elapsed: float) -> None:
+        key = _quarantine_key(phase)
+        self.timings[key] = self.timings.get(key, 0.0) + elapsed
+
     def phases(self) -> list[str]:
         return [phase for phase, _ in self.details]
+
+    def as_dict(self) -> dict:
+        """JSON-safe image of the whole run, for artifacts and servers.
+
+        Everything in here is plain data; ``json.dumps`` accepts it
+        directly.  The compile service ships this as the ``stats``
+        artifact, so keep keys append-only.
+        """
+        return {
+            "rounds": self.rounds,
+            "details": [[phase, dict(stats)] for phase, stats in self.details],
+            "cff_residual": list(self.cff_residual),
+            "incidents": [i.as_dict() for i in self.incidents],
+            "quarantined": list(self.quarantined),
+            "skipped": list(self.skipped),
+            "checkpoints": self.checkpoints,
+            "checkpoints_reused": self.checkpoints_reused,
+            "rollbacks": self.rollbacks,
+            "analysis_cache": dict(self.analysis_cache),
+            "timings": {k: round(v, 6) for k, v in self.timings.items()},
+        }
 
 
 def _quarantine_key(phase: str) -> str:
@@ -326,11 +355,12 @@ class _PhaseRunner:
         options = self.options
         if options.strict:
             before = self._analysis_counters()
+            started = time.perf_counter()
             result = body()
             if options.pass_hook is not None:
                 options.pass_hook(phase, self.world)
             self._verify(phase)
-            return self._with_analysis_delta(result, before)
+            return self._finish_phase(phase, result, before, started)
 
         if _quarantine_key(phase) in self.quarantine:
             self.stats.skipped.append(phase)
@@ -356,10 +386,20 @@ class _PhaseRunner:
             if size > self.growth_cap:
                 raise PassGrowthError(phase, size, self.growth_cap)
             self._verify(phase)
-            return self._with_analysis_delta(result, before)
+            return self._finish_phase(phase, result, before, started)
         except Exception as exc:
+            self.stats.record_time(phase, time.perf_counter() - started)
             self._rollback(phase, exc)
             return {"rolled_back": 1}
+
+    def _finish_phase(self, phase: str, result: dict,
+                      before: tuple[int, int, int], started: float) -> dict:
+        elapsed = time.perf_counter() - started
+        self.stats.record_time(phase, elapsed)
+        result = self._with_analysis_delta(result, before)
+        result = dict(result)
+        result["elapsed_s"] = round(elapsed, 6)
+        return result
 
     def _verify(self, phase: str) -> None:
         if not self.options.verify_each_pass:

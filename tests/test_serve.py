@@ -1,0 +1,334 @@
+"""Compile-service tests: protocol edges, caching, crash isolation.
+
+One real :class:`~repro.serve.server.CompileServer` runs on an event
+loop in a background thread for the whole module (module-scoped
+fixture); tests talk to it over real sockets with the blocking
+client.  Unit tests for the cache key and the worker pool need no
+server and run standalone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.cache import ArtifactCache, cache_key
+from repro.serve.client import ServeClient
+from repro.serve.protocol import MAX_LINE_BYTES
+from repro.serve.server import CompileServer, ServerConfig
+from repro.serve.worker import compile_request
+
+SRC = "fn main(a: i64) -> i64 { a * a + 1 }"
+
+
+class _ServerThread:
+    """The server plus the loop thread that runs it."""
+
+    def __init__(self, tmp_path):
+        self.loop = asyncio.new_event_loop()
+        self.server = CompileServer(ServerConfig(
+            port=0, workers=2,
+            cache_dir=str(tmp_path / "cache"),
+            crash_dir=str(tmp_path / "crashes"),
+            max_pending=8, request_timeout=60.0))
+        started = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.server.start())
+            started.set()
+            self.loop.run_forever()
+
+        self.thread = threading.Thread(target=run, daemon=True)
+        self.thread.start()
+        assert started.wait(timeout=30.0), "server failed to start"
+        self.port = self.server.port
+
+    def stop(self):
+        asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self.loop).result(timeout=30.0)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10.0)
+
+    def client(self, **kw) -> ServeClient:
+        return ServeClient(port=self.port, timeout=60.0, **kw)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    st = _ServerThread(tmp_path_factory.mktemp("serve"))
+    yield st
+    st.stop()
+
+
+# ---------------------------------------------------------------------------
+# happy path + caching
+# ---------------------------------------------------------------------------
+
+
+def test_compile_and_cache_roundtrip(served):
+    with served.client() as client:
+        cold = client.compile(SRC, opt="static", request_id="c1")
+        assert cold["ok"] and cold["cached"] is False
+        assert cold["id"] == "c1"
+        art = cold["artifacts"]
+        assert art["ir"] and art["c"] and art["bytecode"]
+        assert art["stats"]["rounds"] >= 1
+        assert art["stats"]["timings"]  # per-phase wall-clock present
+
+        warm = client.compile(SRC, opt="static")
+        assert warm["ok"] and warm["cached"] == "memory"
+        assert warm["key"] == cold["key"]
+        assert warm["artifacts"] == art
+
+
+def test_disk_tier_survives_memory_eviction(served):
+    with served.client() as client:
+        reply = client.compile(SRC + " // disk", opt="static")
+        assert reply["ok"]
+        # Drop the in-memory tier; the object store must still hit.
+        served.server.cache._memory.clear()
+        again = client.compile(SRC + " // disk", opt="static")
+        assert again["ok"] and again["cached"] == "disk"
+        assert again["artifacts"] == reply["artifacts"]
+
+
+def test_artifacts_match_direct_compile(served):
+    """Served bytes == in-process compile, per level (acceptance S1)."""
+    from repro.programs.suite import by_name
+
+    program = by_name("pow")
+    with served.client() as client:
+        for opt in ("none", "static", "pgo"):
+            request = {"op": "compile", "source": program.source,
+                       "opt": opt}
+            if opt == "pgo":
+                request["entry"] = program.entry
+                request["train_args"] = [list(program.test_args)]
+            reply = client.request(request)
+            assert reply["ok"], reply
+            direct = compile_request(dict(request))
+            for artifact in ("ir", "c", "bytecode"):
+                assert reply["artifacts"][artifact] == direct[artifact], \
+                    (program.name, opt, artifact)
+
+
+def test_ping_and_stats(served):
+    with served.client() as client:
+        assert client.ping()["pong"] is True
+        stats = client.stats()
+        assert stats["ok"]
+        assert stats["counters"]["requests_total"] >= 1
+        assert "hit_rate" in stats["cache"]
+        assert "request" in stats["latency"]
+        # Phase timings aggregated from PipelineStats of past compiles.
+        assert "inline" in stats["pipeline_phase_seconds"]
+
+
+# ---------------------------------------------------------------------------
+# protocol edges
+# ---------------------------------------------------------------------------
+
+
+def test_malformed_json_gets_structured_error(served):
+    with served.client() as client:
+        client.connect()
+        client._sock.sendall(b"{definitely not json\n")
+        reply = json.loads(client._read_line())
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "malformed-json"
+        # The connection survives a malformed line.
+        assert client.ping()["ok"]
+
+
+def test_non_object_json_rejected(served):
+    with served.client() as client:
+        client.connect()
+        client._sock.sendall(b"[1, 2, 3]\n")
+        reply = json.loads(client._read_line())
+        assert reply["error"]["code"] == "malformed-json"
+
+
+def test_oversized_request_is_shed(served):
+    with served.client() as client:
+        client.connect()
+        blob = b'{"op": "compile", "source": "' + \
+            b"x" * (MAX_LINE_BYTES + 1024) + b'"}\n'
+        client._sock.sendall(blob)
+        reply = json.loads(client._read_line())
+        assert reply["error"]["code"] == "oversized"
+
+
+def test_mid_request_disconnect_leaves_server_healthy(served):
+    raw = socket.create_connection(("127.0.0.1", served.port), timeout=10)
+    raw.sendall(b'{"op": "compile", "source": "fn main(')  # no newline
+    raw.close()
+    with served.client() as client:
+        assert client.ping()["ok"]
+
+
+def test_bad_requests(served):
+    with served.client() as client:
+        # unknown op
+        assert client.request({"op": "nope"})["error"]["code"] == \
+            "bad-request"
+        # missing source
+        assert client.request({"op": "compile"})["error"]["code"] == \
+            "bad-request"
+        # bad opt level
+        reply = client.compile(SRC, opt="turbo")
+        assert reply["error"]["code"] == "bad-request"
+        # pgo without a workload or profile
+        reply = client.compile(SRC, opt="pgo")
+        assert reply["error"]["code"] == "bad-request"
+        # unknown options field must not poison the cache key
+        reply = client.compile(SRC, options={"warp_factor": 9})
+        assert reply["error"]["code"] == "bad-request"
+        assert "warp_factor" in reply["error"]["message"]
+
+
+def test_compile_error_is_not_a_crash(served):
+    with served.client() as client:
+        reply = client.compile("fn main(  broken")
+        assert reply["error"]["code"] == "compile-error"
+        assert reply["error"]["kind"] == "ParseError"
+        assert client.ping()["ok"]
+
+
+# ---------------------------------------------------------------------------
+# single-flight coalescing
+# ---------------------------------------------------------------------------
+
+
+def _slow_stub_handler(request):
+    """Pool handler for the coalescing test: compiles take a while."""
+    time.sleep(1.0)
+    return {"ir": f"stub({request['source']})", "c": None,
+            "bytecode": None, "stats": None}
+
+
+def test_duplicate_inflight_requests_coalesce(tmp_path):
+    """Two identical in-flight requests compile exactly once.
+
+    Real compiles finish in tens of milliseconds — far too fast to
+    overlap deterministically over sockets — so this drives the
+    server's dispatch path directly with a deliberately slow worker.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.core.pool import WorkerPool
+    from repro.serve.protocol import encode_message
+
+    async def scenario():
+        server = CompileServer(ServerConfig(
+            cache_dir=str(tmp_path / "cache"),
+            crash_dir=str(tmp_path / "crashes")))
+        server.pool = WorkerPool(_slow_stub_handler, size=2)
+        server._executor = ThreadPoolExecutor(max_workers=4)
+        try:
+            line = encode_message(
+                {"op": "compile", "source": SRC, "opt": "static"})
+            lead_task = asyncio.create_task(server._dispatch(line))
+            await asyncio.sleep(0.3)  # lead is now inside the worker
+            assert len(server._inflight) == 1
+            join = await server._dispatch(line)
+            lead = await lead_task
+            assert lead["ok"] and join["ok"]
+            assert lead["key"] == join["key"]
+            assert join["artifacts"] == lead["artifacts"]
+            # Exactly one of them actually compiled.
+            assert lead["coalesced"] is False
+            assert join["coalesced"] is True
+            assert server.metrics.counters["coalesced"] == 1
+            # And the single result landed in the cache.
+            warm = await server._dispatch(line)
+            assert warm["cached"] == "memory"
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# crash isolation
+# ---------------------------------------------------------------------------
+
+
+def test_worker_kill_yields_bundle_and_server_survives(served):
+    with served.client() as client:
+        before = client.stats()["worker_crashes"]
+        reply = client.compile(
+            SRC + "\n// kill-test", opt="static",
+            fault={"mode": "kill", "target": "inline"})
+        assert reply["ok"] is False
+        error = reply["error"]
+        assert error["code"] == "worker-crash"
+        assert error["exitcode"] == -9
+        bundle = error["crash_bundle"]
+        assert bundle and "WorkerCrash" in bundle
+        report = json.loads(
+            (__import__("pathlib").Path(bundle) / "report.json").read_text())
+        assert report["request"]["source"].startswith("fn main")
+        # The seat respawned; the very next compile works.
+        after = client.compile(SRC, opt="static")
+        assert after["ok"]
+        assert client.stats()["worker_crashes"] == before + 1
+
+
+def test_fault_requests_bypass_the_cache(served):
+    with served.client() as client:
+        clean = client.compile(SRC + "\n// fault-cache", opt="static")
+        assert clean["ok"] and clean["cached"] is False
+        # An injected (recovered) fault compiles degraded artifacts;
+        # they must not be served to clean requests.
+        faulty = client.compile(
+            SRC + "\n// fault-cache", opt="static",
+            fault={"mode": "raise", "target": "inline"})
+        assert faulty["ok"]
+        assert faulty["artifacts"]["stats"]["rollbacks"] >= 1
+        again = client.compile(SRC + "\n// fault-cache", opt="static")
+        assert again["ok"] and again["artifacts"] == clean["artifacts"]
+
+
+# ---------------------------------------------------------------------------
+# unit: cache key and store
+# ---------------------------------------------------------------------------
+
+
+def test_cache_key_is_semantic():
+    base = {"op": "compile", "source": SRC, "opt": "static", "options": {}}
+    key = cache_key(base)
+    assert key == cache_key({**base})
+    assert key != cache_key({**base, "source": SRC + " "})
+    assert key != cache_key({**base, "opt": "none"})
+    assert key != cache_key({**base, "options": {"max_rounds": 2}})
+    # Defaults spelled out == defaults omitted.
+    assert key == cache_key({**base, "options": {"max_rounds": 8}})
+    # Operational knobs don't fragment the cache.
+    assert key == cache_key(
+        {**base, "options": {"crash_dir": "/elsewhere"}})
+
+
+def test_cache_key_pgo_profile_material():
+    base = {"op": "compile", "source": SRC, "opt": "pgo",
+            "options": {}, "entry": "main", "train_args": [[3]]}
+    assert cache_key(base) != cache_key({**base, "train_args": [[4]]})
+    assert cache_key(base) != cache_key(
+        {**base, "opt": "static"})
+
+
+def test_artifact_cache_lru_and_disk(tmp_path):
+    cache = ArtifactCache(tmp_path / "store", memory_entries=2)
+    for index in range(3):
+        cache.put(f"k{index}", {"n": index})
+    assert len(cache._memory) == 2  # k0 evicted from memory...
+    entry, tier = cache.get("k0")
+    assert entry == {"n": 0} and tier == "disk"  # ...but not from disk
+    entry, tier = cache.get("k2")
+    assert tier == "memory"
+    assert cache.stats()["hit_rate"] == 1.0

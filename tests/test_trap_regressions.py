@@ -1,0 +1,150 @@
+"""Trap-semantics regressions: every backend agrees on where traps fire.
+
+Three seed bugs shared one root theme — the compilers disagreed about
+*when* a possibly-trapping integer division executes:
+
+1. construction-time folding discarded operand subtrees the reference
+   interpreter would have evaluated (``(1/x) * 0`` folded to ``0``),
+   losing traps under specialization;
+2. the SSA baseline lowered ``let d = a / b;`` eagerly into the current
+   block, trapping on paths that never use ``d`` (over-trapping);
+3. codegen raised :class:`CodegenError` at *compile* time for trapping
+   constant expressions that escaped folding (e.g. ``(1/0, 2)`` in a
+   dead branch), instead of emitting a runtime trap at the use site.
+
+The repro programs live in ``tests/corpus/`` in the fuzz shrinker's
+format; ``test_corpus_replay`` runs each through the full differential
+oracle so any committed corpus file automatically becomes a regression
+test.  The direct tests below pin the specific fixed behaviors.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from pathlib import Path
+
+import pytest
+
+from repro import compile_source, run_function
+from repro.backend import bytecode as bc
+from repro.backend.interp import Interpreter, InterpError
+from repro.baselines.ssa import compile_source_ssa, run_ssa
+from repro.core import fold
+from repro.fuzz.oracle import OracleConfig, run_oracle
+
+CORPUS = Path(__file__).parent / "corpus"
+
+TRAP = "trap"
+
+
+def _observe(thunk):
+    try:
+        return thunk()
+    except (InterpError, bc.VMError, fold.EvalError) as exc:
+        assert "division" in str(exc) or "undef" in str(exc), exc
+        return TRAP
+
+
+class _CorpusProgram:
+    """Adapter: a corpus .impala file as a :func:`run_oracle` input."""
+
+    def __init__(self, path: Path):
+        lines = path.read_text().splitlines()
+        meta = lines[1].removeprefix("// ")
+        parts = dict(field.split(" ", 1)
+                     for field in meta.split("; "))
+        self.seed = None
+        self.first_order = True   # exercise the SSA baseline path
+        self.expr_only = False    # nested-CPS path needs to_sexpr
+        self.entry = parts["entry"]
+        self.arg_sets = [tuple(args) for args
+                         in pyast.literal_eval(parts["args"])]
+        self.source = "\n".join(line for line in lines
+                                if not line.startswith("//"))
+
+    def render(self) -> str:
+        return self.source
+
+
+@pytest.mark.parametrize("path", sorted(CORPUS.glob("*.impala")),
+                         ids=lambda p: p.stem)
+def test_corpus_replay(path):
+    failure = run_oracle(_CorpusProgram(path), OracleConfig())
+    assert failure is None, failure.describe()
+
+
+# ---------------------------------------------------------------------------
+# bug 1: folding must not discard possibly-trapping subtrees
+# ---------------------------------------------------------------------------
+
+
+def test_fold_keeps_trap_under_specialization():
+    # Specializing f(0, 0) rebuilds (1/x)*y as (1/0)*0; the mul-by-zero
+    # fold used to discard the division outright.
+    src = ("fn f(x: i64, y: i64) -> i64 { (1 / x) * y }\n"
+           "fn main(a: i64) -> i64 { f(0, 0) + a }")
+    for optimize in (False, True):
+        world = compile_source(src, optimize=optimize)
+        assert _observe(lambda: Interpreter(world).call("main", 7)) == TRAP
+
+
+def test_fold_still_fires_when_safe():
+    # The guard must not cost folding power on trap-free operands.
+    src = "fn main(x: i64) -> i64 { (x + 1) * 0 }"
+    world = compile_source(src, optimize=True)
+    assert Interpreter(world).call("main", 5) == 0
+    assert run_function(world, "main", 5) == 0
+
+
+def test_fold_select_keeps_trapping_arm():
+    src = ("fn pick(c: bool, a: i64, b: i64) -> i64 { if c { a / b } else { a } }\n"
+           "fn main(a: i64) -> i64 { pick(true, a, 0) }")
+    world = compile_source(src, optimize=True)
+    assert _observe(lambda: Interpreter(world).call("main", 3)) == TRAP
+
+
+# ---------------------------------------------------------------------------
+# bug 2: SSA must trap exactly where the graph interpreter does
+# ---------------------------------------------------------------------------
+
+SSA_CASES = [
+    # (source, arg sets)
+    ("fn main(a: i64, b: i64) -> i64 { let d = a / b; "
+     "if a > 0 { d } else { 0 - a } }",
+     [(0, 0), (3, 0), (3, 2), (-1, 5)]),
+    # unused trapping let: neither side should trap
+    ("fn main(a: i64, b: i64) -> i64 { let d = a / b; a + 1 }",
+     [(1, 0), (4, 2)]),
+    # trapping value feeding a phi: traps only when that edge runs
+    ("fn main(a: i64, b: i64) -> i64 { let q = a / b; "
+     "let r = if a > 10 { q + 1 } else { 7 }; r }",
+     [(0, 0), (20, 0), (20, 4)]),
+]
+
+
+@pytest.mark.parametrize("src,arg_sets", SSA_CASES)
+@pytest.mark.parametrize("optimize", [False, True])
+def test_ssa_trap_alignment(src, arg_sets, optimize):
+    ref = compile_source(src, optimize=False)
+    module = compile_source_ssa(src, optimize=optimize)
+    for args in arg_sets:
+        want = _observe(lambda: Interpreter(ref).call("main", *args))
+        got = _observe(lambda: run_ssa(module, "main", *args))
+        assert got == want, (src, args, got, want)
+
+
+# ---------------------------------------------------------------------------
+# bug 3: trapping const expressions compile to runtime traps
+# ---------------------------------------------------------------------------
+
+
+def test_codegen_trapping_const_aggregate():
+    src = ("fn main(a: i64) -> i64 { "
+           "let t = if a > 100 { (1 / 0, 2) } else { (a, 3) }; t.0 + t.1 }")
+    world = compile_source(src, optimize=True)
+    # The dead-at-runtime branch must not trap...
+    assert run_function(world, "main", 5) == 8
+    assert Interpreter(world).call("main", 5) == 8
+    # ...and the taken branch must trap at run time, not compile time.
+    assert _observe(lambda: run_function(world, "main", 200)) == TRAP
+    assert _observe(lambda: Interpreter(world).call("main", 200)) == TRAP
