@@ -11,9 +11,21 @@ module renders a world as readable C:
 * scalars map to ``<stdint.h>`` types; buffers to element pointers;
   definite arrays and tuples to flat word structs.
 
-The output is meant for humans and golden tests; no C compiler is
-invoked here (the environment is offline by design — see DESIGN.md's
-substitution table).
+Two consumers build on this emitter:
+
+* plain mode (:func:`emit_c`) renders readable C for humans and golden
+  tests — no compiler involved, traps and prints use bare C idioms
+  (``/`` that may fault, ``printf``);
+* the native execution tier (:mod:`repro.native`) subclasses
+  :class:`CEmitter` to produce *actually compilable and runnable*
+  translation units — guarded division, trap reporting, print capture
+  and a fixed entry ABI — which the system ``cc`` turns into ``.so``
+  files (see DESIGN.md §4f).
+
+The hook methods (``_prelude``, ``_postlude``, ``_function_entry``,
+``_block_entry``, ``_arith_expr``, ``_cast_expr``, ``_float_lit``,
+``_int_lit``, ``_emit_print``) are the subclassing surface; everything
+else is shared emission logic.
 """
 
 from __future__ import annotations
@@ -119,6 +131,9 @@ PRELUDE = """\
 
 /* flat aggregate-by-value fallback */
 typedef struct { int64_t w[8]; } word_block;
+
+/* trap anchor for constant expressions that must fault at runtime */
+static volatile int64_t repro_c_zero = 0;
 """
 
 
@@ -128,15 +143,53 @@ class CEmitter:
         self.out = io.StringIO()
         self._names: dict[Def, str] = {}
         self._counter = 0
+        # Ops placed by the current function's schedule; anything else a
+        # _ref meets is a parameter-free constant to materialize inline.
+        self._placed: set[PrimOp] = set()
 
     def emit(self) -> str:
-        self.out.write(PRELUDE)
         functions = [c for c in top_level_of(self.world)
                      if c.has_body() and c.is_returning()]
+        self.out.write(self._prelude(functions))
         for fn in functions:
             self.out.write("\n")
             self._emit_function(fn)
+        self._postlude(functions)
         return self.out.getvalue()
+
+    # -- subclassing surface (see repro.native.runtime) ----------------
+
+    def _prelude(self, functions: list[Continuation]) -> str:
+        return PRELUDE
+
+    def _postlude(self, functions: list[Continuation]) -> None:
+        """Emitted after all function bodies (entry wrappers, etc.)."""
+
+    def _function_entry(self, fn: Continuation) -> None:
+        """Emitted just inside every function's opening brace."""
+
+    def _block_entry(self, block: Continuation) -> None:
+        """Emitted right after every block label (fuel checks, etc.)."""
+
+    def _float_lit(self, prim: PrimType, value: float) -> str:
+        return repr(float(value))
+
+    def _int_lit(self, prim: PrimType, value: int) -> str:
+        suffix = "ull" if prim.is_unsigned else "ll"
+        return f"{value}{suffix}" if prim.bitwidth == 64 else str(value)
+
+    def _arith_expr(self, op: ArithOp) -> str:
+        return (f"{self._ref(op.lhs)} {_ARITH_C[op.kind]} "
+                f"{self._ref(op.rhs)}")
+
+    def _cast_expr(self, op: Cast | Bitcast) -> str:
+        return f"({c_type(op.type)}){self._ref(op.op(0))}"
+
+    def _emit_print(self, intrinsic: Intrinsic, value: Def) -> None:
+        fmt = {Intrinsic.PRINT_I64: '"%lld"',
+               Intrinsic.PRINT_F64: '"%g"',
+               Intrinsic.PRINT_CHAR: '"%c"'}[intrinsic]
+        self.out.write(f"    printf({fmt}, {self._ref(value)});\n")
 
     # ------------------------------------------------------------------
 
@@ -157,13 +210,77 @@ class CEmitter:
             if d.prim_type.is_bool:
                 return "true" if value else "false"
             if d.prim_type.is_float:
-                return repr(float(value))
-            suffix = "ull" if d.prim_type.is_unsigned else "ll"
-            return f"{value}{suffix}" if d.prim_type.bitwidth == 64 \
-                else str(value)
+                return self._float_lit(d.prim_type, float(value))
+            return self._int_lit(d.prim_type, value)
         if isinstance(d, Bottom):
             return "0 /* undef */"
+        if (isinstance(d, PrimOp) and not isinstance(d, Global)
+                and d not in self._placed):
+            return self._const_ref(d)
         return self._name(d)
+
+    def _const_ref(self, d: PrimOp) -> str:
+        """A parameter-free primop the schedule left to the backend.
+
+        Mirrors codegen's constant materialization: evaluate with the
+        folder; a clean value becomes a literal, a trapping evaluation
+        (constant division by zero that folding deliberately kept)
+        becomes an expression that faults when — and only when — the
+        referencing block executes.
+        """
+        from ..core import fold
+        from .codegen import _const_value
+
+        try:
+            value = _const_value(d)
+        except fold.EvalError as trap:
+            return self._trap_expr(d, trap)
+        if isinstance(value, list):  # flat aggregate image
+            words = ", ".join(self._scalar_lit(w) for w in value)
+            return f"(word_block){{ .w = {{ {words} }} }}"
+        prim = d.type
+        if not isinstance(prim, PrimType):
+            raise CEmitError(f"cannot materialize constant {d!r}")
+        if value is None:
+            return "0 /* undef */"
+        if prim.is_bool:
+            return "true" if value else "false"
+        if prim.is_float:
+            return self._float_lit(prim, float(value))
+        return self._int_lit(prim, value)
+
+    def _scalar_lit(self, value) -> str:
+        if value is None:
+            return "0"
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, float):
+            return repr(value)
+        return str(value)
+
+    def _trap_expr(self, d: PrimOp, trap: Exception) -> str:
+        """A constant expression whose evaluation faults at runtime."""
+        return f"({c_type(d.type)})(1 / repro_c_zero) /* {trap} */"
+
+    def _ret_param(self, fn: Continuation) -> Param:
+        ret = None
+        for p in reversed(fn.params):
+            if isinstance(p.type, FnType):
+                ret = p
+                break
+        assert ret is not None and isinstance(ret.type, FnType)
+        return ret
+
+    def _fn_signature(self, fn: Continuation) -> tuple[Param, str, list]:
+        """``(ret_param, return C type, value params)`` of a function."""
+        ret = self._ret_param(fn)
+        ret_types = [t for t in ret.type.param_types if not _is_mem(t)]
+        ret_c = "void" if not ret_types else c_type(ret_types[0])
+        params = [p for p in fn.params if not _is_mem(p.type) and p is not ret]
+        return ret, ret_c, params
+
+    def _fn_name(self, fn: Continuation) -> str:
+        return fn.name or self._name(fn)
 
     def _emit_function(self, fn: Continuation) -> None:
         manager = self.world._analyses
@@ -173,19 +290,14 @@ class CEmitter:
         else:
             scope = Scope(fn)
             schedule = Schedule(scope)
-        ret = None
-        for p in reversed(fn.params):
-            if isinstance(p.type, FnType):
-                ret = p
-                break
-        assert ret is not None and isinstance(ret.type, FnType)
-        ret_types = [t for t in ret.type.param_types if not _is_mem(t)]
-        ret_c = "void" if not ret_types else c_type(ret_types[0])
-        params = [p for p in fn.params if not _is_mem(p.type) and p is not ret]
+        ret, ret_c, params = self._fn_signature(fn)
         sig = ", ".join(f"{c_type(p.type)} {self._name(p)}" for p in params)
-        self.out.write(f"{ret_c} {fn.name or self._name(fn)}({sig}) {{\n")
+        self.out.write(f"{ret_c} {self._fn_name(fn)}({sig}) {{\n")
+        self._function_entry(fn)
 
         blocks = schedule.blocks()
+        self._placed = {op for block in blocks
+                        for op in schedule.ops_in(block)}
         # declare block params as variables
         for block in blocks[1:]:
             for p in block.params:
@@ -195,6 +307,7 @@ class CEmitter:
         for block in blocks:
             if block is not fn:
                 self.out.write(f"{self._label(block)}:;\n")
+                self._block_entry(block)
             for op in schedule.ops_in(block):
                 self._emit_primop(op)
             self._emit_terminator(fn, ret, block, schedule)
@@ -208,15 +321,14 @@ class CEmitter:
 
     def _emit_primop(self, op: PrimOp) -> None:
         if isinstance(op, ArithOp):
-            self._assign(op, f"{self._ref(op.lhs)} {_ARITH_C[op.kind]} "
-                             f"{self._ref(op.rhs)}")
+            self._assign(op, self._arith_expr(op))
             return
         if isinstance(op, Cmp):
             self._assign(op, f"{self._ref(op.lhs)} {_CMP_C[op.rel]} "
                              f"{self._ref(op.rhs)}")
             return
         if isinstance(op, (Cast, Bitcast)):
-            self._assign(op, f"({c_type(op.type)}){self._ref(op.op(0))}")
+            self._assign(op, self._cast_expr(op))
             return
         if isinstance(op, MathOp):
             self._assign(op, f"{op.kind.value}({self._ref(op.value)})")
@@ -309,10 +421,7 @@ class CEmitter:
                 return
             if callee.intrinsic in (Intrinsic.PRINT_I64, Intrinsic.PRINT_F64,
                                     Intrinsic.PRINT_CHAR):
-                fmt = {Intrinsic.PRINT_I64: '"%lld"',
-                       Intrinsic.PRINT_F64: '"%g"',
-                       Intrinsic.PRINT_CHAR: '"%c"'}[callee.intrinsic]
-                w.write(f"    printf({fmt}, {self._ref(args[1])});\n")
+                self._emit_print(callee.intrinsic, args[1])
                 w.write(f"    goto {self._goto_target(args[2])};\n")
                 return
             if callee in scope_of(fn) and callee is not fn:
@@ -373,7 +482,7 @@ class CEmitter:
                 ret_target = _peel(arg)
                 continue
             value_args.append(self._ref(arg))
-        call = f"{callee.name}({', '.join(value_args)})"
+        call = f"{self._fn_name(callee)}({', '.join(value_args)})"
         if isinstance(ret_target, Param) and ret_target is ret:
             self.out.write(f"    return {call};\n")
             return

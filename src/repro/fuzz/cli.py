@@ -63,6 +63,9 @@ def _parse_args(argv):
                              "generator (0 disables; default 5)")
     parser.add_argument("--no-c", action="store_true",
                         help="skip the C-emitter path")
+    parser.add_argument("--no-native", action="store_true",
+                        help="skip the native execution tier "
+                             "(emit C, build a .so, run via ctypes)")
     parser.add_argument("--no-pgo", action="store_true",
                         help="skip the profile-guided path")
     parser.add_argument("--no-verify", action="store_true",
@@ -164,6 +167,7 @@ def _campaign_case(item):
     """
     seed, expr_only, args = item
     config = OracleConfig(run_c=not args.no_c,
+                          run_native=not args.no_native,
                           run_pgo=not args.no_pgo,
                           verify_each_pass=not args.no_verify,
                           check_cache=args.cache_check,

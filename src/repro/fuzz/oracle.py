@@ -15,14 +15,20 @@ path            what runs
                 the program's own argument sets
 ``c``           the C emitter's output for the statically optimized
                 world, compiled with the system C compiler and executed
+``native``      the hardened native tier (:mod:`repro.native`): the same
+                optimized world compiled to a ``.so`` and executed
+                in-process via ctypes — result, trap *kind* and print
+                stream all compared
 ``ssa``         the classical CFG+SSA baseline (first-order programs)
 ``cps``         the nested-CPS baseline (expression-only programs)
 ``cache``       (opt-in) the static pipeline rerun with analysis
                 caching flipped — printed IR must be byte-identical
 ==============  ========================================================
 
-Each observation is the pair *(result, print output)*; traps are
-normalized to a sentinel so "both paths trap" still agrees.  Optimized
+Each observation is *(result, print output, trap kind)*; traps are
+normalized to a sentinel so "both paths trap" still agrees, and when
+both paths trap the *kind* (``div-by-zero`` vs ``step-limit``) must
+also agree for the engines that report one.  Optimized
 compiles run under ``OptimizeOptions(verify_each_pass=True)``, so an IR
 invariant broken by a single pass surfaces as a
 :class:`~repro.transform.pipeline.PassVerifyError` attributed to that
@@ -56,10 +62,17 @@ TRAP = "<trap>"
 
 @dataclass(frozen=True)
 class Observation:
-    """What one execution of the entry point looked like."""
+    """What one execution of the entry point looked like.
+
+    ``trap`` is the trap *kind* (``"div-by-zero"``, ``"step-limit"``,
+    ...) when ``result`` is :data:`TRAP` and the engine can classify
+    it; engines that cannot (SSA/CPS baselines) leave it ``None`` and
+    are excluded from kind comparison.
+    """
 
     result: object
     output: str = ""
+    trap: str | None = None
 
 
 @dataclass
@@ -112,6 +125,14 @@ class OracleConfig:
     # to agree — any divergence is a stale-cache bug.
     cache_analyses: bool = True
     check_cache: bool = False
+    # The native tier: emit hardened C, build a .so with the system cc
+    # (repro.native discovery: REPRO_CC, cc, gcc, clang), run it
+    # in-process via ctypes and compare result + trap kind + prints.
+    run_native: bool = True
+    # Fuel (block/function entries) for native runs: the in-process
+    # analogue of vm_max_steps — a miscompile-manufactured infinite
+    # loop traps as "step-limit" instead of hanging the fuzz worker.
+    native_fuel: int = 100_000_000
     cc: str = "gcc"
     # -fwrapv: match the IR's two's-complement wrapping; -fno-builtin:
     # keep the compiler from pattern-matching our arithmetic into
@@ -145,6 +166,16 @@ def _options(config: OracleConfig,
                                            if cache is None else cache))
 
 
+def _trap_kind(exc: BaseException) -> str:
+    """Classify a trap exception into the cross-engine kind names."""
+    if isinstance(exc, ResourceLimitError):
+        resource = getattr(exc, "resource", "")
+        return "step-limit" if resource == "steps" else "resource-limit"
+    if "division" in str(exc):
+        return "div-by-zero"
+    return "other"
+
+
 def _run_interp(world, entry: str, arg_sets,
                 max_steps: int = 2_000_000) -> list[Observation]:
     obs = []
@@ -153,8 +184,9 @@ def _run_interp(world, entry: str, arg_sets,
         try:
             result = interp.call(entry, *args)
             obs.append(Observation(result, "".join(interp.output)))
-        except (InterpError, fold.EvalError, ResourceLimitError):
-            obs.append(Observation(TRAP, "".join(interp.output)))
+        except (InterpError, fold.EvalError, ResourceLimitError) as exc:
+            obs.append(Observation(TRAP, "".join(interp.output),
+                                   trap=_trap_kind(exc)))
     return obs
 
 
@@ -166,8 +198,9 @@ def _run_vm(compiled: CompiledWorld, entry: str, arg_sets) -> list[Observation]:
             result = compiled.call(entry, *args)
             obs.append(Observation(result,
                                    "".join(compiled.vm.output[mark:])))
-        except (bc.VMError, ResourceLimitError):
-            obs.append(Observation(TRAP, "".join(compiled.vm.output[mark:])))
+        except (bc.VMError, ResourceLimitError) as exc:
+            obs.append(Observation(TRAP, "".join(compiled.vm.output[mark:]),
+                                   trap=_trap_kind(exc)))
     return obs
 
 
@@ -183,6 +216,11 @@ def _compare(stage: str, prog: FuzzProgram, reference: list[Observation],
             return FuzzFailure(prog.seed, stage, "print-output divergence",
                                args=args, expected=ref.output,
                                got=got.output, source=prog.render())
+        if (ref.result == TRAP and ref.trap is not None
+                and got.trap is not None and ref.trap != got.trap):
+            return FuzzFailure(prog.seed, stage, "trap-kind divergence",
+                               args=args, expected=ref.trap, got=got.trap,
+                               source=prog.render())
     return None
 
 
@@ -242,6 +280,31 @@ def _run_c(world, prog: FuzzProgram,
         output = parts[2 * index]
         result = int(parts[2 * index + 1])
         obs.append(Observation(result, output))
+    return obs
+
+
+def _run_native(world, prog: FuzzProgram,
+                config: OracleConfig) -> list[Observation] | str | None:
+    """Build+run the native tier; ``None`` = skipped, ``str`` = error."""
+    from ..native import (NativeBuildError, NativeRunError,
+                          compile_native_world, native_available)
+
+    if not native_available():
+        return None
+    try:
+        module = compile_native_world(world, timeout=config.cc_timeout)
+    except NativeBuildError as exc:
+        return f"native build failed [{exc.stage}]: {exc}"
+    obs = []
+    for args in prog.arg_sets:
+        try:
+            run = module.run(prog.entry, args, fuel=config.native_fuel)
+        except NativeRunError as exc:
+            return f"native run failed: {exc}"
+        if run.trap is not None:
+            obs.append(Observation(TRAP, run.output, trap=run.trap))
+        else:
+            obs.append(Observation(run.result, run.output))
     return obs
 
 
@@ -353,6 +416,30 @@ def run_oracle(prog: FuzzProgram,
                 if failure is not None:
                     return failure
                 ran("c(static)")
+
+    # --- native tier on the statically optimized world -----------------
+    if config.run_native:
+        # Only division traps are exactly reproducible in machine code:
+        # the fuel budget counts block entries, not VM steps, so
+        # step-limit (and other resource) traps are engine-local.
+        odd = next((o.trap for o in reference
+                    if o.result == TRAP and o.trap != "div-by-zero"), None)
+        if odd is not None:
+            skipped("native", f"reference trap kind {odd!r} is not "
+                              f"reproducible natively")
+        else:
+            native_obs = _run_native(world_opt, prog, config)
+            if native_obs is None:
+                skipped("native", "no C compiler on PATH")
+            elif isinstance(native_obs, str):
+                return FuzzFailure(prog.seed, "native-build", native_obs,
+                                   source=source)
+            else:
+                failure = _compare("native(static)", prog, reference,
+                                   native_obs)
+                if failure is not None:
+                    return failure
+                ran("native(static)")
 
     # --- profile-guided optimization -----------------------------------
     if config.run_pgo:

@@ -1,0 +1,136 @@
+"""ctypes loader/executor for native shared objects.
+
+A :class:`NativeModule` wraps one ``dlopen``'d ``.so`` produced by
+:func:`repro.native.driver.compile_shared` from a
+:class:`~repro.native.runtime.NativeEmitter` emission.  Its
+:meth:`~NativeModule.run` exposes the same observation contract as the
+interpreter and the VM — ``(result, trap kind, print stream)`` — so the
+differential oracle and the serve daemon can treat machine code as just
+another engine.
+
+Marshalling follows the fixed entry ABI: every argument and the result
+travel as an i64 bit pattern (floats bitcast), the wrapper's return
+value is a trap code.  Values are converted to/from the *public* value
+convention the other engines use (signed Python ints for ``i*`` types,
+canonical unsigned for ``u*``, Python floats for ``f*``).
+
+Modules are never ``dlclose``'d — each is a few KiB and unloading C
+code that might still be referenced is a classic source of crashes; a
+process that loads thousands of fuzz programs pays megabytes, not more.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core import fold
+
+#: Wrapper return codes -> the trap kinds the other engines report.
+#: Keep in sync with the enum in runtime.RUNTIME_H.
+TRAP_KINDS = {1: "div-by-zero", 2: "step-limit", 3: "oom"}
+
+#: Default per-call fuel (block/function entries).  Generated and suite
+#: programs burn orders of magnitude less; callers with tighter latency
+#: needs pass their own budget.
+DEFAULT_FUEL = 1 << 40
+
+
+class NativeRunError(Exception):
+    """The module/entry could not be loaded or called (not a trap)."""
+
+
+@dataclass(frozen=True)
+class NativeRun:
+    """One native execution: public result, trap kind, print stream."""
+
+    result: object
+    trap: str | None
+    output: str
+
+
+def _pack(kind: str, value) -> int:
+    """Public value -> signed 64-bit payload for the argv array."""
+    if kind in ("f64", "f32"):
+        return struct.unpack("<q", struct.pack("<d", float(value)))[0]
+    if kind == "bool":
+        return 1 if value else 0
+    return fold.to_signed(int(value) & ((1 << 64) - 1), 64)
+
+
+def _unpack(kind: str, bits: int):
+    """Signed 64-bit out payload -> public value."""
+    if kind == "void":
+        return None
+    if kind in ("f64", "f32"):
+        return struct.unpack("<d", struct.pack("<q", bits))[0]
+    if kind == "bool":
+        return bool(bits)
+    width = int(kind[1:])
+    canonical = bits & ((1 << width) - 1)
+    if kind.startswith("u"):
+        return canonical
+    return fold.to_signed(canonical, width)
+
+
+class NativeModule:
+    """One loaded ``.so`` with its entry metadata."""
+
+    def __init__(self, so_path: str | Path, entry_meta: dict):
+        self.so_path = Path(so_path)
+        self.entry_meta = dict(entry_meta)
+        try:
+            self._lib = ctypes.CDLL(str(self.so_path))
+        except OSError as exc:
+            raise NativeRunError(f"dlopen failed: {exc}") from exc
+        self._lib.repro_set_fuel.argtypes = [ctypes.c_int64]
+        self._lib.repro_set_fuel.restype = None
+        self._lib.repro_out_data.restype = ctypes.c_void_p
+        self._lib.repro_out_size.restype = ctypes.c_int64
+        self._entries: dict[str, ctypes.CFUNCTYPE] = {}
+
+    def _entry(self, name: str):
+        fn = self._entries.get(name)
+        if fn is None:
+            if name not in self.entry_meta:
+                raise NativeRunError(
+                    f"entry {name!r} has no native wrapper (non-scalar "
+                    f"signature?); wrapped: {sorted(self.entry_meta)}")
+            symbol = self.entry_meta[name].get("symbol",
+                                               f"repro_run_{name}")
+            try:
+                fn = getattr(self._lib, symbol)
+            except AttributeError as exc:
+                raise NativeRunError(
+                    f"symbol {symbol} missing from "
+                    f"{self.so_path}") from exc
+            fn.argtypes = [ctypes.POINTER(ctypes.c_int64),
+                           ctypes.POINTER(ctypes.c_int64)]
+            fn.restype = ctypes.c_int32
+            self._entries[name] = fn
+        return fn
+
+    def run(self, entry: str, args=(), *,
+            fuel: int = DEFAULT_FUEL) -> NativeRun:
+        """Execute one entry call; traps come back as ``NativeRun.trap``."""
+        fn = self._entry(entry)
+        meta = self.entry_meta[entry]
+        kinds = meta["params"]
+        if len(args) != len(kinds):
+            raise NativeRunError(
+                f"{entry} takes {len(kinds)} arguments, got {len(args)}")
+        packed = [_pack(kind, value) for kind, value in zip(kinds, args)]
+        argv = (ctypes.c_int64 * max(1, len(packed)))(*packed)
+        out = ctypes.c_int64(0)
+        self._lib.repro_set_fuel(ctypes.c_int64(fuel))
+        code = fn(argv, ctypes.byref(out))
+        size = self._lib.repro_out_size()
+        data = ctypes.string_at(self._lib.repro_out_data(), size) \
+            if size else b""
+        output = data.decode("utf-8", "replace")
+        if code != 0:
+            return NativeRun(None, TRAP_KINDS.get(code, f"trap-{code}"),
+                             output)
+        return NativeRun(_unpack(meta["result"], out.value), None, output)

@@ -33,12 +33,28 @@ def _parse_args(argv=None) -> ServerConfig:
                         metavar="S",
                         help="per-compile wall-clock budget in seconds; "
                              "overruns kill the worker (default 120)")
+    parser.add_argument("--no-native", action="store_true",
+                        help="disable the native execution tier; 'run' "
+                             "requests stop tiering at the VM")
+    parser.add_argument("--native-dir", default=None,
+                        help="content-addressed .so store (default "
+                             "<cache-dir>/native)")
+    parser.add_argument("--hot-requests", type=int, default=4, metavar="N",
+                        help="run requests per program before a background "
+                             "native compile starts (default 4)")
+    parser.add_argument("--hot-steps", type=int, default=100_000,
+                        metavar="N",
+                        help="cumulative VM steps that mark a program hot "
+                             "(default 100000)")
     args = parser.parse_args(argv)
     return ServerConfig(
         host=args.host, port=args.port, workers=args.workers,
         cache_dir=None if args.cache_dir == "none" else args.cache_dir,
         crash_dir=args.crash_dir, max_pending=args.max_pending,
-        request_timeout=args.request_timeout)
+        request_timeout=args.request_timeout,
+        native=not args.no_native, native_dir=args.native_dir,
+        tier_hot_requests=args.hot_requests,
+        tier_hot_steps=args.hot_steps)
 
 
 def main(argv=None) -> int:

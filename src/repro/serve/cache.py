@@ -92,6 +92,24 @@ def cache_key(request: dict) -> str:
         canonical_json(material).encode("utf-8")).hexdigest()
 
 
+def run_cache_key(request: dict) -> str:
+    """The tiering key of a validated run request.
+
+    Deliberately excludes the argument lists: hotness must accumulate
+    across calls with different inputs, and one compiled artifact
+    (VM image or ``.so``) serves them all.
+    """
+    material = {
+        "format": CACHE_FORMAT,
+        "kind": "run",
+        "source": request["source"],
+        "entry": request["entry"],
+        "options": canonical_options(request.get("options")),
+    }
+    return hashlib.sha256(
+        canonical_json(material).encode("utf-8")).hexdigest()
+
+
 class ArtifactCache:
     """In-memory LRU over an on-disk content-addressed object store."""
 

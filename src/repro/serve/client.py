@@ -110,3 +110,15 @@ class ServeClient:
         if request_id is not None:
             message["id"] = request_id
         return self.request(message)
+
+    def run(self, source: str, args: list, *, entry: str = "main",
+            options: dict | None = None, request_id=None) -> dict:
+        """Execute *entry* on each argument list; the server picks the
+        tier (and promotes hot programs to native behind the scenes)."""
+        message: dict = {"op": "run", "source": source, "entry": entry,
+                         "args": [list(a) for a in args]}
+        if options:
+            message["options"] = options
+        if request_id is not None:
+            message["id"] = request_id
+        return self.request(message)

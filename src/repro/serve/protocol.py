@@ -15,9 +15,19 @@ Requests
     ``fault`` (test-only fault injection: ``{"mode", "target", "nth"}``),
     ``id`` (opaque, echoed in the reply).
 
+``{"op": "run", "source": ..., "entry": ..., "args": [[...], ...]}``
+    *Execute* ``source``'s ``entry`` on each argument list and return
+    the observations.  The server picks the execution tier (graph
+    interpreter, bytecode VM, or — once the tiering manager marks the
+    program hot and a background native compile lands — machine code
+    from a cached ``.so``); the reply carries ``tier`` and
+    ``native_state`` so clients can watch promotion happen.  Optional:
+    ``options`` (pipeline overrides, as for compile), ``id``.
+
 ``{"op": "stats"}``
     Introspection: counters, latency histograms, cache rates,
-    aggregated per-phase pipeline timings.
+    aggregated per-phase pipeline timings, per-tier execution counters
+    (``tiering``).
 
 ``{"op": "ping"}``
     Liveness probe; replies ``{"ok": true, "pong": true}``.
@@ -27,7 +37,9 @@ Replies
 
 Success: ``{"ok": true, "id": ..., ...}`` — compile replies add
 ``key`` (the content address), ``cached`` (``"memory"``, ``"disk"`` or
-``false``), ``coalesced`` and ``artifacts``.
+``false``), ``coalesced`` and ``artifacts``.  Run replies add ``key``,
+``tier`` (``"interp"``/``"vm"``/``"native"``), ``native_state`` and
+``results`` (one ``{"value", "trap", "output"}`` per argument list).
 
 Failure: ``{"ok": false, "error": {"code": ..., "message": ...}}`` with
 ``code`` one of :data:`ERROR_CODES`; ``worker-crash`` errors add
@@ -152,3 +164,32 @@ def validate_compile_request(request: dict) -> dict:
                                 "'fault' must be an object with a 'mode'")
         normalized["fault"] = fault
     return normalized
+
+
+def validate_run_request(request: dict) -> dict:
+    """Check a run request's shape; returns the normalized request."""
+    source = request.get("source")
+    if not isinstance(source, str) or not source.strip():
+        raise ProtocolError("bad-request",
+                            "'source' must be a non-empty string")
+    entry = request.get("entry", "main")
+    if not isinstance(entry, str) or not entry:
+        raise ProtocolError("bad-request", "'entry' must be a string")
+    args = request.get("args")
+    if not (isinstance(args, list) and args
+            and all(isinstance(a, list) for a in args)):
+        raise ProtocolError(
+            "bad-request",
+            "'args' must be a non-empty list of argument lists")
+    for arg_set in args:
+        for value in arg_set:
+            if not isinstance(value, (bool, int, float)):
+                raise ProtocolError(
+                    "bad-request",
+                    f"arguments must be numbers or booleans, "
+                    f"got {type(value).__name__}")
+    options = request.get("options", {})
+    if not isinstance(options, dict):
+        raise ProtocolError("bad-request", "'options' must be an object")
+    return {"op": "run", "source": source, "entry": entry, "args": args,
+            "options": options}

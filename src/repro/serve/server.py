@@ -25,6 +25,17 @@ Fault-injected requests bypass the cache in both directions: their
 artifacts are not representative and must never be served to (or
 poisoned by) clean requests.
 
+``run`` requests take the tiered execution path instead: the
+:class:`~repro.native.tiering.TieringManager` picks interp/VM/native
+per program, and when a program turns hot the server launches one
+background ``native-compile`` job through the same crash-isolated
+pool.  Native failures of any kind — compiler error, build timeout,
+worker crash while executing the ``.so`` — quarantine the program back
+to the VM (a crashed native *run* is retried on the VM immediately, so
+the client still gets an answer).  ``.so`` objects are
+content-addressed in ``<cache_dir>/native`` beside the artifact store,
+so a restarted daemon re-promotes from a warm object cache.
+
 SIGTERM/SIGINT drain cleanly: the listener closes, queued requests get
 ``shutting-down`` replies, the pool is torn down, ``run()`` returns.
 """
@@ -34,16 +45,19 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import signal
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.pool import JobError, WorkerCrash, WorkerPool
-from .cache import ArtifactCache, cache_key
+from ..native import (TierDecision, TieringManager, TieringPolicy,
+                      native_available)
+from .cache import ArtifactCache, cache_key, run_cache_key
 from .metrics import Metrics
 from .protocol import (MAX_LINE_BYTES, ProtocolError, decode_line,
                        encode_message, error_reply,
-                       validate_compile_request)
+                       validate_compile_request, validate_run_request)
 from .worker import CompileHandler
 
 
@@ -60,6 +74,26 @@ class ServerConfig:
     # and respawn the seat (the request gets a worker-crash reply).
     request_timeout: float = 120.0
     memory_cache_entries: int = 128
+    # -- the native tier (run requests) --------------------------------
+    # Master switch; native also turns itself off when no C compiler is
+    # on PATH (requests then tier interp -> vm and stop there).
+    native: bool = True
+    # Where .so objects live; default <cache_dir>/native (or a temp
+    # directory when the cache is disabled).
+    native_dir: str | None = None
+    # Tiering policy: requests served by the interpreter before the VM
+    # takes over, and the request/step thresholds that mark a program
+    # hot enough for a background native compile.
+    tier_interp_runs: int = 2
+    tier_hot_requests: int = 4
+    tier_hot_steps: int = 100_000
+    # Budget for one background native compile (pool deadline); the cc
+    # subprocess inside gets a slightly tighter timeout so a wedged
+    # compiler surfaces as a structured error, not a worker kill.
+    native_compile_timeout: float = 120.0
+    # Per-call block-entry budget for native runs; honest programs sit
+    # far below it, and real hangs are killed by request_timeout anyway.
+    native_fuel: int = 1 << 40
 
 
 class CompileServer:
@@ -75,6 +109,18 @@ class CompileServer:
         self._pending = 0
         self._stopping = asyncio.Event()
         self.started = time.time()
+        self.tiering = TieringManager(TieringPolicy(
+            enabled=self.config.native and native_available(),
+            interp_runs=self.config.tier_interp_runs,
+            hot_requests=self.config.tier_hot_requests,
+            hot_steps=self.config.tier_hot_steps))
+        if self.config.native_dir is not None:
+            self.native_dir = self.config.native_dir
+        elif self.config.cache_dir is not None:
+            self.native_dir = str(Path(self.config.cache_dir) / "native")
+        else:
+            self.native_dir = tempfile.mkdtemp(prefix="repro-native-")
+        self._promotions: dict[str, asyncio.Task] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -96,6 +142,8 @@ class CompileServer:
 
     async def stop(self) -> None:
         self._stopping.set()
+        for task in list(self._promotions.values()):
+            task.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -177,9 +225,11 @@ class CompileServer:
                 return self._stats_reply(request_id)
             if op == "compile":
                 return await self._compile(message, request_id, started)
+            if op == "run":
+                return await self._run(message, request_id, started)
             raise ProtocolError("bad-request",
                                 f"unknown op {op!r}; expected "
-                                f"'compile', 'stats' or 'ping'")
+                                f"'compile', 'run', 'stats' or 'ping'")
         except ProtocolError as exc:
             self.metrics.bump(f"errors_{exc.code}")
             return exc.as_reply(request_id)
@@ -196,6 +246,7 @@ class CompileServer:
             "pending": self._pending,
             "inflight_keys": len(self._inflight),
             "cache": self.cache.stats(),
+            "tiering": self.tiering.snapshot(),
             **self.metrics.snapshot(),
         }
         if request_id is not None:
@@ -287,6 +338,121 @@ class CompileServer:
             self.cache.put(key, artifacts)
         self.metrics.observe("compile_cold", time.perf_counter() - started)
         return self._ok(request_id, key, artifacts, cached=False)
+
+    # -- the tiered run path ------------------------------------------------
+
+    async def _run(self, message: dict, request_id, started) -> dict:
+        self.metrics.bump("run_requests")
+        request = validate_run_request(message)
+        try:
+            key = run_cache_key(request)
+        except ValueError as exc:  # unknown options field
+            raise ProtocolError("bad-request", str(exc)) from exc
+
+        decision = self.tiering.decide(key)
+        self.metrics.bump(f"run_tier_{decision.tier}")
+        if decision.promote:
+            self._start_promotion(key, request)
+
+        if self._pending >= self.config.max_pending:
+            self.metrics.bump("shed")
+            raise ProtocolError(
+                "overloaded",
+                f"{self._pending} requests already pending "
+                f"(max {self.config.max_pending}); retry later")
+
+        self._pending += 1
+        try:
+            return await self._execute_run(request, key, decision,
+                                           request_id, started)
+        finally:
+            self._pending -= 1
+
+    async def _execute_run(self, request: dict, key: str,
+                           decision: TierDecision, request_id,
+                           started) -> dict:
+        assert self.pool is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        job = {"op": "run", "tier": decision.tier, "key": key,
+               "source": request["source"], "entry": request["entry"],
+               "args": request["args"], "options": request["options"]}
+        if decision.tier == "native":
+            job["native"] = {"so": decision.so_path,
+                             "entry_meta": decision.entry_meta}
+            job["fuel"] = self.config.native_fuel
+        try:
+            result = await loop.run_in_executor(
+                self._executor,
+                lambda: self.pool.run(job,
+                                      timeout=self.config.request_timeout))
+        except JobError as exc:
+            self.metrics.bump("run_errors")
+            return error_reply(
+                "compile-error", f"{exc.kind}: {exc.detail}",
+                request_id=request_id, kind=exc.kind)
+        except WorkerCrash as exc:
+            self.metrics.bump("worker_crashes")
+            if decision.tier == "native":
+                # A crashed native run quarantines the program and is
+                # retried on the VM — the client still gets an answer.
+                self.tiering.fallback(key, exc.reason)
+                return await self._execute_run(
+                    request, key, TierDecision("vm", False),
+                    request_id, started)
+            if "deadline" in exc.reason:
+                self.metrics.bump("deadline_kills")
+            bundle = self._write_crash_bundle(exc, request)
+            return error_reply(
+                "worker-crash", exc.reason, request_id=request_id,
+                crash_bundle=bundle, exitcode=exc.exitcode)
+        except RuntimeError as exc:  # pool closed during shutdown
+            return error_reply("shutting-down", str(exc),
+                               request_id=request_id)
+
+        if decision.tier == "vm":
+            self.tiering.note_steps(key, result.get("steps", 0))
+        self.metrics.observe("run", time.perf_counter() - started)
+        reply = {"ok": True, "key": key, "tier": decision.tier,
+                 "native_state": self.tiering.state_of(key),
+                 "results": result["results"]}
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply
+
+    def _start_promotion(self, key: str, request: dict) -> None:
+        if key in self._promotions:
+            return
+        job = {"op": "native-compile", "source": request["source"],
+               "options": request["options"],
+               "native_dir": self.native_dir,
+               "cc_timeout": max(1.0,
+                                 self.config.native_compile_timeout * 0.8)}
+        self._promotions[key] = asyncio.get_running_loop().create_task(
+            self._promote(key, job))
+
+    async def _promote(self, key: str, job: dict) -> None:
+        assert self.pool is not None and self._executor is not None
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self._executor,
+                lambda: self.pool.run(
+                    job, timeout=self.config.native_compile_timeout))
+        except JobError as exc:
+            self.metrics.bump("native_compile_errors")
+            self.tiering.quarantine(key, f"{exc.kind}: {exc.detail}")
+        except WorkerCrash as exc:
+            self.metrics.bump("native_compile_crashes")
+            self.tiering.quarantine(key, exc.reason)
+            self._write_crash_bundle(exc, job)
+        except RuntimeError:
+            pass  # pool closed during shutdown; nothing to record
+        else:
+            self.tiering.native_ready(key, result["so"],
+                                      result["entry_meta"],
+                                      cached=result["cached"])
+        finally:
+            self._promotions.pop(key, None)
 
     def _write_crash_bundle(self, crash: WorkerCrash,
                             request: dict) -> str | None:

@@ -1,12 +1,25 @@
-"""The compile job: request dict in, artifact dict out.
+"""The worker jobs: request dict in, result dict out.
 
-This module is the *only* code the forked workers run.  The handler is
-deliberately a plain synchronous function over plain data (dicts in,
-dicts out) so that :class:`repro.core.pool.ForkWorker` can ship jobs
-and results over a pipe, and so that tests can call it in-process to
-establish the byte-identity baseline the server is checked against.
+This module is the *only* code the forked workers run.  The handlers
+are deliberately plain synchronous functions over plain data (dicts
+in, dicts out) so that :class:`repro.core.pool.ForkWorker` can ship
+jobs and results over a pipe, and so that tests can call them
+in-process to establish the byte-identity baseline the server is
+checked against.
 
-A request compiles in one of three modes:
+Three job kinds, dispatched on ``op``:
+
+* ``compile`` — the original artifact build (below);
+* ``run`` — execute an entry point at a server-chosen tier (graph
+  interpreter, bytecode VM, or a native ``.so`` via ctypes); each
+  worker process keeps small per-tier caches so repeated requests for
+  the same program skip recompilation;
+* ``native-compile`` — emit hardened C for the statically optimized
+  world and build it into the content-addressed native store.  Runs in
+  the pool so a wedged or crashing system compiler takes down a
+  disposable seat, never the server.
+
+A compile request compiles in one of three modes:
 
 * ``none``   — frontend only (construction-time folding still applies);
 * ``static`` — the full optimization pipeline;
@@ -124,6 +137,129 @@ def _optimize(world, options, profile=None):
     return optimize(world, options=options, profile=profile)
 
 
+# ---------------------------------------------------------------------------
+# run + native-compile jobs (the native tier)
+# ---------------------------------------------------------------------------
+
+# Per-worker-process artifact caches, keyed by the server's run key (or
+# .so path for loaded modules).  Workers are forked and long-lived, so
+# the second request for a hot program skips the compile entirely.
+_WORKER_CACHE_LIMIT = 16
+_INTERP_WORLDS: dict = {}
+_VM_IMAGES: dict = {}
+_NATIVE_MODULES: dict = {}
+
+
+def _bounded_put(cache: dict, key, value) -> None:
+    cache.pop(key, None)
+    cache[key] = value
+    while len(cache) > _WORKER_CACHE_LIMIT:
+        cache.pop(next(iter(cache)))
+
+
+def _trap_kind(exc: BaseException) -> str:
+    from ..core.limits import ResourceLimitError
+
+    if isinstance(exc, ResourceLimitError):
+        resource = getattr(exc, "resource", "")
+        return "step-limit" if resource == "steps" else "resource-limit"
+    if "division" in str(exc):
+        return "div-by-zero"
+    return "other"
+
+
+def _run_interp_tier(request: dict) -> dict:
+    from ..backend.interp import Interpreter, InterpError
+    from ..core import fold
+    from ..core.limits import ResourceLimitError
+
+    key = request["key"]
+    world = _INTERP_WORLDS.get(key)
+    if world is None:
+        world = compile_source(request["source"], optimize=False)
+        _bounded_put(_INTERP_WORLDS, key, world)
+    results = []
+    for args in request["args"]:
+        interp = Interpreter(world)
+        try:
+            value = interp.call(request["entry"], *args)
+            results.append({"value": value, "trap": None,
+                            "output": "".join(interp.output)})
+        except (InterpError, fold.EvalError, ResourceLimitError) as exc:
+            results.append({"value": None, "trap": _trap_kind(exc),
+                            "output": "".join(interp.output)})
+    return {"results": results, "steps": 0}
+
+
+def _run_vm_tier(request: dict) -> dict:
+    from ..backend import bytecode as bc
+    from ..backend.codegen import compile_world
+    from ..core.limits import ResourceLimitError
+
+    key = request["key"]
+    compiled = _VM_IMAGES.get(key)
+    if compiled is None:
+        world = compile_source(request["source"], optimize=False)
+        _optimize(world, _pipeline_options(request))
+        compiled = compile_world(world)
+        _bounded_put(_VM_IMAGES, key, compiled)
+    results = []
+    before = compiled.vm.executed
+    for args in request["args"]:
+        mark = len(compiled.vm.output)
+        try:
+            value = compiled.call(request["entry"], *args)
+            results.append({"value": value, "trap": None,
+                            "output": "".join(compiled.vm.output[mark:])})
+        except (bc.VMError, ResourceLimitError) as exc:
+            results.append({"value": None, "trap": _trap_kind(exc),
+                            "output": "".join(compiled.vm.output[mark:])})
+    return {"results": results, "steps": compiled.vm.executed - before}
+
+
+def _run_native_tier(request: dict) -> dict:
+    from ..native import DEFAULT_FUEL, NativeModule
+
+    so_path = request["native"]["so"]
+    module = _NATIVE_MODULES.get(so_path)
+    if module is None:
+        module = NativeModule(so_path, request["native"]["entry_meta"])
+        _bounded_put(_NATIVE_MODULES, so_path, module)
+    fuel = request.get("fuel") or DEFAULT_FUEL
+    results = []
+    for args in request["args"]:
+        run = module.run(request["entry"], args, fuel=fuel)
+        results.append({"value": run.result, "trap": run.trap,
+                        "output": run.output})
+    return {"results": results, "steps": 0}
+
+
+def run_request(request: dict) -> dict:
+    """Execute one validated run job at the tier the server chose."""
+    tier = request["tier"]
+    if tier == "interp":
+        return _run_interp_tier(request)
+    if tier == "vm":
+        return _run_vm_tier(request)
+    if tier == "native":
+        return _run_native_tier(request)
+    raise ValueError(f"unknown run tier {tier!r}")
+
+
+def native_compile_request(request: dict) -> dict:
+    """Build ``source`` into the content-addressed native store."""
+    from ..native import NativeStore, emit_native_c
+
+    world = compile_source(request["source"], optimize=False)
+    _optimize(world, _pipeline_options(request))
+    c_source, entry_meta = emit_native_c(world)
+    store = NativeStore(request["native_dir"])
+    so_path, store_key, cached = store.get_or_build(
+        c_source, timeout=request.get("cc_timeout", 60.0))
+    return {"so": str(so_path), "entry_meta": entry_meta,
+            "store_key": store_key, "cached": cached}
+
+
 class CompileHandler:
     """The pool handler: picks the crash directory at server start.
 
@@ -135,6 +271,11 @@ class CompileHandler:
         self.crash_dir = crash_dir
 
     def __call__(self, request: dict) -> dict:
+        op = request.get("op", "compile")
+        if op == "run":
+            return run_request(request)
+        if op == "native-compile":
+            return native_compile_request(request)
         if self.crash_dir is not None:
             options = dict(request.get("options") or {})
             options.setdefault("crash_dir", self.crash_dir)
