@@ -71,6 +71,7 @@ from ..core.types import (
     PtrType,
     TupleType,
     Type,
+    prim_type,
 )
 from ..core.world import World
 
@@ -250,13 +251,18 @@ class CEmitter:
         return self._int_lit(prim, value)
 
     def _scalar_lit(self, value) -> str:
+        # Words of a flat aggregate image land in int64_t slots; route
+        # through the literal hooks so subclass hardening (INT64_MIN,
+        # non-finite floats) applies to aggregate constants too.
         if value is None:
             return "0"
         if isinstance(value, bool):
             return "1" if value else "0"
         if isinstance(value, float):
-            return repr(value)
-        return str(value)
+            return self._float_lit(prim_type("f64"), value)
+        if value >= 1 << 63:  # u64 word: same bits, signed reading
+            value -= 1 << 64
+        return self._int_lit(prim_type("i64"), value)
 
     def _trap_expr(self, d: PrimOp, trap: Exception) -> str:
         """A constant expression whose evaluation faults at runtime."""

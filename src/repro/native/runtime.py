@@ -220,8 +220,12 @@ REPRO_DEF_UINT(u64, uint64_t, 64)
 static uint64_t repro_cast_f2i(double x) {
     if (!isfinite(x)) return 0;
     double t = trunc(x);
-    double m = fmod(t, 18446744073709551616.0);          /* 2^64 */
-    if (m < 0) m += 18446744073709551616.0;
+    double m = fmod(t, 18446744073709551616.0);          /* 2^64; exact */
+    /* |m| < 2^64, so the double->uint64 conversions below are exact.
+       The negative branch must wrap in *integer* arithmetic: adding
+       2^64 in double rounds to a multiple of 4096 (the ulp at 2^64). */
+    if (m < 0)
+        return (uint64_t)0 - (uint64_t)-m;               /* mod-2^64 wrap */
     if (m >= 9223372036854775808.0)                      /* 2^63 */
         return (uint64_t)(m - 9223372036854775808.0)
                | 0x8000000000000000ULL;

@@ -349,17 +349,20 @@ class CompileServer:
         except ValueError as exc:  # unknown options field
             raise ProtocolError("bad-request", str(exc)) from exc
 
-        decision = self.tiering.decide(key)
-        self.metrics.bump(f"run_tier_{decision.tier}")
-        if decision.promote:
-            self._start_promotion(key, request)
-
+        # Admission control first: a shed request is never served, so it
+        # must not advance per-key hotness, per-tier stats, or launch a
+        # background native compile.
         if self._pending >= self.config.max_pending:
             self.metrics.bump("shed")
             raise ProtocolError(
                 "overloaded",
                 f"{self._pending} requests already pending "
                 f"(max {self.config.max_pending}); retry later")
+
+        decision = self.tiering.decide(key)
+        self.metrics.bump(f"run_tier_{decision.tier}")
+        if decision.promote:
+            self._start_promotion(key, request)
 
         self._pending += 1
         try:

@@ -225,7 +225,9 @@ def _run_native_tier(request: dict) -> dict:
     if module is None:
         module = NativeModule(so_path, request["native"]["entry_meta"])
         _bounded_put(_NATIVE_MODULES, so_path, module)
-    fuel = request.get("fuel") or DEFAULT_FUEL
+    fuel = request.get("fuel")
+    if fuel is None:
+        fuel = DEFAULT_FUEL
     results = []
     for args in request["args"]:
         run = module.run(request["entry"], args, fuel=fuel)

@@ -125,6 +125,10 @@ def test_native_fuel_trap():
     run = module.run("main", [0], fuel=10_000)
     assert run.result is None
     assert run.trap == "step-limit"
+    # an explicit fuel of 0 traps on the first entry — it must never be
+    # mistaken for "use the default budget"
+    zero = module.run("main", [0], fuel=0)
+    assert zero.result is None and zero.trap == "step-limit"
     # fuel resets per call: the same module answers honest fuel next.
     src2 = "fn main(a: i64) -> i64 { a + 1 }"
     module2 = compile_native_world(compile_source(src2))
@@ -147,6 +151,59 @@ def test_native_float_prints_match_python_repr():
                       repr(7.0 / 3.0), repr(float("nan"))]) + "\n"
     assert run.output == want
     assert run.result == 0.0
+
+
+def test_native_negative_float_to_int_casts_match_vm():
+    # Regression: repro_cast_f2i used to wrap negative values by adding
+    # 2^64 in *double* arithmetic, which rounds to a multiple of 4096
+    # (the ulp at 2^64): -1.0 became INT64_MIN, -3000.5 became -2048.
+    # The wrap must happen in integer arithmetic, where it is exact.
+    cases = [-1.0, -3000.5, -0.75, -4095.0, -4097.25, -2.0 ** 52 - 1.0,
+             -9.1e18, -1.9e19, 3000.5, 9.3e18, float("nan")]
+    for ty in ("i64", "u64", "i32", "u32", "i8"):
+        src = f"fn main(a: f64) -> {ty} {{ a as {ty} }}"
+        world = compile_source(src)
+        compiled = compile_world(world)
+        module = compile_native_world(world)
+        for x in cases:
+            want = _vm_observe(compiled, "main", [x])
+            run = module.run("main", [x])
+            assert _values_equal(run.result, want[0]), (ty, x, run, want)
+            assert run.trap == want[1], (ty, x, run, want)
+    # pin the exact fold.cast semantics for the worst offenders
+    mod64 = compile_native_world(
+        compile_source("fn main(a: f64) -> i64 { a as i64 }"))
+    assert mod64.run("main", [-1.0]).result == -1
+    assert mod64.run("main", [-3000.5]).result == -3000
+
+
+def test_native_aggregate_constant_hardened_literals():
+    # Words of a constant aggregate image go through the same hardened
+    # literal hooks as scalar constants: an INT64_MIN word must not be
+    # rendered as -9223372036854775808 (which C parses as negating a
+    # too-big constant) and a non-finite float word must not be
+    # rendered as 'inf' — both used to make the native build fail.
+    src = ("fn pick(t: (i64, i64), i: i64) -> i64 "
+           "{ if i == 0 { t.0 } else { t.1 } }\n"
+           "fn main(i: i64) -> i64 "
+           "{ pick((-9223372036854775807 - 1, 7), i) }")
+    world = compile_source(src, optimize=False)
+    c_source, _meta = emit_native_c(world)
+    assert "(-9223372036854775807ll - 1)" in c_source
+    module = compile_native_world(world)
+    compiled = compile_world(compile_source(src, optimize=False))
+    for i in (0, 1):
+        assert module.run("main", [i]).result == compiled.call("main", i)
+    # inf in a float word: must emit compilable C (the flat int64-word
+    # model is numerically lossy for floats, so only compilation and a
+    # clean run are asserted here)
+    finf = ("fn pick(t: (f64, f64), i: i64) -> f64 "
+            "{ if i == 0 { t.0 } else { t.1 } }\n"
+            "fn main(i: i64) -> f64 { pick((1.0 / 0.0, 7.5), i) }")
+    winf = compile_source(finf, optimize=False)
+    c_inf, _ = emit_native_c(winf)
+    assert "(1.0/0.0)" in c_inf
+    assert compile_native_world(winf).run("main", [0]).trap is None
 
 
 def test_native_float_and_bool_results():
@@ -348,6 +405,25 @@ def test_serve_quarantines_on_native_compile_failure(tmp_path, monkeypatch):
             assert stats["native_quarantined"] == 1
             assert stats["native_compiles"] == 0
             assert "native" not in tiers
+    finally:
+        st.stop()
+
+
+def test_serve_shed_requests_do_not_advance_hotness(tmp_path):
+    # A shed (overloaded) request is never served: it must not bump the
+    # per-tier counters, advance per-key hotness, or launch a compile.
+    st = _ServerThread(_serve_config(tmp_path, max_pending=0))
+    try:
+        with ServeClient(port=st.port, timeout=60.0) as client:
+            for _ in range(5):
+                reply = client.request({"op": "run", "source": SRC_HOT,
+                                        "entry": "main", "args": [[3]]})
+                assert not reply["ok"]
+                assert reply["error"]["code"] == "overloaded"
+            stats = client.stats()["tiering"]
+            assert stats["run_requests"] == 0
+            assert stats["keys"] == 0
+            assert stats["native_states"]["pending"] == 0
     finally:
         st.stop()
 
