@@ -1,0 +1,196 @@
+"""M1 — memory optimization: mem_opt on/off over a memory-heavy suite.
+
+The alias-driven load/store optimizer (``transform/mem_opt``) earns its
+place here: every program below hammers a pair of buffers with
+redundant intra-iteration traffic — loads that a Must-aliasing store
+already answers, loads repeated after Not-aliasing interveners, stores
+overwritten before any read.  Forwarding cannot cross loop headers (a
+mem parameter is a wall), so all the redundancy is deliberately inside
+straight-line loop bodies where the chain walk can see it.
+
+Reported per program: retired VM instructions and the result with
+mem_opt on and off.  Shape check (the acceptance bar): the results are
+identical pairwise and the geometric-mean instruction ratio off/on is
+at least 1.5x.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import pytest
+
+from repro import compile_source
+from repro.backend import bytecode as bc
+from repro.backend.codegen import compile_world
+from repro.transform.pipeline import OptimizeOptions
+
+
+@dataclass(frozen=True)
+class MemProgram:
+    name: str
+    source: str
+    args: tuple
+
+
+PROGRAMS = [
+    MemProgram("stencil_reread", """
+extern fn fz(n: i64, z: i64) -> i64 {
+    let a = new_buf_i64(16);
+    let b = new_buf_i64(16);
+    let mut acc = z;
+    let mut k = n;
+    while k > 0 {
+        k -= 1;
+        a[(0) & 15] = acc * 2 + k;
+        b[(0) & 15] = acc - k * 3;
+        a[(0) & 15] = acc + 1;
+        b[(0) & 15] = acc + 2;
+        acc += a[(0) & 15] + b[(0) & 15];
+        acc += a[(0) & 15] + b[(0) & 15];
+        acc += a[(0) & 15] + b[(0) & 15];
+        acc += a[(0) & 15] + b[(0) & 15];
+    }
+    acc
+}
+""", (300, 1)),
+    MemProgram("overwrite_chain", """
+extern fn fz(n: i64, z: i64) -> i64 {
+    let a = new_buf_i64(16);
+    let b = new_buf_i64(16);
+    let mut acc = z;
+    let mut k = n;
+    while k > 0 {
+        k -= 1;
+        a[(1) & 15] = k * 5 + acc;
+        b[(1) & 15] = k + acc;
+        a[(1) & 15] = k * acc;
+        a[(1) & 15] = k + 2;
+        acc += a[(1) & 15] + b[(1) & 15];
+        acc += a[(1) & 15] + b[(1) & 15];
+        acc += a[(1) & 15] - b[(1) & 15];
+    }
+    acc
+}
+""", (300, 0)),
+    MemProgram("spill_reload", """
+extern fn fz(n: i64, z: i64) -> i64 {
+    let a = new_buf_i64(16);
+    let mut acc = z;
+    let mut k = n;
+    while k > 0 {
+        k -= 1;
+        a[(2) & 15] = acc * 3;
+        a[(3) & 15] = acc - k;
+        a[(4) & 15] = k * 2;
+        acc += a[(2) & 15] + a[(3) & 15] + a[(4) & 15];
+        acc += a[(2) & 15] - a[(4) & 15];
+        acc += a[(3) & 15] + a[(4) & 15];
+        acc += a[(2) & 15] + a[(3) & 15];
+    }
+    acc
+}
+""", (300, 7)),
+    MemProgram("double_buffer", """
+extern fn fz(n: i64, z: i64) -> i64 {
+    let a = new_buf_i64(16);
+    let b = new_buf_i64(16);
+    let mut acc = z;
+    let mut k = n;
+    while k > 0 {
+        k -= 1;
+        a[(5) & 15] = acc;
+        b[(5) & 15] = a[(5) & 15] + 1;
+        a[(6) & 15] = b[(5) & 15] + 1;
+        b[(6) & 15] = a[(6) & 15] + 1;
+        acc += b[(6) & 15] + a[(5) & 15];
+        acc += a[(6) & 15] + b[(5) & 15];
+        acc += b[(6) & 15] - a[(6) & 15];
+    }
+    acc
+}
+""", (300, 2)),
+    MemProgram("dead_scratch", """
+extern fn fz(n: i64, z: i64) -> i64 {
+    let a = new_buf_i64(16);
+    let mut acc = z;
+    let mut k = n;
+    while k > 0 {
+        k -= 1;
+        a[(7) & 15] = acc * 7 + k;
+        a[(8) & 15] = acc * 5 - k;
+        a[(9) & 15] = acc * 3 + k * 2;
+        a[(7) & 15] = acc;
+        a[(8) & 15] = k;
+        a[(9) & 15] = acc - k;
+        acc += a[(7) & 15] + a[(8) & 15] + a[(9) & 15];
+        acc += a[(7) & 15] - a[(9) & 15];
+    }
+    acc
+}
+""", (300, 3)),
+]
+
+_rows: dict[str, dict] = {}
+_results: dict[str, dict] = {}
+_initialized = False
+
+
+def _vm_instructions(compiled, entry: str, args: tuple):
+    """Deterministic retired-instruction count on a fresh VM."""
+    from repro.core import fold
+    from repro.core import types as ct
+
+    param_types, _ = compiled.fn_types[entry]
+    vm_args = [fold.canonicalize(t.kind, a)
+               if isinstance(t, ct.PrimType) else a
+               for a, t in zip(args, param_types)]
+    vm = bc.VM(compiled.program)
+    result = vm.call(compiled.program, entry, *vm_args)
+    return vm.executed, result
+
+
+@pytest.mark.parametrize("mem_opt", [True, False], ids=["on", "off"])
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+def test_m1_memory(program, mem_opt, report, benchmark):
+    table = report("M1_memory")
+    global _initialized
+    if not _initialized:
+        table.columns("program", "mem_opt", "vm_instructions", "result")
+        table.note("memory-heavy loop bodies; redundancy is intra-iteration "
+                   "so the chain walk (which stops at loop headers) can "
+                   "legally remove it.  Shape check: identical results and "
+                   "off/on instruction geomean >= 1.5x.")
+        _initialized = True
+
+    world = compile_source(program.source,
+                           options=OptimizeOptions(mem_opt=mem_opt))
+    compiled = compile_world(world)
+    instructions, result = _vm_instructions(compiled, "fz", program.args)
+
+    benchmark.pedantic(compiled.call, args=("fz", *program.args),
+                       rounds=3, iterations=1)
+    benchmark.extra_info["vm_instructions"] = instructions
+    variant = "on" if mem_opt else "off"
+    table.row(program.name, variant, instructions, result)
+    _rows.setdefault(program.name, {})[variant] = instructions
+    _results.setdefault(program.name, {})[variant] = result
+
+
+def test_m1_shape(report, benchmark):
+    """After both variants ran: behaviour identical, speedup >= 1.5x."""
+    assert len(_rows) == len(PROGRAMS)
+    ratios = []
+    for name, counts in _rows.items():
+        assert _results[name]["on"] == _results[name]["off"], (
+            f"{name}: mem_opt changed the result"
+        )
+        assert counts["on"] < counts["off"], (
+            f"{name}: mem_opt did not reduce VM instructions"
+        )
+        ratios.append(counts["off"] / counts["on"])
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    table = report("M1_memory")
+    table.row("geomean", "off/on", f"{geomean:.2f}x", "")
+    assert geomean >= 1.5, f"geomean speedup {geomean:.2f}x < 1.5x"

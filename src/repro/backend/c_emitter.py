@@ -310,6 +310,10 @@ class CEmitter:
                 if not _is_mem(p.type):
                     self.out.write(f"    {c_type(p.type)} {self._name(p)};\n")
 
+        # The split effect threads (transform.mem_opt) are plain data
+        # dependences; assert the block-local order kept every thread
+        # intact before serializing it as C statements.
+        schedule.verify_effect_order()
         for block in blocks:
             if block is not fn:
                 self.out.write(f"{self._label(block)}:;\n")

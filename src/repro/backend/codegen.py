@@ -306,7 +306,10 @@ class FunctionCodegen:
             self._regs[slot] = reg
             assert isinstance(slot.type, PtrType)
             fn.emit(bc.OP_ALLOC, reg, None, 0, bc.word_size(slot.type.pointee))
-        # Emit blocks in RPO.
+        # Emit blocks in RPO.  The split effect threads (transform.mem_opt)
+        # are plain data dependences; assert the block-local order kept
+        # every thread intact before baking it into bytecode.
+        self.schedule.verify_effect_order()
         for block in blocks:
             self._block_pcs[block] = len(fn.code)
             for op in self.schedule.ops_in(block):

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+from .alias import AliasAnalysis
 from .cfg import CFG
 from .defs import Continuation, Def
 from .domtree import DomTree
@@ -92,6 +93,7 @@ class AnalysisManager:
         self._looptrees: dict[Continuation, LoopTree] = {}
         self._schedules: dict[tuple[Continuation, Placement], Schedule] = {}
         self._top_level: tuple[int, tuple[Continuation, ...]] | None = None
+        self._alias: AliasAnalysis | None = None
         # Reverse membership index: def -> entries whose cached scope
         # contains it.  Makes a sync O(|pending|) lookups instead of one
         # subset test per cached scope.  Entries are appended when a
@@ -154,6 +156,7 @@ class AnalysisManager:
         self._looptrees.clear()
         self._schedules.clear()
         self._top_level = None
+        self._alias = None
         self._member_index.clear()
         self.stats.invalidations += dropped
         self.stats.drop_alls += 1
@@ -285,6 +288,25 @@ class AnalysisManager:
         else:
             self.stats.hits += 1
         return schedule
+
+    def alias(self) -> AliasAnalysis:
+        """The world's alias analysis, memoized per mutation generation.
+
+        Alias classes and escape verdicts depend on use edges anywhere
+        in the graph, so — like ``top_level`` — the cache is stamped
+        with the whole-world generation rather than tracked per scope.
+        """
+        if not self.enabled:
+            return AliasAnalysis(self.world)
+        generation = self.world.generation
+        cached = self._alias
+        if cached is not None and cached.generation == generation:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        result = AliasAnalysis(self.world)
+        self._alias = result
+        return result
 
     def top_level(self) -> list[Continuation]:
         if not self.enabled:

@@ -49,6 +49,15 @@ def rewrite_uses(world: World, mapping: dict[Def, Def]) -> dict[Def, Def]:
     def rw(d: Def) -> Def:
         hit = memo.get(d)
         if hit is not None:
+            # A replacement value may itself be a transitive user of
+            # another key (common for chained mem-thread rewrites, where
+            # a load's token is replaced by an upstream def that a later
+            # key's user list reaches).  Hand out its *rebuilt* form,
+            # not the soon-to-be-garbage original.  Requires replacement
+            # values never to use their own key (upstream-only mappings).
+            if hit is not d and hit in seen and isinstance(hit, PrimOp):
+                hit = rw(hit)
+                memo[d] = hit
             return hit
         # Only transitive users of the mapping keys (the flooded set)
         # can change; everything else rewrites to itself without

@@ -30,7 +30,8 @@ from .cfg import CFG
 from .defs import Continuation, Def, Param
 from .domtree import DomTree
 from .looptree import LoopTree
-from .primops import ArithKind, ArithOp, MemOp, PrimOp, Slot
+from .primops import (ArithKind, ArithOp, EvalOp, Extract, MemOp, PrimOp,
+                      Slot)
 from .scope import Scope
 
 
@@ -220,6 +221,37 @@ class Schedule:
                         f"block-local order violation: {operand.unique_name()} "
                         f"after its user {op.unique_name()}"
                     )
+
+    def verify_effect_order(self) -> None:
+        """Every memory op is listed after its effect-thread predecessor.
+
+        ``transform.mem_opt`` splits the single mem chain into per-region
+        threads, each of which is ordinary data dependence — so any
+        topological block-local order preserves them.  The backends call
+        this at emission time to pin that invariant: a load/store must
+        never run before the op producing its incoming token.  Cheap
+        (one pass over the placed ops), unlike the full :meth:`verify`.
+        """
+        for block, ops in self._blocks.items():
+            pos = {op: i for i, op in enumerate(ops)}
+            for op in ops:
+                if not isinstance(op, MemOp) or isinstance(op, Slot):
+                    continue
+                token = op.mem
+                while isinstance(token, EvalOp):
+                    token = token.value
+                producers = [token]
+                if isinstance(token, Extract):
+                    producers.append(token.agg)
+                for producer in producers:
+                    if (isinstance(producer, PrimOp)
+                            and pos.get(producer, -1) > pos[op]):
+                        raise AssertionError(
+                            f"effect-thread order violation in "
+                            f"{block.unique_name()}: {op.unique_name()} "
+                            f"before its token producer "
+                            f"{producer.unique_name()}"
+                        )
 
     def _operand_block(self, d: Def) -> Continuation | None:
         if isinstance(d, Param):

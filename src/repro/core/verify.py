@@ -6,7 +6,8 @@ Three layers:
   intrinsic call shapes, parameter ownership.  Transformations call this
   in tests after every pass.  ``verify(world, full=True)`` additionally
   runs the deep graph invariants below.
-* :func:`verify_uses` / :func:`verify_scopes` — deep graph invariants:
+* :func:`verify_uses` / :func:`verify_scopes` /
+  :func:`verify_effect_threads` — deep graph invariants:
   the def↔use edges must agree in both directions; no live def may
   reference a continuation (or a parameter of a continuation) that a
   rewrite pruned from the world; every parameter referenced from live
@@ -29,7 +30,17 @@ Three layers:
 from __future__ import annotations
 
 from .defs import Continuation, Def, Intrinsic, Param, Use
-from .primops import EvalOp
+from .primops import (
+    Alloc,
+    Bottom,
+    Enter,
+    EvalOp,
+    Extract,
+    Literal,
+    Load,
+    Store,
+    TupleVal,
+)
 from .scope import Scope, scope_of, top_level_of
 from .types import FnType
 from .world import World
@@ -59,6 +70,7 @@ def verify(world: World, *, full: bool = False) -> None:
     if full:
         verify_uses(world)
         verify_scopes(world)
+        verify_effect_threads(world)
 
 
 def _verify_params(cont: Continuation) -> None:
@@ -283,6 +295,65 @@ def verify_scopes(world: World) -> None:
                 f"{cont.unique_name()}: external scope is not closed — "
                 f"free parameter(s) {names}"
             )
+
+
+def verify_effect_threads(world: World) -> None:
+    """Every live memory op hangs off a well-formed effect thread.
+
+    Walking a load/store/enter/alloc's ``mem`` operand backwards through
+    producers must reach a mem-typed *source* — a continuation parameter
+    or ``bottom`` — crossing only legitimate thread links: a store, the
+    index-0 extract of another memory op's result pair, or a component
+    of a reassembled ``(mem, value)`` tuple (the rebuild fallback when
+    the sibling value may trap).  Anything else — a mem-typed select, a
+    dynamic extract, a value smuggled into the thread by a bad rewrite —
+    means an effect got detached from the order the token encodes.
+    The memory optimizer (:mod:`repro.transform.mem_opt`) relinks
+    threads wholesale, which is exactly what this check keeps honest
+    under ``verify_each_pass``.
+    """
+    verdicts: dict[Def, bool] = {}
+
+    def thread_ok(mem: Def) -> bool:
+        chain: list[Def] = []
+        cur = mem
+        while True:
+            cached = verdicts.get(cur)
+            if cached is not None:
+                verdict = cached
+                break
+            chain.append(cur)
+            d = _peel(cur)
+            if isinstance(d, (Param, Bottom)):
+                verdict = True
+                break
+            if isinstance(d, Store):
+                cur = d.mem
+                continue
+            if isinstance(d, Extract) and isinstance(d.index, Literal):
+                agg = _peel(d.agg)
+                if (isinstance(agg, (Load, Enter, Alloc))
+                        and d.index.value == 0):
+                    cur = agg.mem
+                    continue
+                if (isinstance(agg, TupleVal)
+                        and d.index.value < len(agg.ops)):
+                    cur = agg.op(d.index.value)
+                    continue
+            verdict = False
+            break
+        for link in chain:
+            verdicts[link] = verdict
+        return verdict
+
+    for d in _reachable_defs(world, roots=_rooted_continuations(world)):
+        if isinstance(d, (Load, Store, Enter, Alloc)):
+            if not thread_ok(d.mem):
+                raise VerifyError(
+                    f"{d.unique_name()}: mem operand "
+                    f"{d.mem.unique_name()} does not reach a well-formed "
+                    f"effect thread"
+                )
 
 
 # ---------------------------------------------------------------------------

@@ -976,7 +976,7 @@ class World:
             )
         if isinstance(op, Load):
             mem, value = self.load(*new_ops)
-            return self._reassemble_pair(op, mem, value)
+            return self._reassemble_pair(op, mem, value, new_ops[1])
         if isinstance(op, Store):
             return self.store(*new_ops)
         if isinstance(op, Lea):
@@ -993,14 +993,23 @@ class World:
             return self.hlt(*new_ops)
         raise AssertionError(f"rebuild: unhandled primop {type(op).__name__}")
 
-    def _reassemble_pair(self, op: PrimOp, mem: Def, value: Def) -> Def:
+    def _reassemble_pair(self, op: PrimOp, mem: Def, value: Def,
+                         ptr: Def) -> Def:
         """Pack a folded (mem, value) result back into a tuple-typed def.
 
         ``rebuild`` must return something of ``op.type``; when a load was
         folded away we re-tuple the components (extracts of this tuple
-        fold right back to the components).
+        fold right back to the components).  That dissolution is only
+        guaranteed when both halves are discardable siblings — a
+        trapping store value blocks the extract folds and would leave a
+        mem token stranded inside a live tuple, which no backend can
+        express.  In that case rebuild the raw load instead; it is
+        merely unfolded, not wrong.
         """
         if isinstance(mem, Extract) and isinstance(value, Extract) \
                 and mem.agg is value.agg:
             return mem.agg
-        return self.tuple_((mem, value))
+        if self._can_discard(mem) and self._can_discard(value):
+            return self.tuple_((mem, value))
+        key = (Load, op.type, self._ops_key((mem, ptr)), ())
+        return self._unify(key, lambda: Load(self, op.type, mem, ptr))

@@ -20,6 +20,12 @@ the worker that found the divergence.
 is compiled a second time with analysis caching flipped and the printed
 IR must be byte-identical (see ``OracleConfig.check_cache``).
 
+``--mem-heavy`` switches generation to the memory-heavy profile
+(buffers always present, stores and loads weighted up, aliasing index
+pairs, stores on branch arms, loads in loops).  The ``memopt(static)``
+stage — recompile with ``mem_opt`` off, require byte-identical
+observations — runs by default; ``--no-memopt`` is the escape hatch.
+
 ``--case-timeout S`` bounds the wall-clock a single seed may take
 (generation + all oracle paths); a timed-out seed is recorded and
 reported in the summary but does not count as a divergence.
@@ -74,6 +80,14 @@ def _parse_args(argv):
                         help="differentially check the analysis cache: "
                              "recompile each program with caching "
                              "flipped and require identical IR")
+    parser.add_argument("--no-memopt", action="store_true",
+                        help="skip the memopt(static) differential "
+                             "stage (recompile with mem_opt off and "
+                             "require identical observations)")
+    parser.add_argument("--mem-heavy", action="store_true",
+                        help="use the memory-heavy generator profile "
+                             "(more buffers, stores, aliasing index "
+                             "pairs, loads in loops)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimizing them")
     parser.add_argument("--corpus", default="tests/corpus",
@@ -171,13 +185,17 @@ def _campaign_case(item):
                           run_pgo=not args.no_pgo,
                           verify_each_pass=not args.no_verify,
                           check_cache=args.cache_check,
+                          check_memopt=not args.no_memopt,
                           record={})
     result = {"seed": seed, "status": "ok", "record": config.record}
+    mem_heavy = getattr(args, "mem_heavy", False)
     try:
         with deadline(args.case_timeout, what=f"seed {seed}"):
-            prog = generate_program(seed,
-                                    GenConfig(expr_only=True) if expr_only
-                                    else None)
+            prog = generate_program(
+                seed,
+                GenConfig(expr_only=True) if expr_only
+                else GenConfig(mem_heavy=True) if mem_heavy
+                else None)
             failure = run_oracle(prog, config)
     except DeadlineExceeded:
         result["status"] = "timeout"

@@ -497,6 +497,13 @@ class GenConfig:
     pe_calls: bool = True       # sprinkle `@` force-PE call markers
     allow_traps: bool = False   # unguarded / and % (interp/VM-only configs)
     expr_only: bool = False     # nested-CPS-compatible pure expressions
+    # Memory-heavy profile (``--mem-heavy``): the entry always creates
+    # two buffers and opens with a pair of stores through potentially
+    # aliasing indices; statement and expression rolls are re-weighted
+    # toward stores, loads, store-pairs on both branch arms and loads
+    # inside loops — the constructs the alias analysis and mem_opt pass
+    # have to judge.
+    mem_heavy: bool = False
 
 
 @dataclass
@@ -615,6 +622,12 @@ class Gen:
 
     def _int_expr(self, depth: int, ctx: _Ctx):
         r = self.rng
+        if self.config.mem_heavy:
+            heavy_bufs = [name for name, vt, _m in ctx.env
+                          if vt == ("buf", I64)]
+            if heavy_bufs and r.random() < 0.4:
+                return Index(I64, r.choice(heavy_bufs),
+                             self.expr(I64, depth - 1, ctx))
         roll = r.random()
         callables = [f for f in ctx.callables if f.ret == I64]
         if ctx.rec is not None and ctx.rec_budget > 0 and roll < 0.35:
@@ -703,12 +716,39 @@ class Gen:
         mut_scalars = [(name, vt) for name, vt, m in ctx.env
                        if m and vt in (I64, F64)]
         buf_vars = [name for name, vt, _m in ctx.env if vt == ("buf", I64)]
+        if cfg.mem_heavy and buf_vars:
+            mroll = r.random()
+            if mroll < 0.12 and block_depth > 0:
+                # A store on *both* arms of a branch to the same buffer
+                # and index expression: a Must-aliasing pair across the
+                # join, which forwarding must refuse to cross.
+                buf = r.choice(buf_vars)
+                index = self.expr(I64, 1, ctx)
+                cond = self._bool_expr(cfg.max_depth - 1, ctx)
+                return IfS(cond,
+                           (StoreS(buf, index, self.expr(I64, 2, ctx)),),
+                           (StoreS(buf, index, self.expr(I64, 2, ctx)),))
+            if mroll < 0.40:
+                return StoreS(r.choice(buf_vars),
+                              self.expr(I64, 1, ctx),
+                              self.expr(I64, cfg.max_depth - 1, ctx))
+            if mroll < 0.55:
+                name = self.fresh("v")
+                init = Index(I64, r.choice(buf_vars), self.expr(I64, 1, ctx))
+                ctx.env.append((name, I64, False))
+                return LetS(name, I64, False, init)
         if cfg.loops and block_depth > 0 and roll < 0.22:
             if r.random() < 0.5:
                 var = self.fresh("i")
                 bound = self.expr(I64, 1, ctx)
                 body_ctx = replace_env(ctx, ctx.env + [(var, I64, False)])
                 body = self.stmts(body_ctx, r.randint(1, 2), block_depth - 1)
+                if cfg.mem_heavy and buf_vars:
+                    # a load keyed to the induction variable, so every
+                    # iteration reads through the loop header's mem param
+                    body = body + (LetS(self.fresh("v"), I64, False,
+                                        Index(I64, r.choice(buf_vars),
+                                              Var(I64, var))),)
                 return ForS(var, bound, body)
             ctr = self.fresh("w")
             bound = self.expr(I64, 1, ctx)
@@ -855,7 +895,20 @@ class Gen:
         env = [(n, t, False) for n, t in params]
         ctx = _Ctx(env=env, callables=list(helpers), in_entry=True)
         stmts: tuple = ()
-        if cfg.buffers and r.random() < 0.5:
+        if cfg.mem_heavy:
+            bufs = []
+            for _ in range(2):
+                buf = self.fresh("buf")
+                env.append((buf, ("buf", I64), False))
+                bufs.append(buf)
+            # Two stores through indices the alias analysis cannot
+            # separate statically (both derive from the same parameter):
+            # a May-aliasing pair is present in every program.
+            stmts = tuple(NewBufS(b) for b in bufs) + (
+                StoreS(bufs[0], Var(I64, "a"), self.expr(I64, 2, ctx)),
+                StoreS(r.choice(bufs), Var(I64, "a"), self.expr(I64, 2, ctx)),
+            )
+        elif cfg.buffers and r.random() < 0.5:
             buf = self.fresh("buf")
             env.append((buf, ("buf", I64), False))
             stmts = (NewBufS(buf),)

@@ -125,6 +125,12 @@ class OracleConfig:
     # to agree — any divergence is a stale-cache bug.
     cache_analyses: bool = True
     check_cache: bool = False
+    # ``check_memopt`` (on by default) adds a ``memopt(static)`` stage:
+    # compile a second time with ``mem_opt`` flipped off and require the
+    # interpreter observations — results, traps, print streams — to be
+    # byte-identical.  Any divergence is an unsound alias verdict or a
+    # trap/effect dropped by forwarding/DSE.
+    check_memopt: bool = True
     # The native tier: emit hardened C, build a .so with the system cc
     # (repro.native discovery: REPRO_CC, cc, gcc, clang), run it
     # in-process via ctypes and compare result + trap kind + prints.
@@ -156,14 +162,18 @@ class OracleConfig:
 
 
 def _options(config: OracleConfig,
-             cache: bool | None = None) -> OptimizeOptions:
+             cache: bool | None = None,
+             mem_opt: bool | None = None) -> OptimizeOptions:
     # strict: the oracle *wants* fail-fast.  The production default
     # quarantines a crashing/corrupting pass and compiles around it,
     # which would hide exactly the bugs differential fuzzing hunts.
-    return OptimizeOptions(verify_each_pass=config.verify_each_pass,
-                           strict=True,
-                           cache_analyses=(config.cache_analyses
-                                           if cache is None else cache))
+    options = OptimizeOptions(verify_each_pass=config.verify_each_pass,
+                              strict=True,
+                              cache_analyses=(config.cache_analyses
+                                              if cache is None else cache))
+    if mem_opt is not None:
+        options.mem_opt = mem_opt
+    return options
 
 
 def _trap_kind(exc: BaseException) -> str:
@@ -380,6 +390,27 @@ def run_oracle(prog: FuzzProgram,
         if failure is not None:
             return failure
         ran("cache(static)")
+
+    # --- memory optimization differential ------------------------------
+    # ``world_opt`` above ran with mem_opt on (the default) and already
+    # matched the unoptimized reference; compiling again with mem_opt
+    # off and matching the same reference pins on-vs-off byte equality
+    # of results, traps and print streams.
+    if config.check_memopt:
+        try:
+            world_nomem = compile_source(
+                source, options=_options(config, mem_opt=False))
+        except Exception as exc:
+            return FuzzFailure(prog.seed, "memopt(static)",
+                               f"mem_opt-off compile failed: {exc}",
+                               source=source)
+        failure = _compare("memopt(static)", prog, reference,
+                           _run_interp(world_nomem, prog.entry,
+                                       prog.arg_sets,
+                                       config.interp_max_steps))
+        if failure is not None:
+            return failure
+        ran("memopt(static)")
 
     compiled_static = None
     if config.run_vm:

@@ -82,6 +82,12 @@ class OptimizeOptions:
     pgo_inline_budget: int = 32
     pgo_loop_min_count: int = 32
     pgo_loop_budget: int = 16
+    # Effect-aware memory optimization (store-to-load forwarding,
+    # redundant-load CSE, dead-store elimination over the alias
+    # lattice).  The fuzz oracle's ``memopt(static)`` stage checks the
+    # on/off behaviour differentially.
+    mem_opt: bool = True
+    mem_opt_budget: int = 2048
     # Pass-level checking: run the full IR verifier (structural checks,
     # use-list consistency, scope containment) after every phase, and
     # assert control-flow form at pipeline exit.  A failure raises
@@ -438,6 +444,7 @@ def _run_static_rounds(world: World, options: OptimizeOptions,
     from .closure_elim import eliminate_closures
     from .inliner import inline_small_functions
     from .lambda_dropping import drop_invariant_params
+    from .mem_opt import optimize_memory
     from .partial_eval import partial_eval
 
     passes = (
@@ -452,6 +459,15 @@ def _run_static_rounds(world: World, options: OptimizeOptions,
         ("lambda_drop", "dropped",
          lambda: drop_invariant_params(world, budget=options.drop_budget)),
     )
+    if options.mem_opt:
+        # After the mangling passes: inlining/closure elimination merge
+        # chain segments (a call boundary in round N is a straight-line
+        # segment in round N+1), so memory optimization keeps finding
+        # new forwardable loads as the rounds specialize.
+        passes = passes + (
+            ("mem_opt", "rewrites",
+             lambda: optimize_memory(world, budget=options.mem_opt_budget)),
+        )
 
     for _ in range(options.max_rounds):
         stats.rounds += 1

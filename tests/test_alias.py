@@ -1,0 +1,151 @@
+"""Hypothesis properties for the alias analysis (``core/alias.py``).
+
+The fuzz oracle checks mem_opt end to end; this file pins the *lattice*
+itself against an independent model — the graph interpreter's runtime
+addresses.  Covered, per the ISSUE: Must implies equal runtime address
+(and Not implies distinct), symmetry, join monotonicity (coarsening a
+literal index to a dynamic one never manufactures separation), and the
+conservatism of escaped pointers (a leaked pointer is May against
+everything, whatever its root says).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.backend.interp import Interpreter, MemToken
+from repro.core import types as ct
+from repro.core.alias import MAY, MUST, NOT, AliasAnalysis
+from repro.core.world import World
+
+RET_I64 = ct.fn_type((ct.MEM, ct.I64))
+ARR8 = ct.definite_array_type(ct.I64, 8)
+
+# A pointer descriptor: (base index, component).  Component ``None`` is
+# the base itself; ``("lit", k)`` a literal lea; ``("var", n)`` a lea
+# through the n-th integer parameter (a dynamic index).
+_COMPONENT = st.one_of(
+    st.none(),
+    st.tuples(st.just("lit"), st.integers(0, 7)),
+    st.tuples(st.just("var"), st.integers(0, 1)),
+)
+_PTR = st.tuples(st.integers(0, 2), _COMPONENT)
+
+
+def _build():
+    """Two stack arrays and one heap array in one function's scope."""
+    world = World("alias_prop")
+    fn = world.continuation(ct.fn_type((ct.MEM, ct.I64, ct.I64, RET_I64)),
+                            "f")
+    mem0, i, j, ret = fn.params
+    mem1, frame = world.enter(mem0)
+    a = world.slot(ARR8, frame, "a")
+    b = world.slot(ARR8, frame, "b")
+    mem2, h = world.alloc(mem1, ARR8)
+    world.jump(fn, ret, (mem2, world.literal(ct.I64, 0)))
+    return world, (mem0, i, j), (a, b, h)
+
+
+def _mk(world: World, bases, params, descriptor):
+    base_index, component = descriptor
+    base = bases[base_index]
+    if component is None:
+        return base
+    kind, value = component
+    if kind == "lit":
+        return world.lea(base, value)
+    return world.lea(base, params[value])
+
+
+class TestLatticeProperties:
+    @given(_PTR, _PTR)
+    @settings(max_examples=80, deadline=None)
+    def test_symmetry(self, pd, qd):
+        world, (mem0, i, j), bases = _build()
+        p = _mk(world, bases, (i, j), pd)
+        q = _mk(world, bases, (i, j), qd)
+        aa = AliasAnalysis(world)
+        assert aa.alias(p, q) == aa.alias(q, p)
+
+    @given(_PTR)
+    @settings(max_examples=30, deadline=None)
+    def test_reflexivity(self, pd):
+        world, (mem0, i, j), bases = _build()
+        p = _mk(world, bases, (i, j), pd)
+        assert AliasAnalysis(world).alias(p, p) == MUST
+
+    @given(_PTR, _PTR, st.integers(0, 7), st.integers(0, 7))
+    @settings(max_examples=100, deadline=None)
+    def test_runtime_addresses_respect_verdicts(self, pd, qd, iv, jv):
+        """Must => the two pointers evaluate to the same runtime
+        address; Not => they never can.  (May claims nothing.)"""
+        world, (mem0, i, j), bases = _build()
+        p = _mk(world, bases, (i, j), pd)
+        q = _mk(world, bases, (i, j), qd)
+        verdict = AliasAnalysis(world).alias(p, q)
+        interp = Interpreter(world)
+        env = {mem0: MemToken(), i: iv, j: jv}
+        cache: dict = {}
+        vp = interp._eval(p, env, cache)
+        vq = interp._eval(q, env, cache)
+        if verdict == MUST:
+            assert vp == vq
+        elif verdict == NOT:
+            assert vp != vq
+
+    @given(st.integers(0, 2), st.integers(0, 7), _PTR)
+    @settings(max_examples=80, deadline=None)
+    def test_join_monotonicity(self, base_index, lit, qd):
+        """Coarsening a literal index to a dynamic one moves the verdict
+        only *up* the lattice toward May — it can never manufacture a
+        Not that the precise pointer did not have, nor a Must against a
+        different def."""
+        world, (mem0, i, j), bases = _build()
+        p_lit = world.lea(bases[base_index], lit)
+        p_dyn = world.lea(bases[base_index], i)
+        q = _mk(world, bases, (i, j), qd)
+        aa = AliasAnalysis(world)
+        if aa.alias(p_dyn, q) == NOT:
+            assert aa.alias(p_lit, q) == NOT
+        if q is not p_dyn:
+            assert aa.alias(p_dyn, q) != MUST
+
+
+class TestEscapeConservatism:
+    @given(st.integers(0, 7), st.integers(0, 7))
+    @settings(max_examples=40, deadline=None)
+    def test_leaked_pointer_is_may_against_everything(self, ka, kb):
+        """A slot pointer passed as a jump argument escapes; after the
+        leak every verdict involving its root degrades to May — even
+        against a distinct slot that would otherwise be Not."""
+        world = World("alias_escape")
+        sink_t = ct.fn_type((ct.MEM, ct.ptr_type(ARR8)))
+        fn = world.continuation(ct.fn_type((ct.MEM, sink_t)), "f")
+        mem0, sink = fn.params
+        mem1, frame = world.enter(mem0)
+        s1 = world.slot(ARR8, frame, "s1")
+        s2 = world.slot(ARR8, frame, "s2")
+        s3 = world.slot(ARR8, frame, "s3")
+        world.jump(fn, sink, (mem1, s1))  # s1 leaks into the continuation
+        aa = AliasAnalysis(world)
+        assert aa.escaped(s1)
+        assert not aa.escaped(s2)
+        assert aa.alias(s1, s2) == MAY
+        assert aa.alias(world.lea(s1, ka), world.lea(s2, kb)) == MAY
+        # Pointers whose roots did not leak keep their precise verdicts.
+        assert aa.alias(world.lea(s2, ka), world.lea(s3, kb)) == NOT
+
+    def test_frame_escape_taints_every_slot(self):
+        """A frame used as anything but a slot operand takes all its
+        slots with it: slot-vs-slot verdicts degrade to May."""
+        world = World("alias_frame_escape")
+        sink_t = ct.fn_type((ct.MEM, ct.FRAME))
+        fn = world.continuation(ct.fn_type((ct.MEM, sink_t)), "f")
+        mem0, sink = fn.params
+        mem1, frame = world.enter(mem0)
+        s1 = world.slot(ARR8, frame, "s1")
+        s2 = world.slot(ARR8, frame, "s2")
+        world.jump(fn, sink, (mem1, frame))  # the whole frame leaks
+        aa = AliasAnalysis(world)
+        assert aa.escaped(s1) and aa.escaped(s2)
+        assert aa.alias(s1, s2) == MAY

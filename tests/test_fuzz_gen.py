@@ -96,6 +96,51 @@ class TestFeatureKnobs:
         assert saw_lambda
 
 
+class TestMemHeavyMode:
+    @staticmethod
+    def _has_memory_ops(prog: FuzzProgram) -> bool:
+        from repro.fuzz.gen import Index, StoreS, _expr_children, _stmt_exprs
+
+        def expr_has(e) -> bool:
+            if isinstance(e, Index):
+                return True
+            return any(expr_has(c) for c in _expr_children(e))
+
+        for fn in prog.fns:
+            for stmt in _walk_stmts(fn.stmts):
+                if isinstance(stmt, StoreS):
+                    return True
+                if any(expr_has(e) for e in _stmt_exprs(stmt)):
+                    return True
+            if expr_has(fn.result):
+                return True
+        return False
+
+    def test_corpus_is_memory_dense(self):
+        """A mem-heavy corpus must contain memory ops in >90% of
+        programs — the whole point of the profile is to feed the alias
+        analysis and mem_opt judgement calls, not arithmetic."""
+        n = 100
+        with_mem = sum(
+            self._has_memory_ops(generate_program(seed,
+                                                  GenConfig(mem_heavy=True)))
+            for seed in range(n))
+        assert with_mem > 0.9 * n
+
+    def test_mem_heavy_is_part_of_the_key(self):
+        default = generate_program(3).render()
+        heavy = generate_program(3, GenConfig(mem_heavy=True)).render()
+        assert default != heavy
+
+    def test_mem_heavy_programs_compile_and_run(self):
+        for seed in range(10):
+            prog = generate_program(seed, GenConfig(mem_heavy=True))
+            world = compile_source(prog.render(), optimize=False)
+            interp = Interpreter(world)
+            for args in prog.arg_sets:
+                assert isinstance(interp.call(prog.entry, *args), int)
+
+
 class TestExprOnlyMode:
     def test_renders_and_matches_sexpr(self):
         from repro.baselines.nested_cps.convert import cps_convert_expr

@@ -1,0 +1,197 @@
+"""Hand-written edge cases for the memory optimizer (``transform/mem_opt``).
+
+Each test builds the IR shape directly (same idiom as ``helpers.py``)
+and pins one soundness gate of the pass: trap preservation under DSE,
+the call/join wall for forwarding, Must-aliasing store pairs across a
+branch join, and escape-driven degradation of Not to May.  The same
+four shapes exist as source-level repros under ``tests/corpus/`` and
+are replayed through the full differential oracle by
+``test_trap_regressions.py::test_corpus_replay``.
+"""
+
+from __future__ import annotations
+
+from repro.backend.interp import Interpreter
+from repro.core import types as ct
+from repro.core.alias import MAY, NOT, AliasAnalysis, world_memory_ops
+from repro.core.primops import Load, Store
+from repro.core.verify import verify
+from repro.core.world import World
+from repro.transform.mem_opt import optimize_memory
+
+RET_I64 = ct.fn_type((ct.MEM, ct.I64))
+FN_I64 = ct.fn_type((ct.MEM, ct.I64, RET_I64))
+FN_I64x2 = ct.fn_type((ct.MEM, ct.I64, ct.I64, RET_I64))
+
+
+def _loads_and_stores(world):
+    ops = world_memory_ops(world)
+    return ([op for op in ops if isinstance(op, Load)],
+            [op for op in ops if isinstance(op, Store)])
+
+
+def test_trapping_value_between_two_stores_blocks_dse():
+    """store s (x/y); store s 0 — the first store is Must-overwritten,
+    but removing it would let cleanup drop the division and with it the
+    div-by-zero trap.  ``may_trap`` gates it; both stores survive."""
+    world = World("dse_trap")
+    fn = world.continuation(FN_I64x2, "f")
+    world.make_external(fn)
+    mem, x, y, ret = fn.params
+    mem1, frame = world.enter(mem)
+    s = world.slot(ct.I64, frame, "s")
+    quotient = world.div(x, y)  # may trap: y could be zero
+    st1 = world.store(mem1, s, quotient)
+    st2 = world.store(st1, s, world.literal(ct.I64, 0))
+    mem2, value = world.load(st2, s)
+    world.jump(fn, ret, (mem2, value))
+
+    assert world.may_trap(quotient)
+    stats = optimize_memory(world)
+    verify(world, full=True)
+    assert stats["dead_stores"] == 0
+    _loads, stores = _loads_and_stores(world)
+    assert len(stores) == 2
+
+
+def test_discardable_value_between_two_stores_is_dse_candidate():
+    """The control for the trap gate: the same shape with a
+    non-trapping doomed value loses the first store.  (Construction
+    folding would catch this same-token shape at build time; disable it
+    so the pass itself is what is being tested.)"""
+    world = World("dse_clean", folding=False)
+    fn = world.continuation(FN_I64x2, "f")
+    world.make_external(fn)
+    mem, x, y, ret = fn.params
+    mem1, frame = world.enter(mem)
+    s = world.slot(ct.I64, frame, "s")
+    st1 = world.store(mem1, s, world.add(x, y))
+    st2 = world.store(st1, s, world.literal(ct.I64, 0))
+    mem2, value = world.load(st2, s)
+    world.jump(fn, ret, (mem2, value))
+
+    stats = optimize_memory(world)
+    verify(world, full=True)
+    assert stats["dead_stores"] == 1
+    _loads, stores = _loads_and_stores(world)
+    assert len(stores) == 1
+
+
+def test_call_boundary_blocks_forwarding():
+    """A load whose chain starts at a continuation's mem parameter —
+    the shape every call return and join block has — must not forward
+    from a store on the other side of the wall: the callee may have
+    overwritten the cell."""
+    world = World("call_wall")
+    fn = world.continuation(FN_I64, "f")
+    world.make_external(fn)
+    mem, x, ret = fn.params
+    mem1, frame = world.enter(mem)
+    s = world.slot(ct.I64, frame, "s")
+    st = world.store(mem1, s, x)
+    after = world.basic_block((ct.MEM,), "after_call")
+    world.jump(fn, after, (st,))
+    mem2, value = world.load(after.params[0], s)
+    world.jump(after, ret, (mem2, value))
+
+    stats = optimize_memory(world)
+    verify(world, full=True)
+    assert stats["forwarded"] == 0 and stats["load_cse"] == 0
+    loads, stores = _loads_and_stores(world)
+    assert len(loads) == 1 and len(stores) == 1
+
+
+def test_must_aliasing_store_pair_across_branch_join_stays():
+    """store s 1 on one arm, store s 2 on the other, load s at the
+    join: the two stores Must-alias but live on different paths — the
+    join's mem parameter walls off both forwarding and DSE."""
+    world = World("branch_join")
+    fn = world.continuation(FN_I64, "f")
+    world.make_external(fn)
+    mem, x, ret = fn.params
+    mem1, frame = world.enter(mem)
+    s = world.slot(ct.I64, frame, "s")
+    then_bb = world.basic_block((ct.MEM,), "then")
+    else_bb = world.basic_block((ct.MEM,), "else")
+    join = world.basic_block((ct.MEM,), "join")
+    cond = world.lt(x, world.literal(ct.I64, 0))
+    world.jump(fn, world.branch(), (mem1, cond, then_bb, else_bb))
+    world.jump(then_bb, join,
+               (world.store(then_bb.params[0], s, world.literal(ct.I64, 1)),))
+    world.jump(else_bb, join,
+               (world.store(else_bb.params[0], s, world.literal(ct.I64, 2)),))
+    mem2, value = world.load(join.params[0], s)
+    world.jump(join, ret, (mem2, value))
+
+    stats = optimize_memory(world)
+    verify(world, full=True)
+    assert stats["forwarded"] == 0 and stats["dead_stores"] == 0
+    loads, stores = _loads_and_stores(world)
+    assert len(loads) == 1 and len(stores) == 2
+
+    interp = Interpreter(world)
+    assert interp.call("f", -5) == 1
+    assert interp.call("f", 5) == 2
+
+
+def test_frame_escape_degrades_not_to_may_and_blocks_the_hop():
+    """store s2 10; store s1 20; load s2 — with a private frame the
+    middle store Not-aliases and the load forwards 10.  Once the frame
+    is passed to a continuation, s1-vs-s2 is May and the hop is
+    illegal: the load must survive."""
+    def build(leak_frame: bool):
+        world = World("frame_escape")
+        sink_t = ct.fn_type((ct.MEM, ct.FRAME, ct.I64))
+        fn_t = ct.fn_type((ct.MEM, ct.I64, sink_t))
+        fn = world.continuation(fn_t, "f")
+        world.make_external(fn)
+        mem, x, sink = fn.params
+        mem1, frame = world.enter(mem)
+        s1 = world.slot(ct.I64, frame, "s1")
+        s2 = world.slot(ct.I64, frame, "s2")
+        st1 = world.store(mem1, s2, world.literal(ct.I64, 10))
+        st2 = world.store(st1, s1, world.literal(ct.I64, 20))
+        mem2, value = world.load(st2, s2)
+        if leak_frame:
+            world.jump(fn, sink, (mem2, frame, value))
+        else:
+            bottom_frame = world.bottom(ct.FRAME)
+            world.jump(fn, sink, (mem2, bottom_frame, value))
+        return world, s1, s2
+
+    world, s1, s2 = build(leak_frame=False)
+    assert AliasAnalysis(world).alias(s1, s2) == NOT
+    stats = optimize_memory(world)
+    verify(world, full=True)
+    assert stats["forwarded"] == 1
+
+    world, s1, s2 = build(leak_frame=True)
+    assert AliasAnalysis(world).alias(s1, s2) == MAY
+    stats = optimize_memory(world)
+    verify(world, full=True)
+    assert stats["forwarded"] == 0
+    loads, _stores = _loads_and_stores(world)
+    assert len(loads) == 1
+
+
+def test_store_to_load_forwarding_and_dead_load_retire():
+    """The positive path: store s x; load s forwards x, the retired
+    load disappears, and the store stays (it is the last write).
+    Folding is off — with it on, this same-token shape never even
+    builds a Load — so the pass's own forwarding is what runs."""
+    world = World("forward", folding=False)
+    fn = world.continuation(FN_I64, "f")
+    world.make_external(fn)
+    mem, x, ret = fn.params
+    mem1, frame = world.enter(mem)
+    s = world.slot(ct.I64, frame, "s")
+    st = world.store(mem1, s, x)
+    mem2, value = world.load(st, s)
+    world.jump(fn, ret, (mem2, value))
+
+    stats = optimize_memory(world)
+    verify(world, full=True)
+    assert stats["forwarded"] == 1
+    loads, stores = _loads_and_stores(world)
+    assert len(loads) == 0 and len(stores) == 1
+    assert Interpreter(world).call("f", 42) == 42

@@ -13,7 +13,7 @@ from repro.programs.suite import ALL_PROGRAMS
 from repro.transform.pipeline import OptimizeOptions, optimize
 
 STATIC_PHASES = {"partial_eval", "closure_elim", "inline", "lambda_drop",
-                 "cleanup"}
+                 "mem_opt", "cleanup"}
 
 
 def _fresh_world(source: str) -> World:
@@ -37,8 +37,8 @@ def test_stats_details_record_every_phase(program):
     phases = stats.phases()
     # Every static phase shows up, interleaved with cleanups.
     assert STATIC_PHASES <= set(phases)
-    # One leading cleanup + 8 records per round (4 passes + 4 cleanups).
-    assert len(phases) == 1 + 8 * stats.rounds
+    # One leading cleanup + 10 records per round (5 passes + 5 cleanups).
+    assert len(phases) == 1 + 10 * stats.rounds
     # Each record carries that pass's counters, as a plain dict.
     for phase, detail in stats.details:
         assert isinstance(detail, dict)
