@@ -171,6 +171,113 @@ def test_f3_suite_cache(program, report):
               frontend, uncached, cached, speedup)
 
 
+F3B_SIZES = [8, 32]
+F3B_EDITS = 24
+_f3b_totals: dict[int, tuple[float, float]] = {}
+
+
+def _schedule_fingerprint(schedule):
+    return {block.gid: [op.gid for op in schedule.ops_in(block)]
+            for block in schedule.blocks()}
+
+
+@pytest.mark.parametrize("size", F3B_SIZES)
+def test_f3b_long_lived_worker(size, report):
+    """F3b — the serve-daemon scenario: one warm world, repeated small
+    edits, full re-analysis demanded after each.
+
+    The warm arm keeps the world's analysis manager alive across edits,
+    so each edit re-floods only the touched entry and every other
+    scope/CFG/schedule is served from cache.  The cold arm builds a
+    fresh manager per edit — the recompute-per-entry behaviour this PR
+    replaces.  Both must agree on every schedule after every edit.
+    """
+    from repro.core.analyses import AnalysisManager
+    from repro.core.primops import Literal
+    from repro.core.types import I64
+
+    source = generate_program(size)
+    # The freshly emitted module keeps its N functions as separate
+    # top-level entries (full optimization specializes the whole chain
+    # into one nest, which would collapse the per-entry granularity the
+    # scenario is about).
+    world = _emit(source)
+    manager = world.analyses
+    entries = [c for c in manager.top_level() if c.has_body()]
+    assert len(entries) > size / 2, "chain functions did not stay top-level"
+
+    edit_sites = [
+        member
+        for entry in entries
+        for member in manager.scope(entry).continuations()
+        if member.has_body()
+        and any(isinstance(arg, Literal) and arg.type is I64
+                for arg in member.args)
+    ]
+    if not edit_sites:
+        pytest.skip("no literal jump argument to edit")
+
+    def apply_edit(step: int):
+        """Toggle the low bit of some member's literal jump argument."""
+        member = edit_sites[step % len(edit_sites)]
+        for index, arg in enumerate(member.args):
+            if isinstance(arg, Literal) and arg.type is I64:
+                member.update_arg(
+                    index, world.literal(I64, int(arg.value) ^ 1))
+                return
+
+    for entry in entries:  # prime the warm caches
+        manager.schedule(entry)
+
+    warm_total = cold_total = 0.0
+    for step in range(F3B_EDITS):
+        apply_edit(step)
+        begin = time.perf_counter()
+        warm = [manager.schedule(entry) for entry in entries]
+        warm_total += time.perf_counter() - begin
+
+        begin = time.perf_counter()
+        fresh = AnalysisManager(world)
+        cold = [fresh.schedule(entry) for entry in entries]
+        cold_total += time.perf_counter() - begin
+
+        for w, c in zip(warm, cold):
+            assert (_schedule_fingerprint(w)
+                    == _schedule_fingerprint(c)), \
+                "warm (patched) schedule diverged from recompute"
+
+    _f3b_totals[size] = (warm_total, cold_total)
+    table = _table(report)
+    table.row(f"f3b-warm-{size}", len(source.splitlines()),
+              len(entries), F3B_EDITS,
+              "", cold_total, warm_total, cold_total / warm_total)
+    assert warm_total * 2 < cold_total, (
+        f"warm re-analysis ({warm_total:.4f}s over {F3B_EDITS} edits) "
+        f"is not clearly cheaper than per-edit recompute "
+        f"({cold_total:.4f}s)")
+
+
+def test_f3b_sublinear(report):
+    """Warm per-edit cost must scale sub-linearly in world size: the
+    repair is proportional to the touched entry, while the cold baseline
+    re-walks every scope."""
+    table = _table(report)
+    if len(_f3b_totals) < 2:
+        pytest.skip("f3b rows incomplete")
+    small, large = sorted(_f3b_totals)
+    warm_ratio = _f3b_totals[large][0] / _f3b_totals[small][0]
+    cold_ratio = _f3b_totals[large][1] / _f3b_totals[small][1]
+    table.note(f"f3b-warm rows: {F3B_EDITS} small edits against one "
+               f"long-lived world; uncached_s = fresh AnalysisManager "
+               f"per edit, cached_s = warm manager patched in place. "
+               f"warm growth {small}->{large}: {warm_ratio:.2f}x vs "
+               f"cold {cold_ratio:.2f}x")
+    assert warm_ratio < cold_ratio, (
+        f"warm re-analysis grows as fast as recompute "
+        f"({warm_ratio:.2f}x vs {cold_ratio:.2f}x "
+        f"from chain-{small} to chain-{large})")
+
+
 def test_f3_cache_geomean(report):
     table = _table(report)
     assert len(_suite_speedups) == len(ALL_PROGRAMS)

@@ -24,6 +24,20 @@ Instructions are tuples ``(opcode, ...)``; the dispatch loop is a plain
 retired instructions — the architecture-neutral "cycles" metric used in
 the experiments alongside wall-clock time.
 
+Dispatch acceleration: each :class:`VMFunction` lazily derives a
+*fused* twin of its code array (:meth:`VMFunction.fused`) in which hot
+adjacent pairs — compare-and-branch, address-and-access, back-to-back
+arithmetic, move-and-jump — are collapsed into superinstructions, each
+retiring *two* source instructions per dispatch.  Fusion is purely a
+dispatch-count optimization and is transparent by construction: pc
+numbering is unchanged (the second instruction of a fused pair stays in
+place, so it remains a valid jump target), every intermediate register
+the pair wrote is still written, and ``VM.executed`` still counts
+retired *source* instructions.  The uninstrumented loop runs the fused
+stream; the profiled loop and the disassembly (``VMFunction.sites``,
+serve artifacts, PGO site labels) stay on the source stream, whose pcs
+are the stable names everything else refers to.
+
 Profiling (experiment F4): ``VM(program, profile=collector)`` switches
 execution to an *instrumented* dispatch loop that additionally counts
 function entries, call-site executions and taken control-flow edges
@@ -86,7 +100,16 @@ from ..core.types import (
     OP_PRINT_F64,
     OP_PRINT_CHAR,
     OP_TRAP,
-) = range(27)
+    # -- superinstructions: appear only in fused streams, never in
+    # VMFunction.code (codegen does not emit them).
+    OP_ARITH_BR,
+    OP_ARITH_ARITH,
+    OP_LEA_LOAD,
+    OP_LEA_STORE,
+    OP_LEA_CONST_LOAD,
+    OP_LEA_CONST_STORE,
+    OP_MOV_JMP,
+) = range(34)
 
 OPCODE_NAMES = {
     OP_CONST: "const", OP_MOV: "mov", OP_ARITH: "arith", OP_UNOP: "unop",
@@ -98,6 +121,10 @@ OPCODE_NAMES = {
     OP_BR: "br", OP_MATCH: "match", OP_CALL: "call",
     OP_TAILCALL: "tailcall", OP_RET: "ret", OP_PRINT_I64: "print.i64",
     OP_PRINT_F64: "print.f64", OP_PRINT_CHAR: "print.char", OP_TRAP: "trap",
+    OP_ARITH_BR: "arith.br", OP_ARITH_ARITH: "arith.arith",
+    OP_LEA_LOAD: "lea.load", OP_LEA_STORE: "lea.store",
+    OP_LEA_CONST_LOAD: "lea.const.load",
+    OP_LEA_CONST_STORE: "lea.const.store", OP_MOV_JMP: "mov.jmp",
 }
 
 
@@ -269,6 +296,62 @@ def _operand_repr(operand) -> str:
     return repr(operand)
 
 
+def fuse_code(code: list[tuple]) -> list[tuple]:
+    """Derive the fused dispatch stream for one code array.
+
+    Adjacent pairs are collapsed into a superinstruction placed at the
+    *first* pc; the second instruction is left in place, so every
+    source pc remains a valid jump/resume target (a jump into the
+    middle of a pair simply executes the original second instruction).
+    Fall-through from a fused pc skips it with ``pc += 2``.  Handlers
+    execute both halves in order and write every register the pair
+    wrote, so no liveness analysis is needed — fusion can never change
+    observable state, only the number of dispatches.
+    """
+    fused = list(code)
+    pc, last = 0, len(code) - 1
+    while pc < last:
+        a, b = code[pc], code[pc + 1]
+        op_a, op_b = a[0], b[0]
+        if op_a == OP_ARITH:
+            if op_b == OP_BR and b[1] == a[1]:
+                # cmp + branch-on-result: the loop exit test.
+                fused[pc] = (OP_ARITH_BR, a[1], a[2], a[3], a[4],
+                             b[2], b[3])
+                pc += 2
+                continue
+            if op_b == OP_ARITH:
+                fused[pc] = (OP_ARITH_ARITH, a[1], a[2], a[3], a[4],
+                             b[1], b[2], b[3], b[4])
+                pc += 2
+                continue
+        elif op_a == OP_LEA:
+            if op_b == OP_LOAD and b[2] == a[1]:
+                fused[pc] = (OP_LEA_LOAD, a[1], a[2], a[3], a[4], b[1])
+                pc += 2
+                continue
+            if op_b == OP_STORE and b[1] == a[1]:
+                fused[pc] = (OP_LEA_STORE, a[1], a[2], a[3], a[4], b[2])
+                pc += 2
+                continue
+        elif op_a == OP_LEA_CONST:
+            if op_b == OP_LOAD and b[2] == a[1]:
+                fused[pc] = (OP_LEA_CONST_LOAD, a[1], a[2], a[3], b[1])
+                pc += 2
+                continue
+            if op_b == OP_STORE and b[1] == a[1]:
+                fused[pc] = (OP_LEA_CONST_STORE, a[1], a[2], a[3], b[2])
+                pc += 2
+                continue
+        elif op_a == OP_MOV and op_b == OP_JMP:
+            # block-argument copy + edge: the unconditional loop latch.
+            fused[pc] = (OP_MOV_JMP, a[1], a[2], b[1])
+            pc += 2
+            continue
+        pc += 1
+    return fused
+
+
 class VMFunction:
     """One compiled function: flat code array, block starts resolved."""
 
@@ -278,6 +361,7 @@ class VMFunction:
         self.num_results = num_results
         self.num_regs = num_params
         self.code: list[tuple] = []
+        self._fused: list[tuple] | None = None
         # Site metadata for PGO (experiment F4): stable labels mapping VM
         # locations back to Thorin continuations.  ``entry`` is the source
         # continuation's unique name; ``blocks`` maps block-start pcs to
@@ -290,15 +374,23 @@ class VMFunction:
         return reg
 
     def emit(self, *instr) -> int:
+        self._fused = None
         self.code.append(tuple(instr))
         return len(self.code) - 1
 
     def patch(self, index: int, *instr) -> None:
+        self._fused = None
         self.code[index] = tuple(instr)
 
-    def disassemble(self) -> str:
+    def fused(self) -> list[tuple]:
+        """The per-function superinstruction stream (built on demand)."""
+        if self._fused is None:
+            self._fused = fuse_code(self.code)
+        return self._fused
+
+    def disassemble(self, *, fused: bool = False) -> str:
         lines = []
-        for pc, instr in enumerate(self.code):
+        for pc, instr in enumerate(self.fused() if fused else self.code):
             op = OPCODE_NAMES.get(instr[0], str(instr[0]))
             rest = " ".join(_operand_repr(x) for x in instr[1:])
             lines.append(f"  {pc:4d}: {op} {rest}")
@@ -391,7 +483,7 @@ class VM:
         functions = program.functions
         fn = functions[findex]
         regs: list = list(args) + [None] * (fn.num_regs - fn.num_params)
-        code = fn.code
+        code = fn.fused()
         pc = 0
         heap = self.heap
         # call stack: (code, regs, pc_to_resume, ret_dsts)
@@ -407,6 +499,21 @@ class VM:
                     _, dst, f, a, b = instr
                     regs[dst] = f(regs[a], regs[b])
                     pc += 1
+                elif op == OP_ARITH_BR:
+                    _, dst, f, a, b, pc_t, pc_f = instr
+                    value = regs[dst] = f(regs[a], regs[b])
+                    executed += 1  # retires arith + br
+                    if value is None:
+                        raise VMError("branch on undef")
+                    pc = pc_t if value else pc_f
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
+                elif op == OP_ARITH_ARITH:
+                    _, d1, f1, a1, b1, d2, f2, a2, b2 = instr
+                    regs[d1] = f1(regs[a1], regs[b1])
+                    regs[d2] = f2(regs[a2], regs[b2])
+                    executed += 1
+                    pc += 2
                 elif op == OP_BR:
                     _, cond, pc_t, pc_f = instr
                     value = regs[cond]
@@ -417,6 +524,12 @@ class VM:
                         raise VMLimitError("steps", limit)
                 elif op == OP_JMP:
                     pc = instr[1]
+                    if limit is not None and executed > limit:
+                        raise VMLimitError("steps", limit)
+                elif op == OP_MOV_JMP:
+                    regs[instr[1]] = regs[instr[2]]
+                    executed += 1  # retires mov + jmp
+                    pc = instr[3]
                     if limit is not None and executed > limit:
                         raise VMLimitError("steps", limit)
                 elif op == OP_MOV:
@@ -433,6 +546,30 @@ class VM:
                     _, addr, src = instr
                     heap[regs[addr]] = regs[src]
                     pc += 1
+                elif op == OP_LEA_LOAD:
+                    _, lea_dst, base, index, scale, dst = instr
+                    regs[lea_dst] = addr = regs[base] + regs[index] * scale
+                    regs[dst] = heap[addr]
+                    executed += 1
+                    pc += 2
+                elif op == OP_LEA_STORE:
+                    _, lea_dst, base, index, scale, src = instr
+                    regs[lea_dst] = addr = regs[base] + regs[index] * scale
+                    heap[addr] = regs[src]
+                    executed += 1
+                    pc += 2
+                elif op == OP_LEA_CONST_LOAD:
+                    _, lea_dst, base, offset, dst = instr
+                    regs[lea_dst] = addr = regs[base] + offset
+                    regs[dst] = heap[addr]
+                    executed += 1
+                    pc += 2
+                elif op == OP_LEA_CONST_STORE:
+                    _, lea_dst, base, offset, src = instr
+                    regs[lea_dst] = addr = regs[base] + offset
+                    heap[addr] = regs[src]
+                    executed += 1
+                    pc += 2
                 elif op == OP_LEA:
                     _, dst, base, index, scale = instr
                     regs[dst] = regs[base] + regs[index] * scale
@@ -459,7 +596,7 @@ class VM:
                     for i, r in enumerate(arg_regs):
                         new_regs[i] = regs[r]
                     stack.append((code, regs, pc + 1, ret_dsts))
-                    code = callee.code
+                    code = callee.fused()
                     regs = new_regs
                     pc = 0
                     if limit is not None and executed > limit:
@@ -470,7 +607,7 @@ class VM:
                     new_regs = [None] * callee.num_regs
                     for i, r in enumerate(arg_regs):
                         new_regs[i] = regs[r]
-                    code = callee.code
+                    code = callee.fused()
                     regs = new_regs
                     pc = 0
                     if limit is not None and executed > limit:
@@ -588,9 +725,12 @@ class VM:
         """Instrumented twin of :meth:`_run`.
 
         Kept as a *separate* loop so the uninstrumented path pays nothing.
-        Executes the same instruction stream and must retire exactly the
-        same number of instructions as :meth:`_run`; additionally it
-        records, into ``self.profile``:
+        Runs the **source** stream (``fn.code``, never the fused one):
+        the ``(findex, pc)`` site labels it records must match
+        ``VMFunction.sites`` and the disassembly, and those are numbered
+        in source pcs.  It must retire exactly the same number of
+        instructions as :meth:`_run` — superinstructions retire two —
+        and additionally records, into ``self.profile``:
 
         * ``entries[findex] += 1`` per function activation,
         * ``calls[(findex, pc)] += 1`` per executed call/tail-call site,

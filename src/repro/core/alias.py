@@ -94,6 +94,8 @@ class AliasAnalysis:
         self._roots: dict[Def, tuple[tuple | None, tuple]] = {}
         self._escapes: dict[Def, bool] = {}
         self._frame_escapes: dict[Def, bool] = {}
+        self._ptr_escapes: dict[Def, bool] = {}
+        self._pairs: dict[tuple[Def, Def], str] = {}
 
     # ------------------------------------------------------------------
     # alias classes
@@ -139,25 +141,28 @@ class AliasAnalysis:
 
     def escaped(self, ptr: Def) -> bool:
         """Has this pointer's *root* leaked beyond load/store/lea uses?"""
+        cached = self._ptr_escapes.get(ptr)
+        if cached is not None:
+            return cached
         key, _path = self.root(ptr)
         if key is None:
+            self._ptr_escapes[ptr] = True
             return True
         base = _peel(ptr)
         while isinstance(base, Lea):
             base = _peel(base.ptr)
-        cached = self._escapes.get(base)
-        if cached is not None:
-            return cached
-        escaped = self._base_escapes(base)
-        self._escapes[base] = escaped
+        escaped = self._escapes.get(base)
+        if escaped is None:
+            escaped = self._base_escapes(base)
+            self._escapes[base] = escaped
+        self._ptr_escapes[ptr] = escaped
         return escaped
 
     def _base_escapes(self, base: Def) -> bool:
         if isinstance(base, Slot) and self._frame_escaped(base.frame):
             return True
         if isinstance(base, Extract):  # alloc pair: check the pair def too
-            for use in base.agg.uses:
-                user = use.user
+            for user, _ in base.agg.uses:
                 if not (isinstance(user, Extract)
                         and isinstance(user.index, Literal)):
                     return True
@@ -172,11 +177,10 @@ class AliasAnalysis:
             if p in seen:
                 continue
             seen.add(p)
-            for use in p.uses:
-                user = use.user
-                if isinstance(user, Lea) and use.index == 0:
+            for user, index in p.uses:
+                if isinstance(user, Lea) and index == 0:
                     stack.append(user)
-                elif isinstance(user, (Load, Store)) and use.index == 1:
+                elif isinstance(user, (Load, Store)) and index == 1:
                     continue
                 else:
                     # jump/call argument, stored value, aggregate element,
@@ -188,8 +192,8 @@ class AliasAnalysis:
         cached = self._frame_escapes.get(frame)
         if cached is not None:
             return cached
-        escaped = any(not (isinstance(use.user, Slot) and use.index == 0)
-                      for use in frame.uses)
+        escaped = any(not (isinstance(user, Slot) and index == 0)
+                      for user, index in frame.uses)
         self._frame_escapes[frame] = escaped
         return escaped
 
@@ -201,6 +205,15 @@ class AliasAnalysis:
         """``MUST`` / ``NOT`` / ``MAY`` for two pointer-typed defs."""
         if p is q:
             return MUST
+        cached = self._pairs.get((p, q))
+        if cached is not None:
+            return cached
+        verdict = self._alias(p, q)
+        self._pairs[(p, q)] = verdict
+        self._pairs[(q, p)] = verdict  # the lattice is symmetric
+        return verdict
+
+    def _alias(self, p: Def, q: Def) -> str:
         kp, path_p = self.root(p)
         kq, path_q = self.root(q)
         if kp is None or kq is None:

@@ -26,6 +26,8 @@ virtual *exit*.  Successor rules for a body ``callee(args)``:
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from .defs import Continuation, Def, Intrinsic, Param
 from .primops import EvalOp, Select
 from .scope import Scope
@@ -61,6 +63,7 @@ class CFG:
         self._build()
         self._rpo: list[object] = self._compute_rpo()
         self._rpo_index = {n: i for i, n in enumerate(self._rpo)}
+        self._dom_masks: list[int] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -158,6 +161,49 @@ class CFG:
             for s in succs:
                 self._preds.setdefault(s, []).append(node)
 
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def _still_valid(self, dirty: "Iterable[Continuation]") -> bool:
+        """Check whether body rewires of *dirty* members left the CFG
+        byte-identical.
+
+        Sound under the caller's contract that scope membership did not
+        change and only the listed continuations' bodies were rewired:
+        a node's successor set depends only on its own body, the member
+        set, and the scope-wide address-taken set — so it suffices to
+        re-derive the address-taken set plus the dirty nodes' successor
+        lists and compare.  On a match every downstream artifact (RPO,
+        dominance masks, loop tree, placements) is provably unchanged.
+        """
+        old_taken = self._address_taken
+        self._address_taken = None
+        if old_taken is not None and self._compute_address_taken() != old_taken:
+            return False
+        for cont in dirty:
+            old = self._succs.get(cont)
+            if old is None:
+                continue  # unreachable: its body is invisible to the CFG
+            if self._successors_of(cont) != old:
+                return False
+        return True
+
+    def _refresh(self) -> None:
+        """Rebuild edges/RPO in place after member bodies changed.
+
+        Runs the exact construction sequence of ``__init__`` on the
+        (surviving) scope, so a refreshed CFG is bit-identical to a
+        from-scratch one — only the expensive scope flood is skipped.
+        """
+        self._succs = {}
+        self._preds = {}
+        self._address_taken = None
+        self._build()
+        self._rpo = self._compute_rpo()
+        self._rpo_index = {n: i for i, n in enumerate(self._rpo)}
+        self._dom_masks = None
+
     def _compute_rpo(self) -> list[object]:
         post: list[object] = []
         visited: set[object] = set()
@@ -181,6 +227,79 @@ class CFG:
         visit(self.entry)
         post.reverse()
         return post
+
+    # ------------------------------------------------------------------
+    # dominance (availability bitmasks)
+    # ------------------------------------------------------------------
+    #
+    # The scheduler needs dominance *queries* (depth, dominates, LCA,
+    # idom walks), not a dominator tree datastructure.  We answer them
+    # from availability sets: ``avail(n) = {n} ∪ ⋂ avail(p)`` over n's
+    # predecessors — the textbook dataflow formulation of dominance —
+    # computed to a fixpoint in reverse postorder with one Python int
+    # per node as the bitset (bit i = the node with RPO index i).
+    #
+    # Every query then falls out of two facts: (a) a strict dominator
+    # precedes its dominee in any RPO, and (b) the dominators of a node
+    # form a chain ordered by dominance.  Hence within ``avail(n)`` the
+    # set bits, read from high to low, walk the dominator chain from n
+    # up to the entry:
+    #
+    # * depth(n)        = popcount(avail(n)) - 1
+    # * dominates(a,b)  = bit rpo(a) set in avail(b)
+    # * lca(a,b)        = node of the highest bit of avail(a) & avail(b)
+    # * idom(n)         = node of the highest bit after clearing n's own
+    #
+    # No tree is ever built, so there is nothing to incrementally
+    # maintain — the masks are a pure function of the CFG edges and are
+    # recomputed lazily when a patched CFG invalidates them.
+
+    def _compute_dom_masks(self) -> list[int]:
+        rpo = self._rpo
+        index = self._rpo_index
+        n = len(rpo)
+        full = (1 << n) - 1
+        masks = [full] * n
+        masks[0] = 1  # the entry is dominated only by itself
+        preds = [[index[p] for p in self._preds[node]] for node in rpo]
+        changed = True
+        while changed:
+            changed = False
+            for i in range(1, n):
+                acc = full
+                for pi in preds[i]:
+                    acc &= masks[pi]
+                acc |= 1 << i
+                if acc != masks[i]:
+                    masks[i] = acc
+                    changed = True
+        return masks
+
+    def _dom_mask(self, node: object) -> int:
+        masks = self._dom_masks
+        if masks is None:
+            masks = self._dom_masks = self._compute_dom_masks()
+        return masks[self._rpo_index[node]]
+
+    def dom_depth(self, node: object) -> int:
+        """Dominator-tree depth of *node* (entry = 0), without a tree."""
+        return self._dom_mask(node).bit_count() - 1
+
+    def dominates(self, a: object, b: object) -> bool:
+        """Does *a* dominate *b* (reflexively)?"""
+        return self._dom_mask(b) >> self._rpo_index[a] & 1 == 1
+
+    def dom_lca(self, a: object, b: object) -> object:
+        """Least common ancestor of *a* and *b* in the dominator tree."""
+        common = self._dom_mask(a) & self._dom_mask(b)
+        return self._rpo[common.bit_length() - 1]
+
+    def idom(self, node: object) -> object:
+        """Immediate dominator (the entry is its own idom)."""
+        rest = self._dom_mask(node) ^ (1 << self._rpo_index[node])
+        if rest == 0:
+            return node  # the entry
+        return self._rpo[rest.bit_length() - 1]
 
     # ------------------------------------------------------------------
     # queries

@@ -25,7 +25,7 @@ the continuation and its parameters.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from .types import FnType, Type
 
@@ -33,11 +33,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from .world import World
 
 
-class Use(NamedTuple):
-    """One occurrence of a def as operand ``index`` of ``user``."""
+def Use(user: "Def", index: int) -> tuple["Def", int]:
+    """One occurrence of a def as operand ``index`` of ``user``.
 
-    user: "Def"
-    index: int
+    Uses are stored as plain ``(user, index)`` tuples: the use-list is
+    rebuilt on every operand rewiring, and tuple construction is several
+    times cheaper than a NamedTuple's Python-level ``__new__`` (this is
+    one of the hottest allocation sites in the compiler).  Consumers
+    unpack ``for user, index in d.uses`` directly.
+    """
+    return (user, index)
 
 
 class Def:
@@ -51,7 +56,7 @@ class Def:
         self.type = type
         self.name = name
         self._ops: tuple[Def, ...] = ()
-        self._uses: dict[Use, None] = {}  # insertion-ordered set
+        self._uses: dict[tuple[Def, int], None] = {}  # insertion-ordered set
         self._set_ops(ops)
 
     # -- operands -----------------------------------------------------------
@@ -72,15 +77,15 @@ class Def:
             return  # no edge changes: keep use-lists (and caches) intact
         self.world._note_touched(self, ops)
         for index, op in enumerate(self._ops):
-            del op._uses[Use(self, index)]
+            del op._uses[(self, index)]
         self._ops = ops
         for index, op in enumerate(ops):
-            op._uses[Use(self, index)] = None
+            op._uses[(self, index)] = None
 
     # -- uses ---------------------------------------------------------------
 
     @property
-    def uses(self) -> Iterator[Use]:
+    def uses(self) -> Iterator[tuple["Def", int]]:
         """All (user, index) pairs referring to this def.
 
         Deterministic order (insertion order).  Do not mutate the graph
@@ -261,6 +266,8 @@ class Continuation(Def):
         """
         from .types import fn_type as make_fn_type
 
+        if self.world._undo is not None:
+            self.world._undo._on_params(self)
         param = Param(self.world, param_type, self, len(self.params),
                       name or f"{self.name}.{len(self.params)}")
         self.params.append(param)
@@ -271,6 +278,8 @@ class Continuation(Def):
 
     def remove_param(self, index: int) -> None:
         """Remove an (unused) parameter; shifts the indices of later params."""
+        if self.world._undo is not None:
+            self.world._undo._on_params(self)
         param = self.params.pop(index)
         assert param.is_unused(), (
             f"removing used param {param.unique_name()} of {self.unique_name()}"

@@ -13,9 +13,21 @@ from .cfg import CFG
 
 
 class DomTree:
-    """Immediate-dominator tree of a :class:`CFG` (reachable nodes only)."""
+    """Immediate-dominator tree of a :class:`CFG` (reachable nodes only).
+
+    Since the scheduler moved to the CFG's availability bitmasks
+    (:meth:`CFG.dom_depth` and friends), no default pipeline path builds
+    a DomTree any more — it remains as an explicit-tree view for tests
+    and tools that want ``children()`` or preorder walks.  The
+    ``constructed`` counter lets regression tests pin that property.
+    """
+
+    #: Total ``DomTree`` constructions, ever (observability hook; the
+    #: default optimize/codegen path must leave this untouched).
+    constructed = 0
 
     def __init__(self, cfg: CFG):
+        DomTree.constructed += 1
         self.cfg = cfg
         self._idom: dict[object, object] = {}
         self._children: dict[object, list[object]] = {}

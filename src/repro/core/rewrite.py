@@ -37,8 +37,7 @@ def rewrite_uses(world: World, mapping: dict[Def, Def]) -> dict[Def, Def]:
     affected_conts: list[Continuation] = []
     while queue:
         d = queue.pop()
-        for use in d.uses:
-            user = use.user
+        for user, _ in d.uses:
             if user in seen:
                 continue
             seen.add(user)

@@ -7,14 +7,20 @@ to a continuation (block) plus a block-local order.
 
 Three placement policies, following the sea-of-nodes playbook:
 
-* **early** — the shallowest legal block: the domtree-deepest block among
-  the placements of the operands (params pin to their continuation).
-* **late** — the deepest legal block: the dominator-tree LCA of all
-  users' placements.
+* **early** — the shallowest legal block: the dominance-deepest block
+  among the placements of the operands (params pin to their
+  continuation).
+* **late** — the deepest legal block: the dominator LCA of all users'
+  placements.
 * **smart** (default) — walk the idom chain from late up to early and
   pick the deepest block with minimal loop depth: loop-invariant code
   motion and rematerialization-avoidance fall out, no dedicated LICM
   pass required (experiment A2 measures exactly this).
+
+All dominance questions are answered by the CFG's availability bitmasks
+(:meth:`CFG.dom_depth` and friends) — no :class:`DomTree` is built, so
+scheduling needs only a Scope, a CFG and a LoopTree, all of which the
+analysis manager maintains incrementally.
 
 Safety: operations that can trap (integer division) or touch memory are
 never hoisted above their *late* placement, so a schedule cannot
@@ -28,7 +34,6 @@ import enum
 
 from .cfg import CFG
 from .defs import Continuation, Def, Param
-from .domtree import DomTree
 from .looptree import LoopTree
 from .primops import (ArithKind, ArithOp, EvalOp, Extract, MemOp, PrimOp,
                       Slot)
@@ -57,12 +62,10 @@ class Schedule:
     """A placement of every live primop of a scope into its CFG blocks."""
 
     def __init__(self, scope: Scope, placement: Placement = Placement.SMART,
-                 cfg: CFG | None = None, domtree: DomTree | None = None,
-                 looptree: LoopTree | None = None):
+                 cfg: CFG | None = None, looptree: LoopTree | None = None):
         self.scope = scope
         self.placement = placement
         self.cfg = cfg if cfg is not None else CFG(scope)
-        self.domtree = domtree if domtree is not None else DomTree(self.cfg)
         self.looptree = looptree if looptree is not None else LoopTree(self.cfg)
         self._early: dict[Def, Continuation] = {}
         self._late: dict[PrimOp, Continuation] = {}
@@ -121,13 +124,15 @@ class Schedule:
     def _run(self) -> None:
         live = self._live_primops()  # operands precede users
         entry = self.cfg.entry
+        depth = self.cfg.dom_depth
+        lca_of = self.cfg.dom_lca
 
         # -- early pass (topological: operands already placed) ----------
         for op in live:
             block = entry
             for operand in op.ops:
                 ob = self._early_of(operand)
-                if ob is not None and self.domtree.depth(ob) > self.domtree.depth(block):
+                if ob is not None and depth(ob) > depth(block):
                     block = ob
             self._early[op] = block
 
@@ -135,15 +140,14 @@ class Schedule:
         users_known: dict[PrimOp, Continuation] = self._late
         for op in reversed(live):
             lca: Continuation | None = None
-            for use in op.uses:
-                user = use.user
+            for user, _ in op.uses:
                 if isinstance(user, Continuation):
                     if user in self._blocks:
-                        lca = user if lca is None else self.domtree.lca(lca, user)
+                        lca = user if lca is None else lca_of(lca, user)
                 elif isinstance(user, PrimOp):
                     ub = users_known.get(user)
                     if ub is not None:
-                        lca = ub if lca is None else self.domtree.lca(lca, ub)
+                        lca = ub if lca is None else lca_of(lca, ub)
             if lca is None:
                 # Only used by dead code; park at its early block.
                 lca = self._early[op]
@@ -170,15 +174,16 @@ class Schedule:
 
     def _choose(self, op: PrimOp) -> Continuation:
         late = self._late[op]
-        # The hoisting floor: the domtree-deepest *final* placement of
+        # The hoisting floor: the dominance-deepest *final* placement of
         # any operand (not its tentative early block — an operand pinned
         # late must keep its users below it).
+        depth = self.cfg.dom_depth
         floor = self.cfg.entry
         for operand in op.ops:
             ob = self._operand_block(operand)
-            if ob is not None and self.domtree.depth(ob) > self.domtree.depth(floor):
+            if ob is not None and depth(ob) > depth(floor):
                 floor = ob
-        if not self.domtree.dominates(floor, late):
+        if not self.cfg.dominates(floor, late):
             # Dead-code parking or unreachable user; keep the floor.
             return floor
         if self.placement is Placement.LATE or _is_sinkable_only(op):
@@ -194,7 +199,7 @@ class Schedule:
                 best = node
             if node is floor:
                 break
-            node = self.domtree.idom(node)
+            node = self.cfg.idom(node)
         return best
 
     # ------------------------------------------------------------------
@@ -210,7 +215,7 @@ class Schedule:
             for operand in op.ops:
                 ob = self._operand_block(operand)
                 if ob is not None:
-                    assert self.domtree.dominates(ob, block), (
+                    assert self.cfg.dominates(ob, block), (
                         f"{op.unique_name()} in {block.name} not dominated by "
                         f"operand {operand.unique_name()} in {ob.name}"
                     )

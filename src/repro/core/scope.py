@@ -25,6 +25,10 @@ from .defs import Continuation, Def, Param
 from .primops import Bottom, Literal
 
 
+def _gid_of(d: Def) -> int:
+    return d.gid
+
+
 class Scope:
     """The scope of an *entry* continuation, recovered from the graph.
 
@@ -58,8 +62,19 @@ class Scope:
             queue.append(param)
         while queue:
             d = queue.pop()
-            for use in d.uses:
-                self._insert(use.user, queue)
+            for user, _ in d.uses:
+                self._insert(user, queue)
+        self._canonicalize()
+
+    def _canonicalize(self) -> None:
+        # Canonical member order: creation (gid) order.  Flood order
+        # depends on the traversal and on use-list internals, which an
+        # in-place patch cannot reproduce; gid order is a pure function
+        # of the member *set*, so a patched scope and a from-scratch
+        # recomputation are bit-identical — the property the incremental
+        # analysis manager and the ``cache``/``incremental`` fuzz-oracle
+        # stages check.
+        self._defs = dict.fromkeys(sorted(self._defs, key=_gid_of))
 
     def _insert(self, d: Def, queue: list[Def]) -> None:
         if d in self._defs:
@@ -71,6 +86,45 @@ class Scope:
                 if param not in self._defs:
                     self._defs[param] = None
                     queue.append(param)
+
+    def _grow(self, sources) -> list[Def]:
+        """Patch the scope in place after members gained new users.
+
+        ``sources`` are existing members; the flood resumes from their
+        use-lists, adding anything not yet a member — exactly the defs a
+        from-scratch flood would now reach that the original one could
+        not (a new use-edge into the scope only ever *adds* members; it
+        can never remove any, so growth is the complete patch).  Returns
+        the added defs; the member order is re-canonicalized, so a grown
+        scope is bit-identical to a fresh recomputation.
+        """
+        defs = self._defs
+        added: list[Def] = []
+        queue: list[Def] = []
+
+        def insert(d: Def) -> None:
+            if d in defs:
+                return
+            defs[d] = None
+            added.append(d)
+            queue.append(d)
+            if isinstance(d, Continuation):
+                for param in d.params:
+                    if param not in defs:
+                        defs[param] = None
+                        added.append(param)
+                        queue.append(param)
+
+        for d in sources:
+            for user, _ in d.uses:
+                insert(user)
+        while queue:
+            d = queue.pop()
+            for user, _ in d.uses:
+                insert(user)
+        if added:
+            self._canonicalize()
+        return added
 
     # ------------------------------------------------------------------
 
@@ -213,8 +267,8 @@ def top_level_continuations(world) -> list[Continuation]:
             out = out - {d}
             if not out:
                 continue
-        for use in d.uses:
-            join(use.user, out)
+        for user, _ in d.uses:
+            join(user, out)
         if isinstance(d, Continuation):
             for param in d.params:
                 join(param, out)

@@ -214,12 +214,12 @@ def verify_uses(world: World) -> None:
                     f"{d.unique_name()}: operand {index} "
                     f"({op.unique_name()}) does not record the use edge"
                 )
-        for use in d.uses:
-            ops = use.user.ops
-            if use.index >= len(ops) or ops[use.index] is not d:
+        for user, index in d.uses:
+            ops = user.ops
+            if index >= len(ops) or ops[index] is not d:
                 raise VerifyError(
                     f"{d.unique_name()}: stale use by "
-                    f"{use.user.unique_name()} at operand {use.index}"
+                    f"{user.unique_name()} at operand {index}"
                 )
 
 

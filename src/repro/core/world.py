@@ -102,7 +102,9 @@ class World:
         self._alloc_id = 0
         self._global_id = 0
         self._generation = 0
+        self._structural_generation = 0
         self._analyses = None
+        self._undo = None  # armed UndoLog, if any (core.undo)
 
     # ------------------------------------------------------------------
     # identity & registry
@@ -120,6 +122,23 @@ class World:
         snapshot restore *advances* it).  Cached analyses key on it.
         """
         return self._generation
+
+    @property
+    def structural_generation(self) -> int:
+        """Monotone counter of *continuation-structure* mutations.
+
+        Bumped by continuation registration/pruning, body rewires, param
+        surgery, external marking and wholesale restores — but **not** by
+        primop creation.  Primops are immutable once built and carry no
+        users at birth, so minting one cannot change which continuations
+        are nested in which (the ``top_level`` sweep's answer): reaching
+        sets propagate def → user, and a fresh primop has no users until
+        some continuation body is rewired to mention it — which bumps
+        this counter.  Whole-world analyses that only depend on the
+        continuation structure stamp against this, surviving the primop
+        churn that dominates generation bumps inside a pass.
+        """
+        return self._structural_generation
 
     @property
     def analyses(self):
@@ -146,18 +165,30 @@ class World:
 
     def _note_touched(self, user: Def, ops: tuple) -> None:
         self._generation += 1
+        if user.__class__ is Continuation:
+            self._structural_generation += 1
+        undo = self._undo
+        if undo is not None:
+            # Fired before ``user._ops`` is swapped, so the log can
+            # capture the old operand tuple on first touch.
+            undo._on_touched(user)
         manager = self._analyses
         if manager is not None:
             manager._record_touched(user, ops)
 
     def _note_structural(self, *touched: Def) -> None:
         self._generation += 1
+        self._structural_generation += 1
         manager = self._analyses
         if manager is not None and touched:
-            manager._record_touched_defs(touched)
+            manager._record_structural(touched)
 
     def _note_all(self) -> None:
         self._generation += 1
+        self._structural_generation += 1
+        # A wholesale rebuild invalidates any armed undo log: the
+        # objects it tracks may no longer belong to this world.
+        self._undo = None
         manager = self._analyses
         if manager is not None:
             manager._record_all()
@@ -173,11 +204,15 @@ class World:
         return self._externals[name]
 
     def make_external(self, cont: Continuation) -> None:
+        if self._undo is not None:
+            self._undo._on_external(cont)
         cont.is_external = True
         self._externals[cont.name] = cont
         self._note_structural(cont)
 
     def remove_external(self, cont: Continuation) -> None:
+        if self._undo is not None:
+            self._undo._on_external(cont)
         cont.is_external = False
         self._externals.pop(cont.name, None)
         self._note_structural(cont)
@@ -190,11 +225,15 @@ class World:
         pruned = [c for c in self._continuations if c not in live]
         if not pruned:
             return
+        if self._undo is not None:
+            self._undo._on_prune_continuations()
         self._continuations = [c for c in self._continuations if c in live]
         self._note_structural(*pruned)
 
     def _prune_primops(self, live: set[Def]) -> None:
         before = len(self._primops)
+        if self._undo is not None:
+            self._undo._on_prune_primops()
         self._primops = {
             key: op for key, op in self._primops.items() if op in live
         }
@@ -211,6 +250,7 @@ class World:
     def continuation(self, type: FnType, name: str = "") -> Continuation:
         cont = Continuation(self, type, name or f"cont{self._gid + 1}")
         self._continuations.append(cont)
+        self._structural_generation += 1
         return cont
 
     def basic_block(self, param_types: Iterable[Type] = (), name: str = "") -> Continuation:
@@ -222,6 +262,7 @@ class World:
             cont = Continuation(self, type, name, intrinsic=name)
             self._continuations.append(cont)
             self._intrinsics[name] = cont
+            self._structural_generation += 1
         return cont
 
     def branch(self) -> Continuation:
@@ -246,6 +287,7 @@ class World:
             )
             self._continuations.append(cont)
             self._intrinsics[name] = cont
+            self._structural_generation += 1
         return cont
 
     def print_i64(self) -> Continuation:
@@ -864,6 +906,10 @@ class World:
             key, lambda: Global(self, type, init, is_mutable, global_id)
         )
         if name:
+            # Immutable globals share global_id 0, so _unify may hand
+            # back a pre-existing op; the rename must be undoable.
+            if self._undo is not None:
+                self._undo._on_rename(op)
             op.name = name
         return op
 

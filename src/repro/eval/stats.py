@@ -75,9 +75,8 @@ def collect_world_stats(world: World) -> WorldStatsReport:
     from ..core.defs import Intrinsic
     from ..core.primops import EvalOp
 
-    def _is_control_use(use) -> bool:
+    def _is_control_use(user) -> bool:
         """Branch/match targets are plain control flow, not value travel."""
-        user = use.user
         if not isinstance(user, Continuation) or not user.has_body():
             return False
         callee = user.callee
@@ -93,9 +92,9 @@ def collect_world_stats(world: World) -> WorldStatsReport:
                 report.higher_order_params += 1
         if cont.fn_type.order() > 2:
             report.over_second_order += 1
-        if any((use.index != 0 or not isinstance(use.user, Continuation))
-               and not _is_control_use(use)
-               for use in cont.uses if use.user in live):
+        if any((index != 0 or not isinstance(user, Continuation))
+               and not _is_control_use(user)
+               for user, index in cont.uses if user in live):
             report.first_class_continuations += 1
     for cont in tops:
         if scope_of(cont).has_free_params():

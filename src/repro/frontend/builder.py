@@ -234,8 +234,7 @@ class SSABuilder:
         # Phis that might become trivial once this one dissolves: targets
         # of jumps that pass this param as an argument.
         candidates: list[tuple[Continuation, Param]] = []
-        for use in param.uses:
-            user = use.user
+        for user, index in param.uses:
             if isinstance(user, Continuation) and user.has_body():
                 target = _peel(user.callee)
                 if (isinstance(target, Continuation)
@@ -243,7 +242,7 @@ class SSABuilder:
                         and self._fixed[target] == 0
                         and target is not block
                         and target in self._sealed):
-                    arg_pos = use.index - 1
+                    arg_pos = index - 1
                     if 0 <= arg_pos < target.num_params:
                         candidates.append((target, target.params[arg_pos]))
         self._remove_param(block, param, same)

@@ -26,6 +26,11 @@ pairs, stores on branch arms, loads in loops).  The ``memopt(static)``
 stage — recompile with ``mem_opt`` off, require byte-identical
 observations — runs by default; ``--no-memopt`` is the escape hatch.
 
+The ``incremental(static)`` stage — recompile with in-place analysis
+patching flipped to drop-on-touch invalidation, require byte-identical
+IR and observations — also runs by default; ``--no-incremental`` skips
+it.
+
 ``--case-timeout S`` bounds the wall-clock a single seed may take
 (generation + all oracle paths); a timed-out seed is recorded and
 reported in the summary but does not count as a divergence.
@@ -84,6 +89,11 @@ def _parse_args(argv):
                         help="skip the memopt(static) differential "
                              "stage (recompile with mem_opt off and "
                              "require identical observations)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="skip the incremental(static) differential "
+                             "stage (recompile with drop-on-touch "
+                             "analysis invalidation and require "
+                             "identical IR and observations)")
     parser.add_argument("--mem-heavy", action="store_true",
                         help="use the memory-heavy generator profile "
                              "(more buffers, stores, aliasing index "
@@ -186,6 +196,7 @@ def _campaign_case(item):
                           verify_each_pass=not args.no_verify,
                           check_cache=args.cache_check,
                           check_memopt=not args.no_memopt,
+                          check_incremental=not args.no_incremental,
                           record={})
     result = {"seed": seed, "status": "ok", "record": config.record}
     mem_heavy = getattr(args, "mem_heavy", False)

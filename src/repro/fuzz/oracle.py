@@ -125,6 +125,13 @@ class OracleConfig:
     # to agree — any divergence is a stale-cache bug.
     cache_analyses: bool = True
     check_cache: bool = False
+    # ``check_incremental`` (on by default) adds an
+    # ``incremental(static)`` stage: compile a second time with in-place
+    # scope/CFG patching flipped to drop-on-touch invalidation and
+    # require byte-identical printed IR plus matching interpreter
+    # observations — any divergence is an unsound patch (a grown scope
+    # missing a member, a stale CFG edge surviving revalidation).
+    check_incremental: bool = True
     # ``check_memopt`` (on by default) adds a ``memopt(static)`` stage:
     # compile a second time with ``mem_opt`` flipped off and require the
     # interpreter observations — results, traps, print streams — to be
@@ -163,7 +170,8 @@ class OracleConfig:
 
 def _options(config: OracleConfig,
              cache: bool | None = None,
-             mem_opt: bool | None = None) -> OptimizeOptions:
+             mem_opt: bool | None = None,
+             incremental: bool | None = None) -> OptimizeOptions:
     # strict: the oracle *wants* fail-fast.  The production default
     # quarantines a crashing/corrupting pass and compiles around it,
     # which would hide exactly the bugs differential fuzzing hunts.
@@ -173,6 +181,8 @@ def _options(config: OracleConfig,
                                               if cache is None else cache))
     if mem_opt is not None:
         options.mem_opt = mem_opt
+    if incremental is not None:
+        options.incremental = incremental
     return options
 
 
@@ -390,6 +400,37 @@ def run_oracle(prog: FuzzProgram,
         if failure is not None:
             return failure
         ran("cache(static)")
+
+    # --- incremental-patching differential -----------------------------
+    # ``world_opt`` compiled with in-place patching (the production
+    # default).  Compile once more with drop-on-touch invalidation and
+    # demand byte-identical IR and observations: patched artifacts must
+    # be indistinguishable from freshly recomputed ones.
+    if config.check_incremental and config.cache_analyses:
+        from ..core.printer import print_world
+
+        try:
+            world_drop = compile_source(
+                source, options=_options(config, incremental=False))
+        except Exception as exc:
+            return FuzzFailure(prog.seed, "incremental(static)",
+                               f"drop-on-touch compile failed: {exc}",
+                               source=source)
+        printed = print_world(world_opt)
+        printed_drop = print_world(world_drop)
+        if printed != printed_drop:
+            return FuzzFailure(prog.seed, "incremental(static)",
+                               "printed IR differs between patched and "
+                               "drop-on-touch analysis invalidation",
+                               expected=printed_drop, got=printed,
+                               source=source)
+        failure = _compare("incremental(static)", prog, reference,
+                           _run_interp(world_drop, prog.entry,
+                                       prog.arg_sets,
+                                       config.interp_max_steps))
+        if failure is not None:
+            return failure
+        ran("incremental(static)")
 
     # --- memory optimization differential ------------------------------
     # ``world_opt`` above ran with mem_opt on (the default) and already

@@ -13,7 +13,11 @@ Hotness is judged from two profile signals: the request count and the
 cumulative VM step count (``VM.executed`` — the same counter PR 1's
 PGO profiles aggregate).  A hot key triggers one background native
 compile through the crash-isolated pool; until it lands the VM keeps
-serving.  Any native failure — compiler error, build timeout, worker
+serving.  The VM tier runs instrumented, and each run's profile is
+accumulated per key (:meth:`TieringManager.note_profile`, summed via
+``Profile.merge``); the promotion job carries the accumulated profile,
+so the native world the daemon tiers up to is specialized around the
+hot paths the key's own requests exercised.  Any native failure — compiler error, build timeout, worker
 crash while running the ``.so`` — quarantines the key back to the VM
 permanently (PR 3's discipline: broken fast paths are dropped, not
 retried in a loop).
@@ -49,6 +53,12 @@ class _KeyState:
     so_path: str | None = None
     entry_meta: dict | None = None
     quarantine_reason: str | None = None
+    #: Accumulated VM-tier training data (serialized Profile), merged
+    #: across requests; attached to the promotion job so the native
+    #: compile is profile-guided.
+    profile: dict | None = None
+    #: Whether the ready ``.so`` was built with that profile.
+    pgo: bool = False
 
 
 @dataclass
@@ -75,6 +85,8 @@ class TieringManager:
             "native_cache_hits": 0,
             "native_fallbacks": 0,
             "native_quarantined": 0,
+            "profiles_noted": 0,
+            "native_pgo_compiles": 0,
         }
 
     def _state(self, key: str) -> _KeyState:
@@ -114,23 +126,46 @@ class TieringManager:
         """Feed VM step counts into the hotness signal."""
         self._state(key).steps += int(steps)
 
+    def note_profile(self, key: str, profile: dict | None) -> None:
+        """Accumulate one VM-tier run's profile into the key's
+        training data (summed site counts across requests)."""
+        if not profile:
+            return
+        state = self._state(key)
+        if state.profile is None:
+            state.profile = profile
+        else:
+            from ..profile.model import Profile
+
+            state.profile = Profile.from_dict(state.profile).merge(
+                Profile.from_dict(profile)).to_dict()
+        self.counters["profiles_noted"] += 1
+
+    def profile_of(self, key: str) -> dict | None:
+        state = self._states.get(key)
+        return state.profile if state is not None else None
+
     # -- promotion outcomes --------------------------------------------
 
     def native_ready(self, key: str, so_path: str, entry_meta: dict,
-                     cached: bool) -> None:
+                     cached: bool, pgo: bool = False) -> None:
         state = self._state(key)
         state.native = "ready"
         state.so_path = so_path
         state.entry_meta = entry_meta
+        state.pgo = pgo
         self.counters["native_compiles"] += 1
         if cached:
             self.counters["native_cache_hits"] += 1
+        if pgo:
+            self.counters["native_pgo_compiles"] += 1
 
     def quarantine(self, key: str, reason: str) -> None:
         state = self._state(key)
         state.native = "quarantined"
         state.so_path = None
         state.entry_meta = None
+        state.pgo = False
         state.quarantine_reason = reason
         self.counters["native_quarantined"] += 1
 

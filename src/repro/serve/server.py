@@ -29,7 +29,9 @@ poisoned by) clean requests.
 :class:`~repro.native.tiering.TieringManager` picks interp/VM/native
 per program, and when a program turns hot the server launches one
 background ``native-compile`` job through the same crash-isolated
-pool.  Native failures of any kind — compiler error, build timeout,
+pool.  VM-tier runs execute instrumented and their profiles accumulate
+per key, so that promotion job is profile-guided: the native world is
+specialized around the paths this key's own requests actually took.  Native failures of any kind — compiler error, build timeout,
 worker crash while executing the ``.so`` — quarantine the program back
 to the VM (a crashed native *run* is retried on the VM immediately, so
 the client still gets an answer).  ``.so`` objects are
@@ -414,6 +416,7 @@ class CompileServer:
 
         if decision.tier == "vm":
             self.tiering.note_steps(key, result.get("steps", 0))
+            self.tiering.note_profile(key, result.get("profile"))
         self.metrics.observe("run", time.perf_counter() - started)
         reply = {"ok": True, "key": key, "tier": decision.tier,
                  "native_state": self.tiering.state_of(key),
@@ -430,6 +433,12 @@ class CompileServer:
                "native_dir": self.native_dir,
                "cc_timeout": max(1.0,
                                  self.config.native_compile_timeout * 0.8)}
+        # PGO: ship whatever training data the VM tier accumulated for
+        # this key; the worker then runs a profile-guided round before
+        # emitting C (absent profile => plain static native compile).
+        profile = self.tiering.profile_of(key)
+        if profile:
+            job["profile"] = profile
         self._promotions[key] = asyncio.get_running_loop().create_task(
             self._promote(key, job))
 
@@ -453,7 +462,8 @@ class CompileServer:
         else:
             self.tiering.native_ready(key, result["so"],
                                       result["entry_meta"],
-                                      cached=result["cached"])
+                                      cached=result["cached"],
+                                      pgo=result.get("pgo", False))
         finally:
             self._promotions.pop(key, None)
 

@@ -195,6 +195,8 @@ def _run_vm_tier(request: dict) -> dict:
     from ..backend import bytecode as bc
     from ..backend.codegen import compile_world
     from ..core.limits import ResourceLimitError
+    from ..profile.collector import ProfileCollector
+    from ..profile.model import Profile
 
     key = request["key"]
     compiled = _VM_IMAGES.get(key)
@@ -205,16 +207,33 @@ def _run_vm_tier(request: dict) -> dict:
         _bounded_put(_VM_IMAGES, key, compiled)
     results = []
     before = compiled.vm.executed
-    for args in request["args"]:
-        mark = len(compiled.vm.output)
-        try:
-            value = compiled.call(request["entry"], *args)
-            results.append({"value": value, "trap": None,
-                            "output": "".join(compiled.vm.output[mark:])})
-        except (bc.VMError, ResourceLimitError) as exc:
-            results.append({"value": None, "trap": _trap_kind(exc),
-                            "output": "".join(compiled.vm.output[mark:])})
-    return {"results": results, "steps": compiled.vm.executed - before}
+    # The VM tier doubles as the PGO trainer: requests run under the
+    # instrumented dispatch loop and ship their profile back so the
+    # server can accumulate per-key training data — when the key turns
+    # hot, the background native compile is profile-guided.  The
+    # instrumented loop forgoes the fused dispatch stream; that is the
+    # price of the warmup tier, repaid by the native code it trains.
+    collector = ProfileCollector()
+    compiled.vm.profile = collector
+    try:
+        for args in request["args"]:
+            mark = len(compiled.vm.output)
+            try:
+                value = compiled.call(request["entry"], *args)
+                results.append({"value": value, "trap": None,
+                                "output":
+                                    "".join(compiled.vm.output[mark:])})
+            except (bc.VMError, ResourceLimitError) as exc:
+                results.append({"value": None, "trap": _trap_kind(exc),
+                                "output":
+                                    "".join(compiled.vm.output[mark:])})
+    finally:
+        compiled.vm.profile = None
+    reply = {"results": results, "steps": compiled.vm.executed - before}
+    if not collector.is_empty():
+        reply["profile"] = Profile.from_collector(
+            collector, compiled.program).to_dict()
+    return reply
 
 
 def _run_native_tier(request: dict) -> dict:
@@ -249,17 +268,34 @@ def run_request(request: dict) -> dict:
 
 
 def native_compile_request(request: dict) -> dict:
-    """Build ``source`` into the content-addressed native store."""
+    """Build ``source`` into the content-addressed native store.
+
+    With a ``profile`` (the VM tier's accumulated training data for
+    this key), the static rounds are followed by a profile-guided
+    round before the C emission — the native world the daemon tiers up
+    to is PGO-specialized.  The profile's site labels name
+    continuations of the statically optimized world; same source ×
+    options reproduce that world byte-for-byte, so the labels resolve.
+    The store content-addresses the C source, so PGO objects never
+    collide with static ones.
+    """
     from ..native import NativeStore, emit_native_c
 
     world = compile_source(request["source"], optimize=False)
-    _optimize(world, _pipeline_options(request))
+    options = _pipeline_options(request)
+    _optimize(world, options)
+    profile_data = request.get("profile")
+    if profile_data:
+        from ..profile.model import Profile
+
+        _optimize(world, options, profile=Profile.from_dict(profile_data))
     c_source, entry_meta = emit_native_c(world)
     store = NativeStore(request["native_dir"])
     so_path, store_key, cached = store.get_or_build(
         c_source, timeout=request.get("cc_timeout", 60.0))
     return {"so": str(so_path), "entry_meta": entry_meta,
-            "store_key": store_key, "cached": cached}
+            "store_key": store_key, "cached": cached,
+            "pgo": bool(profile_data)}
 
 
 class CompileHandler:

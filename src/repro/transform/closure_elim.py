@@ -139,17 +139,16 @@ class ClosureEliminator:
 
     @staticmethod
     def _is_recursive(target: Continuation, scope: Scope) -> bool:
-        return any(use.user in scope for use in target.uses)
+        return any(user in scope for user, _ in target.uses)
 
     def _lift_closure(self, target: Continuation, scope: Scope) -> bool:
         from ..core.types import FrameType, MemType
 
         sites: list[Continuation] = []
-        for use in target.uses:
-            user = use.user
-            if use.user in scope:
+        for user, index in target.uses:
+            if user in scope:
                 continue  # internal recursion: the mangler redirects it
-            if not (isinstance(user, Continuation) and use.index == 0):
+            if not (isinstance(user, Continuation) and index == 0):
                 return False  # escapes as a value: cannot change signature
             sites.append(user)
         lift: list[Def] = []

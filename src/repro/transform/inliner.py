@@ -31,14 +31,12 @@ def _call_sites(cont: Continuation) -> tuple[list[Continuation], int]:
     """(callers that jump directly to *cont*, #first-class uses)."""
     sites: list[Continuation] = []
     first_class = 0
-    for use in cont.uses:
-        user = use.user
-        if isinstance(user, Continuation) and use.index == 0:
+    for user, index in cont.uses:
+        if isinstance(user, Continuation) and index == 0:
             sites.append(user)
         elif isinstance(user, EvalOp):
-            for wrapped_use in user.uses:
-                wrapper_user = wrapped_use.user
-                if isinstance(wrapper_user, Continuation) and wrapped_use.index == 0:
+            for wrapper_user, wrapped_index in user.uses:
+                if isinstance(wrapper_user, Continuation) and wrapped_index == 0:
                     sites.append(wrapper_user)
                 else:
                     first_class += 1
@@ -48,8 +46,8 @@ def _call_sites(cont: Continuation) -> tuple[list[Continuation], int]:
 
 
 def _is_recursive(cont: Continuation, scope: Scope) -> bool:
-    for use in cont.uses:
-        if use.user in scope:
+    for user, _ in cont.uses:
+        if user in scope:
             return True
     return False
 

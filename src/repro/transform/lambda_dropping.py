@@ -38,9 +38,8 @@ def _peel(d: Def) -> Def:
 def _direct_call_sites(cont: Continuation) -> list[Continuation] | None:
     """Callers jumping straight to *cont*; None if it escapes."""
     sites: list[Continuation] = []
-    for use in cont.uses:
-        user = use.user
-        if isinstance(user, Continuation) and use.index == 0:
+    for user, index in cont.uses:
+        if isinstance(user, Continuation) and index == 0:
             sites.append(user)
         else:
             return None  # first-class use (incl. run/hlt wraps): leave it

@@ -135,8 +135,7 @@ def _load_extracts(load: Load) -> tuple[Def | None, Def | None] | None:
     """The load's ``(mem, value)`` extracts; ``None`` if it has any
     other kind of use (consumed whole as a tuple — leave it alone)."""
     ext_mem = ext_val = None
-    for use in load.uses:
-        user = use.user
+    for user, _ in load.uses:
         if (isinstance(user, Extract) and user.agg is load
                 and isinstance(user.index, Literal)):
             if user.index.value == 0:
@@ -248,11 +247,10 @@ def _sole_mem_user(op: Def) -> Def | None:
     if isinstance(op, Store):
         if op.num_uses != 1:
             return None
-        (use,) = op.uses
-        return use.user
+        ((user, _),) = op.uses
+        return user
     ext_mem = None
-    for use in op.uses:
-        user = use.user
+    for user, _ in op.uses:
         if (isinstance(user, Extract) and user.agg is op
                 and isinstance(user.index, Literal)):
             if user.index.value == 0:
@@ -261,8 +259,8 @@ def _sole_mem_user(op: Def) -> Def | None:
             return None
     if ext_mem is None or ext_mem.num_uses != 1:
         return None
-    (use,) = ext_mem.uses
-    return use.user
+    ((user, _),) = ext_mem.uses
+    return user
 
 
 def _dead_store(world: World, store: Store, aa: AliasAnalysis) -> bool:

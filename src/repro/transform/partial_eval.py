@@ -82,18 +82,35 @@ class PartialEvaluator:
         self.specialized = 0
         self.cache_hits = 0
         self._static_cache: dict = {}
+        self._discovered: list[Continuation] = []
 
     # ------------------------------------------------------------------
 
     def run(self) -> dict[str, int]:
-        progress = True
-        while progress and self.budget > 0:
-            progress = False
-            for cont in self.world.continuations():
-                if not cont.has_body() or self.budget <= 0:
+        # Only a continuation whose callee is a ``run`` marker can make
+        # progress, so sweep a worklist of those sites instead of the
+        # whole world per round (the old full sweep was quadratic: one
+        # world scan per specialization).  Sites are processed in
+        # creation (gid) order, new sites minted by a specialization are
+        # deferred to the next round — the same visit order as the full
+        # sweep, at a fraction of the scanning cost.
+        pending = [c for c in self.world.continuations()
+                   if c.has_body() and isinstance(c.callee, Run)]
+        while pending and self.budget > 0:
+            batch = pending
+            pending = []
+            self._discovered = pending
+            for cont in batch:
+                if self.budget <= 0:
+                    break
+                if not cont.has_body():
                     continue
-                if self._eval_site(cont):
-                    progress = True
+                if not self._eval_site(cont):
+                    continue  # unsuitable target: permanently dynamic
+                # Jump folding can splice a fresh ``run``-headed body
+                # into the site; keep it live in that case.
+                if cont.has_body() and isinstance(cont.callee, Run):
+                    pending.append(cont)
         stripped = self._strip_markers()
         return {
             "specialized": self.specialized,
@@ -151,17 +168,23 @@ class PartialEvaluator:
         the budget.  This is the predictable-termination compromise.
         """
         scope = scope_of(new_entry)
+        discovered = self._discovered
         for cont in scope.continuations():
             if not cont.has_body():
                 continue
             callee = cont.callee
-            if isinstance(callee, (Run, Hlt)):
+            if isinstance(callee, Run):
+                # A copied run site inside the fresh body: keep it live.
+                discovered.append(cont)
+                continue
+            if isinstance(callee, Hlt):
                 continue
             target = _peel(callee)
             if (isinstance(target, Continuation) and target.has_body()
                     and not target.is_intrinsic() and target not in scope
                     and target is not new_entry):
                 cont.update_callee(self.world.run(callee))
+                discovered.append(cont)
 
     def _strip_markers(self) -> int:
         stripped = 0

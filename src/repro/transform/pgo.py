@@ -41,7 +41,7 @@ def _label_map(world: World) -> dict[str, Continuation]:
 
 
 def _is_recursive(cont: Continuation, scope: Scope) -> bool:
-    return any(use.user in scope for use in cont.uses)
+    return any(user in scope for user, _ in cont.uses)
 
 
 # ---------------------------------------------------------------------------
@@ -73,9 +73,9 @@ def specialize_hot_loops(world: World, profile, *, min_count: int = 32,
             continue
         scope = scope_of(header)
         # Entry sites: direct jumps to the header from outside the loop.
-        sites = [use.user for use in header.uses
-                 if use.index == 0 and isinstance(use.user, Continuation)
-                 and use.user not in scope and use.user.has_body()]
+        sites = [user for user, index in header.uses
+                 if index == 0 and isinstance(user, Continuation)
+                 and user not in scope and user.has_body()]
         for site in sites:
             if budget <= 0:
                 break

@@ -112,6 +112,12 @@ class OptimizeOptions:
     # off also disables checkpoint reuse, restoring the exact uncached
     # snapshot cadence.
     cache_analyses: bool = True
+    # Patch cached scopes/CFGs in place (grow floods, revalidate dirty
+    # successor lists) instead of dropping any entry whose member was
+    # touched.  Off restores drop-on-touch invalidation — the
+    # differential baseline the fuzz oracle's ``incremental`` stage
+    # compares against; both must be bit-identical.
+    incremental: bool = True
     # "phase": checkpoint before every pass (precise rollback);
     # "round": checkpoint once per static round (fewer snapshots, a
     # failing pass loses the whole round's progress).
@@ -272,6 +278,10 @@ class _PhaseRunner:
         # Generation observed right after the last completed cleanup;
         # while it stands, further cleanups are provably no-ops.
         self._clean_generation: int | None = None
+        # Per-pass generation at which the pass last completed without
+        # mutating anything (generation unmoved across its run); while
+        # it stands, rerunning that pass is provably a no-op.
+        self._pass_noop: dict[str, int] = {}
         baseline = max(1, len(world._continuations))
         self.growth_cap = max(options.growth_cap_floor,
                               int(options.growth_cap_factor * baseline))
@@ -280,6 +290,7 @@ class _PhaseRunner:
         # its counters as deltas from here.
         self.analyses = world.analyses
         self.analyses.set_enabled(options.cache_analyses)
+        self.analyses.incremental = options.incremental
         self._analysis_base = self._analysis_counters()
 
     # -- analysis-cache telemetry -------------------------------------------
@@ -302,31 +313,52 @@ class _PhaseRunner:
     def finish(self) -> None:
         now = self._analysis_counters()
         base = self._analysis_base
+        counters = self.analyses.stats
         self.stats.analysis_cache = {
             "enabled": int(self.options.cache_analyses),
+            "incremental": int(self.options.incremental),
             "hits": now[0] - base[0],
             "misses": now[1] - base[1],
             "invalidations": now[2] - base[2],
+            "scope_patches": counters.scope_patches,
+            "scope_refloods": counters.scope_refloods,
+            "scope_survivals": counters.scope_survivals,
+            "cfg_patches": counters.cfg_patches,
+            "cfg_survivals": counters.cfg_survivals,
         }
 
     # -- checkpoints --------------------------------------------------------
 
     def _take_checkpoint(self) -> None:
-        from ..core.snapshot import snapshot_world
+        from ..core.undo import UndoLog
 
         if (self.options.cache_analyses and self.checkpoint is not None
-                and self._checkpoint_generation == self.world.generation):
+                and self._checkpoint_generation == self.world.generation
+                and (not isinstance(self.checkpoint, UndoLog)
+                     or self.checkpoint.armed)):
             # The generation covers every snapshot-visible mutation (def
             # creation, use-edge rewiring, registry surgery), so an
-            # unchanged generation means the previous snapshot is still
+            # unchanged generation means the previous checkpoint is still
             # an exact image of the graph: re-establish it for free.
             # Read-only churn (GVN hit counters) may have advanced; a
-            # rollback through the reused snapshot rewinds it to the
-            # snapshot's values, which is the rollback contract anyway.
+            # rollback through the reused checkpoint rewinds it to the
+            # checkpoint's values, which is the rollback contract anyway.
             self.stats.checkpoints += 1
             self.stats.checkpoints_reused += 1
             return
-        self.checkpoint = snapshot_world(self.world)
+        if self.options.cache_analyses and self.options.incremental:
+            # Cheap checkpoint: shallow registry copies plus a
+            # first-touch undo log fed by the same mutation notes the
+            # analysis manager listens to.  Deep snapshots remain the
+            # entry/crash-bundle mechanism only.
+            if isinstance(self.checkpoint, UndoLog) and self.checkpoint.armed:
+                self.checkpoint.arm()
+            else:
+                self.checkpoint = UndoLog(self.world)
+        else:
+            from ..core.snapshot import snapshot_world
+
+            self.checkpoint = snapshot_world(self.world)
         self._checkpoint_generation = self.world.generation
         self.stats.checkpoints += 1
 
@@ -359,14 +391,26 @@ class _PhaseRunner:
 
     def run(self, phase: str, body: Callable[[], dict]) -> dict:
         options = self.options
+        if (options.cache_analyses and options.pass_hook is None
+                and self._pass_noop.get(phase) == self.world.generation):
+            # This pass last completed as a *pure* no-op — zero reported
+            # changes and zero generation movement — and the world has
+            # not mutated since.  Passes are deterministic, so rerunning
+            # it would sweep the identical world and do nothing again:
+            # skip it outright, checkpoint included (a no-op cannot need
+            # rolling back).  Bit-identical to running it; the fuzz
+            # oracle's cache(static) stage differentially checks this.
+            return {"noop": 1}
         if options.strict:
             before = self._analysis_counters()
+            generation_before = self.world.generation
             started = time.perf_counter()
             result = body()
             if options.pass_hook is not None:
                 options.pass_hook(phase, self.world)
             self._verify(phase)
-            return self._finish_phase(phase, result, before, started)
+            return self._finish_phase(phase, result, before, started,
+                                      generation_before)
 
         if _quarantine_key(phase) in self.quarantine:
             self.stats.skipped.append(phase)
@@ -375,6 +419,7 @@ class _PhaseRunner:
         if options.checkpoint_granularity != "round" or self.checkpoint is None:
             self._take_checkpoint()
         before = self._analysis_counters()
+        generation_before = self.world.generation
         started = time.perf_counter()
         try:
             with deadline(options.pass_deadline, what=f"pass {phase}"):
@@ -392,14 +437,21 @@ class _PhaseRunner:
             if size > self.growth_cap:
                 raise PassGrowthError(phase, size, self.growth_cap)
             self._verify(phase)
-            return self._finish_phase(phase, result, before, started)
+            return self._finish_phase(phase, result, before, started,
+                                      generation_before)
         except Exception as exc:
             self.stats.record_time(phase, time.perf_counter() - started)
             self._rollback(phase, exc)
             return {"rolled_back": 1}
 
     def _finish_phase(self, phase: str, result: dict,
-                      before: tuple[int, int, int], started: float) -> dict:
+                      before: tuple[int, int, int], started: float,
+                      generation_before: int) -> dict:
+        generation = self.world.generation
+        if generation == generation_before:
+            self._pass_noop[phase] = generation
+        else:
+            self._pass_noop.pop(phase, None)
         elapsed = time.perf_counter() - started
         self.stats.record_time(phase, elapsed)
         result = self._with_analysis_delta(result, before)
@@ -418,7 +470,7 @@ class _PhaseRunner:
             raise PassVerifyError(phase, self.stats.rounds, exc) from exc
 
     def _rollback(self, phase: str, exc: Exception) -> None:
-        from ..core.snapshot import restore_world
+        from ..core.undo import UndoLog
 
         if isinstance(exc, PassVerifyError):
             kind = "verify"
@@ -428,7 +480,12 @@ class _PhaseRunner:
             kind = "growth"
         else:
             kind = "exception"
-        restore_world(self.checkpoint, into=self.world)
+        if isinstance(self.checkpoint, UndoLog):
+            self.checkpoint.restore()
+        else:
+            from ..core.snapshot import restore_world
+
+            restore_world(self.checkpoint, into=self.world)
         self.stats.rollbacks += 1
         key = _quarantine_key(phase)
         if key not in self.quarantine:
@@ -573,6 +630,9 @@ def optimize(world: World, *, options: OptimizeOptions | None = None,
     try:
         return _optimize_paused(world, options, profile)
     finally:
+        # Disarm any checkpoint undo log: outside the pipeline nothing
+        # can roll back, so first-touch logging would only accumulate.
+        world._undo = None
         if gc_was_enabled:
             gc.enable()
 

@@ -1,14 +1,19 @@
-"""The incremental analysis manager: generations, invalidation, identity.
+"""The incremental analysis manager: generations, patching, identity.
 
 Three layers of guarantees, mirroring ``core/analyses.py``:
 
 * every world-mutating API strictly increases ``World.generation`` (the
   cache key) and nothing ever rewinds it;
-* cached analyses are dropped exactly when a touched def is a member of
-  their scope — hits return the identical object, misses rebuild, and
-  anything that cannot report what it touched loses everything;
+* cached analyses are *patched*, not dropped: new references to an entry
+  are no-ops, new edges into a scope grow it in place, member rewires
+  re-flood and keep the object when membership is unchanged, and entry
+  body rewires refresh only the CFG — while anything that cannot report
+  what it touched still loses everything;
 * with caching on, the optimization pipeline produces byte-identical
-  printed IR and identical program behaviour to the uncached pipeline.
+  printed IR and identical program behaviour to the uncached pipeline —
+  and a hypothesis-driven edit-script property asserts patched
+  Scope/CFG/Schedule artifacts equal from-scratch recomputations after
+  every single edit.
 """
 
 from __future__ import annotations
@@ -16,12 +21,15 @@ from __future__ import annotations
 import pytest
 
 from repro.core import types as ct
-from repro.core.analyses import PENDING_CAP
+from repro.core.cfg import CFG
+from repro.core.domtree import DomTree
+from repro.core.schedule import Schedule
 from repro.core.scope import Scope, top_level_of
 from repro.core.snapshot import restore_world, snapshot_world
 from repro.core.world import World
 
-from .helpers import FN_I64, RET_I64, make_add_const, make_fib, make_identity
+from .helpers import (FN_I64, RET_I64, make_add_const, make_fib,
+                      make_identity, make_loop_sum)
 
 
 @pytest.fixture
@@ -89,6 +97,19 @@ class TestGenerationMonotone:
         assert world.generation > g, \
             "a restored world must never look unmutated to caches"
 
+    def test_structural_generation_ignores_primops(self, world):
+        """Primop creation bumps the full generation but not the
+        structural one — a fresh primop has no users, so it cannot
+        change which continuations are nested."""
+        f = make_identity(world)
+        sg = world.structural_generation
+        g = world.generation
+        world.add(f.param(1), world.literal(ct.I64, 5))
+        assert world.generation > g
+        assert world.structural_generation == sg
+        world.continuation(RET_I64, "k")
+        assert world.structural_generation > sg
+
     def test_mutation_trace_is_strictly_increasing(self, world):
         """Property-style sweep: a mixed mutation sequence never repeats
         or decreases the generation at any step."""
@@ -121,27 +142,104 @@ class TestManagerInvalidation:
         assert built == 0
         assert manager.stats.hits >= 1
 
-    def test_touched_member_drops_scope(self, world):
-        f = make_identity(world)
-        mem, x, ret = f.params
+    def test_entry_reference_is_noop(self, world):
+        """A new call *to* a cached entry must not touch its artifacts:
+        the flood never follows uses of the entry, so a mere reference
+        cannot change membership.  This is the most common mutation in a
+        specializing pipeline, and patching turns it into a cache hit."""
+        f = make_fib(world)
         manager = world.analyses
-        first = manager.scope(f)
-        world.jump(f, ret, (mem, world.add(x, world.one(ct.I64))))
+        scope = manager.scope(f)
+        cfg = manager.cfg(f)
+        sched = manager.schedule(f)
+        caller = world.continuation(FN_I64, "caller")
+        cm, cx, cret = caller.params
+        world.jump(caller, f, (cm, cx, cret))
+        second, built = constructed_during(lambda: manager.scope(f))
+        assert second is scope
+        assert built == 0
+        assert manager.cfg(f) is cfg
+        assert manager.schedule(f) is sched
+
+    def test_new_edge_grows_scope_in_place(self, world):
+        """A new primop using a member splices into the cached scope
+        without a re-flood, and the patched membership is bit-identical
+        to a from-scratch recomputation."""
+        f = make_fib(world)
+        manager = world.analyses
+        scope = manager.scope(f)
+        patches = manager.stats.scope_patches
+        op = world.mul(f.param(1), world.literal(ct.I64, 3))
+        second, built = constructed_during(lambda: manager.scope(f))
+        assert second is scope, "growth must keep the scope object"
+        assert built == 0, "growth must not re-flood"
+        assert op in scope
+        assert manager.stats.scope_patches == patches + 1
+        assert list(scope._defs) == list(Scope(f)._defs)
+
+    def test_entry_body_rewire_keeps_scope_refreshes_cfg(self, world):
+        """Rewiring the entry's own body never changes its membership
+        (the flood inserts users of members, not operands of the entry),
+        so the scope survives; only the CFG is refreshed — in place, on
+        the same object."""
+        f = make_fib(world)
+        mem, n, ret = f.params
+        manager = world.analyses
+        scope = manager.scope(f)
+        cfg = manager.cfg(f)
+        sched = manager.schedule(f)
+        world.jump(f, ret, (mem, n))
+        assert manager.scope(f) is scope
+        assert list(scope._defs) == list(Scope(f)._defs)
+        refreshed = manager.cfg(f)
+        assert refreshed is cfg, "the CFG object survives, refreshed"
+        assert len(cfg.nodes()) == 2, "only entry and exit stay reachable"
+        assert manager.schedule(f) is not sched
+
+    def test_member_rewire_refloods_and_survives(self, world):
+        """Rewiring an inner member re-floods at the next query; when
+        membership comes back identical the old scope object (and a CFG
+        whose dirty successors match) survive."""
+        f = make_fib(world)
+        mem, n, ret = f.params
+        manager = world.analyses
+        scope = manager.scope(f)
+        cfg = manager.cfg(f)
+        k2 = next(c for c in scope.continuations() if c.name == "k2")
+        k1 = next(c for c in scope.continuations() if c.name == "k1")
+        # Same control shape (jump to ret), different value operands.
+        world.jump(k2, ret, (k2.params[0], k1.params[1]))
+        survivals = manager.stats.scope_survivals
+        assert manager.scope(f) is scope
+        assert manager.stats.scope_survivals == survivals + 1
+        assert list(scope._defs) == list(Scope(f)._defs)
+        assert manager.cfg(f) is cfg
+
+    def test_member_unset_body_shrinks_scope(self, world):
+        """A member losing the use-chain that kept defs inside forces a
+        replacement: the re-flood diff detects the shrink."""
+        f = make_fib(world)
+        manager = world.analyses
+        scope = manager.scope(f)
+        k2 = next(c for c in scope.continuations() if c.name == "k2")
+        invalidations = manager.stats.invalidations
+        k2.unset_body()
         second = manager.scope(f)
-        assert second is not first
-        assert manager.stats.invalidations >= 1
+        assert second is not scope
+        assert k2 not in second
+        assert manager.stats.invalidations == invalidations + 1
+        assert list(second._defs) == list(Scope(f)._defs)
 
     def test_untouched_scope_survives(self, world):
         f = make_identity(world, "f")
         g = make_add_const(world, 3, "g")
         manager = world.analyses
         scope_f = manager.scope(f)
-        scope_g = manager.scope(g)
+        manager.scope(g)
         gm, gx, gret = g.params
         world.jump(g, gret, (gm, world.mul(gx, gx)))
         assert manager.scope(f) is scope_f, \
             "mutating g must not evict f's cached scope"
-        assert manager.scope(g) is not scope_g
 
     def test_restore_drops_everything(self, world):
         f = make_fib(world)
@@ -152,15 +250,22 @@ class TestManagerInvalidation:
         assert manager.scope(f) is not cached
         assert manager.stats.drop_alls == drop_alls + 1
 
-    def test_pending_overflow_escalates_to_drop_all(self, world):
+    def test_artifacts_survive_unrelated_storm(self, world):
+        """Thousands of mutations that never touch a cached scope's
+        members leave its artifacts live — the old manager escalated to
+        drop-all once its pending set overflowed a fixed cap."""
         f = make_fib(world)
         manager = world.analyses
-        manager.scope(f)
-        flood = [world.literal(ct.I64, i) for i in range(PENDING_CAP + 1)]
+        scope = manager.scope(f)
+        cfg = manager.cfg(f)
+        flood = [world.literal(ct.I64, i) for i in range(5000)]
         manager.invalidate(flood)
-        before = manager.stats.drop_alls
-        manager.scope(f)
-        assert manager.stats.drop_alls == before + 1
+        drop_alls = manager.stats.drop_alls
+        second, built = constructed_during(lambda: manager.scope(f))
+        assert second is scope
+        assert built == 0
+        assert manager.cfg(f) is cfg
+        assert manager.stats.drop_alls == drop_alls
 
     def test_invalidate_none_is_drop_all(self, world):
         f = make_fib(world)
@@ -175,6 +280,17 @@ class TestManagerInvalidation:
         manager.set_enabled(False)
         assert manager.scope(f) is not manager.scope(f)
 
+    def test_non_incremental_drops_on_touch(self, world):
+        """``incremental=False`` restores the historical drop-on-touch
+        behaviour — the differential baseline for the patching logic."""
+        f = make_fib(world)
+        mem, n, ret = f.params
+        manager = world.analyses
+        manager.incremental = False
+        first = manager.scope(f)
+        world.jump(f, ret, (mem, n))
+        assert manager.scope(f) is not first
+
     def test_derived_analyses_follow_scope(self, world):
         f = make_fib(world)
         manager = world.analyses
@@ -188,7 +304,11 @@ class TestManagerInvalidation:
         assert manager.schedule(f) is sched
         mem, n, ret = f.params
         world.jump(f, ret, (mem, n))
-        assert manager.cfg(f) is not cfg
+        # The entry rewire refreshes the CFG in place and rebuilds what
+        # hangs off its (changed) edges.
+        assert manager.cfg(f) is cfg
+        assert manager.looptree(f) is not loops
+        assert manager.schedule(f) is not sched
 
 
 class TestTopLevelSweep:
@@ -219,6 +339,160 @@ class TestTopLevelSweep:
         tops = manager.top_level()
         assert f in tops and g in tops
 
+    def test_primop_churn_keeps_top_level_cached(self, world):
+        """Minting primops must not re-run the whole-world sweep: the
+        result is stamped with the structural generation."""
+        f = make_fib(world)
+        manager = world.analyses
+        manager.top_level()
+        for i in range(10):
+            world.add(f.param(1), world.literal(ct.I64, i))
+        _, built = constructed_during(manager.top_level)
+        hits = manager.stats.hits
+        manager.top_level()
+        assert manager.stats.hits == hits + 1
+        assert built == 0
+
+
+class TestDominanceFree:
+    """The scheduler answers dominance from CFG availability bitmasks;
+    no default pipeline path may construct an explicit DomTree."""
+
+    def _check_against_tree(self, cfg):
+        tree = DomTree(cfg)
+        nodes = cfg.nodes()
+        for n in nodes:
+            assert cfg.dom_depth(n) == tree.depth(n)
+            assert cfg.idom(n) is tree.idom(n)
+        for a in nodes:
+            for b in nodes:
+                assert cfg.dominates(a, b) == tree.dominates(a, b)
+                assert cfg.dom_lca(a, b) is tree.lca(a, b)
+
+    def test_masks_match_domtree(self, world):
+        for maker in (make_identity, make_fib, make_loop_sum):
+            f = maker(World("t"))
+            self._check_against_tree(CFG(Scope(f)))
+
+    def test_default_pipeline_builds_no_domtrees(self):
+        from repro import compile_source
+        from repro.backend.interp import Interpreter
+        from repro.programs.suite import by_name
+
+        program = by_name("quicksort")
+        before = DomTree.constructed
+        compiled = compile_source(program.source)
+        Interpreter(compiled).call(program.entry, *program.test_args)
+        assert DomTree.constructed == before, \
+            "optimize + interp must run dominance-free"
+
+
+def _cfg_fingerprint(cfg):
+    def key(n):
+        return getattr(n, "gid", -1)
+
+    return [
+        (key(n), sorted(key(s) for s in cfg.succs(n)), key(cfg.idom(n)))
+        for n in cfg.nodes()
+    ]
+
+
+def _schedule_fingerprint(sched):
+    return {
+        block.gid: [op.gid for op in sched.ops_in(block)]
+        for block in sched.blocks()
+    }
+
+
+class TestEditScriptProperty:
+    """Hypothesis-driven random edit scripts: after *every* edit, the
+    patched Scope/CFG/Schedule must equal from-scratch recomputations.
+
+    This is the in-process mirror of the fuzz oracle's
+    ``incremental(static)`` stage: the oracle checks end-to-end compiles
+    diverge nowhere; this property localizes a patching bug to the exact
+    edit that broke an artifact.
+    """
+
+    ENTRIES = ("fib", "sum_to", "id")
+
+    def _build(self):
+        world = World("t")
+        fib = make_fib(world)
+        loop = make_loop_sum(world)
+        ident = make_identity(world)
+        manager = world.analyses
+        return world, {"fib": fib, "sum_to": loop, "id": ident}, manager
+
+    def _apply_edit(self, world, fns, code, arg):
+        fib = fns["fib"]
+        mem, n, ret = fib.params
+        if code == 0:      # new primop using a member (growth)
+            world.add(n, world.literal(ct.I64, arg))
+        elif code == 1:    # new call to a cached entry (entry-ref no-op)
+            caller = world.continuation(FN_I64, f"caller{arg}")
+            cm, cx, cret = caller.params
+            world.jump(caller, fib, (cm, cx, cret))
+        elif code == 2:    # entry body rewire (CFG-only)
+            world.jump(fib, ret, (mem, world.literal(ct.I64, arg)))
+        elif code == 3:    # inner member rewire (re-flood + diff)
+            scope = Scope(fib)
+            inner = [c for c in scope.continuations()
+                     if c is not fib and c.has_body()]
+            if inner:
+                k = inner[arg % len(inner)]
+                world.jump(k, ret, (k.params[0] if k.num_params else mem,
+                                    world.literal(ct.I64, arg)))
+        elif code == 4:    # member loses its body (shrink)
+            scope = Scope(fib)
+            inner = [c for c in scope.continuations()
+                     if c is not fib and c.has_body()]
+            if inner:
+                inner[arg % len(inner)].unset_body()
+        elif code == 5:    # structural surgery on an unrelated cont
+            k = world.continuation(RET_I64, f"s{arg}")
+            k.append_param(ct.I64, "extra")
+            k.remove_param(k.num_params - 1)
+        elif code == 6:    # external marking (structural note)
+            world.make_external(fib)
+            world.remove_external(fib)
+        elif code == 7:    # wholesale drop
+            world.analyses.invalidate(None)
+
+    def _assert_consistent(self, fns, manager):
+        for entry in fns.values():
+            scope = manager.scope(entry)
+            fresh = Scope(entry)
+            assert list(scope._defs) == list(fresh._defs), \
+                f"patched scope of {entry.name} diverged"
+            cfg = manager.cfg(entry)
+            fresh_cfg = CFG(fresh)
+            assert _cfg_fingerprint(cfg) == _cfg_fingerprint(fresh_cfg), \
+                f"patched CFG of {entry.name} diverged"
+            sched = manager.schedule(entry)
+            assert (_schedule_fingerprint(sched)
+                    == _schedule_fingerprint(Schedule(fresh))), \
+                f"patched schedule of {entry.name} diverged"
+
+    def test_edit_scripts(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        given, settings, st = (hypothesis.given, hypothesis.settings,
+                               hypothesis.strategies)
+
+        @given(st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 7)),
+            max_size=12))
+        @settings(max_examples=60, deadline=None)
+        def run(script):
+            world, fns, manager = self._build()
+            # Warm every cache before the first edit.
+            self._assert_consistent(fns, manager)
+            for code, arg in script:
+                self._apply_edit(world, fns, code, arg)
+                self._assert_consistent(fns, manager)
+
+        run()
+
 
 class TestCachedPipelineIdentity:
     PROGRAMS = ("quicksort", "sort_hof", "compose", "sieve")
@@ -242,6 +516,20 @@ class TestCachedPipelineIdentity:
         assert (ref.call(program.entry, *program.test_args)
                 == got.call(program.entry, *program.test_args))
         assert "".join(ref.output) == "".join(got.output)
+
+    @pytest.mark.parametrize("name", PROGRAMS[:2])
+    def test_incremental_matches_drop_on_touch(self, name):
+        from repro import compile_source
+        from repro.core.printer import print_world
+        from repro.programs.suite import by_name
+        from repro.transform.pipeline import OptimizeOptions
+
+        program = by_name(name)
+        world_inc = compile_source(
+            program.source, options=OptimizeOptions(incremental=True))
+        world_drop = compile_source(
+            program.source, options=OptimizeOptions(incremental=False))
+        assert print_world(world_inc) == print_world(world_drop)
 
     def test_cache_telemetry(self):
         from repro.frontend import compile_to_ast, emit_module
@@ -280,3 +568,15 @@ class TestOracleCacheCheck:
             failure = run_oracle(prog, config)
             assert failure is None, failure.describe()
             assert "cache(static)" in config.record["paths"]
+
+    def test_fuzz_smoke_with_incremental_check(self):
+        from repro.fuzz.gen import generate_program
+        from repro.fuzz.oracle import OracleConfig, run_oracle
+
+        for seed in range(4):
+            prog = generate_program(seed)
+            config = OracleConfig(run_c=False, run_pgo=False,
+                                  check_incremental=True, record={})
+            failure = run_oracle(prog, config)
+            assert failure is None, failure.describe()
+            assert "incremental(static)" in config.record["paths"]

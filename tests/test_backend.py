@@ -59,6 +59,107 @@ class TestVMPrimitives:
         assert "ret" in text
 
 
+class _CountingProfile:
+    """Minimal duck-typed collector for the instrumented loop."""
+
+    def __init__(self):
+        from collections import defaultdict
+
+        self.entries = defaultdict(int)
+        self.calls = defaultdict(int)
+        self.edges = defaultdict(int)
+
+
+FUSED_NAMES = ("arith.br", "arith.arith", "lea.load", "lea.store",
+               "lea.const.load", "lea.const.store", "mov.jmp")
+
+
+class TestSuperinstructionFusion:
+    LOOP = """
+fn main(n: i64) -> i64 {
+    let arr = new_buf_i64(64);
+    let mut i = 0;
+    while i < n {
+        arr[i % 64] = arr[i % 64] + i;
+        i += 1;
+    }
+    let mut acc = 0;
+    for k in 0..64 { acc += arr[k]; }
+    acc
+}
+"""
+
+    def test_fusion_fires_on_hot_loops(self):
+        world = compile_source(self.LOOP)
+        program = compile_world(world).program
+        fused = "\n\n".join(f.disassemble(fused=True)
+                            for f in program.functions)
+        assert any(name in fused for name in FUSED_NAMES)
+        # The source stream — what serve artifacts, PGO site labels and
+        # the profiled loop consume — never contains superinstructions.
+        assert not any(name in program.disassemble()
+                       for name in FUSED_NAMES)
+
+    def test_fused_run_matches_unfused_run_exactly(self):
+        # The profiled loop executes the unfused source stream; both
+        # must agree on the result, the output, and the retired
+        # instruction count (superinstructions retire two).
+        world = compile_source(self.LOOP)
+        plain = compile_world(world)
+        value = plain.call("main", 1000)
+        profiled = compile_world(world, profile=_CountingProfile())
+        assert profiled.call("main", 1000) == value
+        assert profiled.vm.executed == plain.vm.executed
+        assert plain.vm.executed > 0
+
+    def test_jump_into_the_middle_of_a_fused_pair(self):
+        # Fusion leaves the second instruction of a pair in place, so a
+        # branch into it must still work: pc 3/4 fuse into arith.arith
+        # at 3, while the false edge of the br enters at 4 directly.
+        from repro.core.primops import ArithKind
+
+        add = bc.arith_fn(ArithKind.ADD, ct.I64)
+        program = bc.VMProgram()
+        fn = bc.VMFunction("f", 1, 1)
+        r1, r2, r3, r4 = (fn.new_reg() for _ in range(4))
+        fn.emit(bc.OP_CONST, r1, 10)
+        fn.emit(bc.OP_CONST, r2, 100)
+        fn.emit(bc.OP_BR, 0, 3, 4)
+        fn.emit(bc.OP_ARITH, r3, add, r1, r1)
+        fn.emit(bc.OP_ARITH, r4, add, r2, r2)
+        fn.emit(bc.OP_RET, (r4,))
+        program.add(fn)
+        listing = fn.disassemble(fused=True)
+        assert "arith.arith" in listing
+
+        vm_taken = bc.VM(program)
+        assert vm_taken.call(program, "f", 1) == 200
+        assert vm_taken.executed == 6  # the fused pair retires two
+        vm_skipped = bc.VM(program)
+        assert vm_skipped.call(program, "f", 0) == 200
+        assert vm_skipped.executed == 5
+
+    def test_step_limit_trips_identically(self):
+        # For any budget, the fused and unfused loops must agree on
+        # whether the step limit trips (the limit is only checked at
+        # control-flow opcodes; fused handlers keep those checks).
+        world = compile_source(self.LOOP)
+        budget = compile_world(world)
+        budget.call("main", 200)
+        steps = budget.vm.executed
+        for limit in (steps, steps // 2, steps // 7):
+            outcomes = []
+            for profile in (None, _CountingProfile()):
+                vm_image = compile_world(world, profile=profile,
+                                         max_steps=limit)
+                try:
+                    vm_image.call("main", 200)
+                    outcomes.append(("ok", vm_image.vm.executed))
+                except bc.VMLimitError:
+                    outcomes.append(("trap", vm_image.vm.executed))
+            assert outcomes[0] == outcomes[1]
+
+
 class TestCodegen:
     def _run(self, source, *args, entry="main"):
         world = compile_source(source)

@@ -37,7 +37,7 @@ class TestUseLists:
         world.jump(f, ret, (mem, x))
         world.jump(f, g, (mem, x, ret))
         # ret is now an argument (index 3), not the callee
-        indices = {u.index for u in ret.uses if u.user is f}
+        indices = {index for user, index in ret.uses if user is f}
         assert indices == {3}
 
     def test_unset_body_detaches(self, world):
@@ -46,7 +46,7 @@ class TestUseLists:
         world.jump(f, ret, (mem, x))
         f.unset_body()
         assert not f.has_body()
-        assert all(u.user is not f for u in x.uses)
+        assert all(user is not f for user, _ in x.uses)
 
     def test_num_uses_shared_node(self, world):
         f = world.continuation(FN_I64, "f")

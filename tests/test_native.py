@@ -306,6 +306,48 @@ def test_tiering_step_hotness():
     assert manager.decide("k").promote
 
 
+def test_tiering_profile_accumulation():
+    manager = TieringManager(TieringPolicy())
+    assert manager.profile_of("k") is None
+    snapshot = {"version": 1, "entries": {"fact": 3}, "call_sites": [],
+                "loops": [], "edges": [], "meta": {}}
+    manager.note_profile("k", snapshot)
+    manager.note_profile("k", snapshot)          # merged, counts summed
+    manager.note_profile("k", None)              # no profile: a no-op
+    manager.note_profile("k", {})
+    assert manager.profile_of("k")["entries"]["fact"] == 6
+    assert manager.profile_of("other") is None
+    assert manager.snapshot()["profiles_noted"] == 2
+
+
+def test_vm_tier_profile_feeds_pgo_native_compile(tmp_path):
+    """The worker-level PGO loop: a VM-tier run ships its profile, and
+    a native compile handed that profile runs a profile-guided round —
+    with byte-identical observable behaviour to the static build."""
+    from repro.native import DEFAULT_FUEL, NativeModule
+    from repro.serve.worker import _run_vm_tier, native_compile_request
+
+    request = {"key": "pgo-flow-test", "source": SRC_HOT, "entry": "main",
+               "args": [[6], [10]], "options": None}
+    result = _run_vm_tier(request)
+    assert result["steps"] > 0
+    profile = result["profile"]
+    assert profile["entries"], "VM tier returned an empty profile"
+
+    pgo = native_compile_request(
+        {"source": SRC_HOT, "options": None,
+         "native_dir": str(tmp_path / "store"), "profile": profile})
+    static = native_compile_request(
+        {"source": SRC_HOT, "options": None,
+         "native_dir": str(tmp_path / "store")})
+    assert pgo["pgo"] and not static["pgo"]
+    for built in (pgo, static):
+        assert Path(built["so"]).exists()
+        module = NativeModule(built["so"], built["entry_meta"])
+        run = module.run("main", [6], fuel=DEFAULT_FUEL)
+        assert (run.result, run.trap, run.output) == (722, None, "720")
+
+
 # ---------------------------------------------------------------------------
 # the serve daemon: watch a program climb the tiers
 # ---------------------------------------------------------------------------
@@ -376,6 +418,36 @@ def test_serve_promotes_hot_program_to_native(tmp_path):
             # the .so landed in the content-addressed store
             objects = list((tmp_path / "cache" / "native").rglob("*.so"))
             assert len(objects) == 1
+    finally:
+        st.stop()
+
+
+def test_serve_native_promotion_is_profile_guided(tmp_path):
+    # interp_runs=0: every request runs on the (instrumented) VM, so by
+    # the time the hot threshold trips the key has accumulated training
+    # data and the background native compile is PGO.
+    st = _ServerThread(ServerConfig(
+        port=0, workers=2, cache_dir=str(tmp_path / "cache"),
+        crash_dir=str(tmp_path / "crashes"),
+        tier_interp_runs=0, tier_hot_requests=3))
+    try:
+        with ServeClient(port=st.port, timeout=60.0) as client:
+            import time as _time
+            baseline = None
+            start = _time.monotonic()
+            while _time.monotonic() - start < 30.0:
+                reply = client.run(SRC_HOT, [[7]])
+                assert reply["ok"], reply
+                if baseline is None:
+                    baseline = reply["results"]
+                assert reply["results"] == baseline
+                if reply["tier"] == "native":
+                    break
+                _time.sleep(0.1)
+            assert reply["tier"] == "native"
+            stats = client.stats()["tiering"]
+            assert stats["profiles_noted"] >= 1
+            assert stats["native_pgo_compiles"] == 1
     finally:
         st.stop()
 

@@ -112,14 +112,15 @@ def test_clean_run_records_no_incidents():
 def test_unrecoverable_failure_writes_crash_bundle(tmp_path, monkeypatch):
     """If rollback itself dies, optimize raises PipelineCrash and leaves
     a bundle whose world.json restores to the pre-pipeline IR."""
-    import repro.core.snapshot as snapshot_mod
+    import repro.core.undo as undo_mod
 
-    def broken_restore(snapshot, *, into=None):
+    def broken_restore(self):
         raise RuntimeError("simulated rollback failure")
 
-    # The pipeline resolves restore_world at rollback time, so patching
-    # the module attribute breaks recovery without touching checkpoints.
-    monkeypatch.setattr(snapshot_mod, "restore_world", broken_restore)
+    # Phase checkpoints are undo logs on the default (incremental)
+    # configuration; breaking their restore breaks recovery without
+    # touching checkpoint-taking itself.
+    monkeypatch.setattr(undo_mod.UndoLog, "restore", broken_restore)
 
     world = _world()
     injector = FaultInjector(FaultPlan("raise", target="inline"))
@@ -148,12 +149,12 @@ def test_unrecoverable_failure_writes_crash_bundle(tmp_path, monkeypatch):
 
 
 def test_crash_dir_none_disables_bundles(monkeypatch):
-    import repro.core.snapshot as snapshot_mod
+    import repro.core.undo as undo_mod
 
-    def broken_restore(snapshot, *, into=None):
+    def broken_restore(self):
         raise RuntimeError("simulated rollback failure")
 
-    monkeypatch.setattr(snapshot_mod, "restore_world", broken_restore)
+    monkeypatch.setattr(undo_mod.UndoLog, "restore", broken_restore)
     world = _world()
     injector = FaultInjector(FaultPlan("raise", target="inline"))
     with pytest.raises(PipelineCrash) as info:
