@@ -1,0 +1,247 @@
+"""S2 — fleet throughput under concurrent load: 1 vs N shards.
+
+Boots a real fleet (``python -m repro.serve --shards N``) per shard
+count on a fresh store, warms it (every distinct request once), then
+drives it with a closed-loop asyncio load generator: many concurrent
+clients, each holding one connection to the router and issuing mixed
+compile/run traffic back-to-back.  ``overloaded`` replies are retried
+with the client library's shared exponential backoff + jitter
+(:func:`repro.serve.client.backoff_delay`), so shed load is part of
+the measured latency, not a failure.
+
+Reported per shard count: sustained throughput (req/s) and p50 / p99 /
+p999 latency.  The summary asserts the fleet contract: zero failed
+replies at every shard count and byte-identical compile artifacts
+across 1/2/4 shards.  The >= 2x scaling criterion (4 shards vs 1) is
+asserted only on machines with >= 4 cores — shards are processes, so
+on a single-core box the comparison measures scheduler churn, not the
+architecture; the numbers are still reported.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the client count and shard list for CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import signal
+import statistics
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.programs.suite import ALL_PROGRAMS
+from repro.serve.client import (RETRY_ATTEMPTS, ServeClient,
+                                backoff_delay)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SHARD_COUNTS = [1, 2] if SMOKE else [1, 2, 4]
+CLIENTS = 50 if SMOKE else 1000
+REQUESTS_PER_CLIENT = 2 if SMOKE else 4
+
+# Small distinct working set: the measured phase is warm-store traffic,
+# which is what a fleet actually serves in steady state.
+_COMPILE_PROGRAMS = ALL_PROGRAMS[:8]
+_RUN_PROGRAMS = ([p for p in ALL_PROGRAMS
+                  if p.name in ("pow", "ackermann", "nqueens", "sieve")]
+                 or ALL_PROGRAMS[:4])
+
+_results: dict[int, dict] = {}
+_initialized = False
+
+
+def _traffic_mix() -> list[dict]:
+    mix: list[dict] = []
+    for program in _COMPILE_PROGRAMS:
+        mix.append({"op": "compile", "source": program.source,
+                    "opt": "none"})
+        mix.append({"op": "compile", "source": program.source,
+                    "opt": "static"})
+    for program in _RUN_PROGRAMS:
+        mix.append({"op": "run", "source": program.source,
+                    "entry": program.entry,
+                    "args": [list(program.test_args)]})
+    return mix
+
+
+@pytest.fixture()
+def fleet_factory(tmp_path_factory):
+    procs = []
+
+    def boot(shards: int):
+        tmp = tmp_path_factory.mktemp(f"bench-fleet-{shards}")
+        port_file = tmp / "router.port"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve",
+             "--shards", str(shards), "--port", "0",
+             "--port-file", str(port_file),
+             "--workers", "2", "--max-pending", "64", "--no-native",
+             "--cache-dir", str(tmp / "cache"),
+             "--crash-dir", str(tmp / "crashes")],
+            env=dict(os.environ))
+        procs.append(proc)
+        deadline = time.monotonic() + 120.0
+        while not port_file.exists():
+            if proc.poll() is not None:
+                raise RuntimeError(f"fleet({shards}) died on startup")
+            if time.monotonic() > deadline:
+                proc.kill()
+                raise RuntimeError(f"fleet({shards}) reported no port")
+            time.sleep(0.1)
+        return proc, int(port_file.read_text())
+
+    yield boot
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+    for proc in procs:
+        try:
+            proc.wait(timeout=60.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def _warm_store(port: int, mix: list[dict]) -> dict[str, str]:
+    """Issue every distinct request once; digest the compile artifacts."""
+    digests: dict[str, str] = {}
+    with ServeClient(port=port, timeout=300.0) as client:
+        for request in mix:
+            reply = client.request(dict(request))
+            assert reply.get("ok"), reply
+            if request["op"] == "compile":
+                key = f"{request['opt']}:{reply['key']}"
+                # Only the deterministic artifacts: the stats artifact
+                # carries wall-clock phase timings.
+                material = {name: reply["artifacts"][name]
+                            for name in ("ir", "c", "bytecode")}
+                digests[key] = hashlib.sha256(
+                    json.dumps(material,
+                               sort_keys=True).encode()).hexdigest()
+    return digests
+
+
+async def _client_loop(host: str, port: int, stream: list[dict],
+                       latencies: list[float], failures: list[dict],
+                       retries: list[int]) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for request in stream:
+            line = json.dumps(request).encode() + b"\n"
+            started = time.perf_counter()
+            for attempt in range(RETRY_ATTEMPTS + 1):
+                writer.write(line)
+                await writer.drain()
+                reply = json.loads(await reader.readline())
+                if reply.get("ok") or \
+                        reply.get("error", {}).get("code") != "overloaded":
+                    break
+                retries.append(attempt)
+                await asyncio.sleep(backoff_delay(attempt))
+            latencies.append(time.perf_counter() - started)
+            if not reply.get("ok"):
+                failures.append(reply)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+
+
+async def _generate_load(port: int, mix: list[dict]):
+    latencies: list[float] = []
+    failures: list[dict] = []
+    retries: list[int] = []
+    streams = []
+    for index in range(CLIENTS):
+        streams.append([dict(mix[(index + step) % len(mix)])
+                        for step in range(REQUESTS_PER_CLIENT)])
+    started = time.perf_counter()
+    await asyncio.gather(*(
+        _client_loop("127.0.0.1", port, stream, latencies, failures,
+                     retries)
+        for stream in streams))
+    elapsed = time.perf_counter() - started
+    return latencies, failures, retries, elapsed
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_s2_load(shards, fleet_factory, report):
+    table = report("S2_load")
+    global _initialized
+    if not _initialized:
+        table.columns("shards", "clients", "requests", "throughput_rps",
+                      "p50_ms", "p99_ms", "p999_ms", "retries", "failed")
+        table.note(
+            f"closed-loop: {CLIENTS} concurrent clients x "
+            f"{REQUESTS_PER_CLIENT} mixed compile/run requests on a "
+            f"warm store; overloaded replies retried with backoff "
+            f"(client library policy). Acceptance: 0 failed replies, "
+            f"byte-identical artifacts across shard counts, >= 2x "
+            f"throughput at 4 shards vs 1 on >= 4 cores.")
+        _initialized = True
+
+    proc, port = fleet_factory(shards)
+    mix = _traffic_mix()
+    digests = _warm_store(port, mix)
+
+    latencies, failures, retries, elapsed = asyncio.run(
+        _generate_load(port, mix))
+    assert proc.poll() is None, "fleet died under load"
+    assert not failures, failures[:3]
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(latencies) == total
+
+    throughput = total / elapsed
+    _results[shards] = {"throughput": throughput, "digests": digests,
+                        "failed": len(failures)}
+    table.row(shards, CLIENTS, total, throughput,
+              _percentile(latencies, 0.50) * 1000,
+              _percentile(latencies, 0.99) * 1000,
+              _percentile(latencies, 0.999) * 1000,
+              len(retries), len(failures))
+
+
+def test_s2_summary(report):
+    assert len(_results) == len(SHARD_COUNTS)
+    table = report("S2_load")
+
+    # Byte-identical artifacts regardless of how the fleet is sharded.
+    reference = _results[SHARD_COUNTS[0]]["digests"]
+    for shards in SHARD_COUNTS[1:]:
+        assert _results[shards]["digests"] == reference, (
+            f"artifacts at {shards} shard(s) differ from "
+            f"{SHARD_COUNTS[0]} shard(s)")
+    table.note(f"artifact digests identical across shard counts "
+               f"{SHARD_COUNTS} ({len(reference)} distinct compiles)")
+
+    assert all(r["failed"] == 0 for r in _results.values())
+
+    cores = os.cpu_count() or 1
+    if 4 in _results and cores >= 4 and not SMOKE:
+        ratio = (_results[4]["throughput"] /
+                 _results[1]["throughput"])
+        table.note(f"scaling 4 vs 1 shards: {ratio:.2f}x "
+                   f"({cores} cores)")
+        assert ratio >= 2.0, (
+            f"4 shards should sustain >= 2x the throughput of 1, "
+            f"got {ratio:.2f}x")
+    else:
+        ratios = {s: _results[s]["throughput"] /
+                  _results[SHARD_COUNTS[0]]["throughput"]
+                  for s in SHARD_COUNTS[1:]}
+        table.note(
+            f"scaling vs {SHARD_COUNTS[0]} shard(s): "
+            + ", ".join(f"{s}: {r:.2f}x" for s, r in ratios.items())
+            + f" — >=2x gate skipped ({cores} core(s), smoke={SMOKE}); "
+              f"shards are processes, so scaling needs real cores.")

@@ -74,12 +74,24 @@ class JobError(Exception):
         super().__init__(f"{kind}: {detail}")
 
 
-def _child_loop(conn, handler):
+def _child_loop(conn, handler, parent_conn=None):
     """Worker main: serve jobs off *conn* until EOF or parent death."""
     # A fresh process group would also work, but keeping the parent's
     # group lets Ctrl-C at the terminal reach the whole tree.
+    #
+    # The fork also inherits the *parent's* end of the pipe; close our
+    # copy or EOF can never arrive.  Even then, sibling seats forked
+    # later inherit this seat's parent end too, so a parent that dies
+    # without cleanup (SIGKILL) may never produce EOF here — watch for
+    # reparenting as the backstop, or the worker outlives the daemon.
+    if parent_conn is not None:
+        parent_conn.close()
+    parent_pid = os.getppid()
     while True:
         try:
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:
+                    os._exit(0)
             job = conn.recv()
         except (EOFError, OSError):
             os._exit(0)
@@ -126,7 +138,8 @@ class ForkWorker:
         ctx = multiprocessing.get_context("fork")
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self._proc = ctx.Process(
-            target=_child_loop, args=(child_conn, self._handler),
+            target=_child_loop,
+            args=(child_conn, self._handler, parent_conn),
             daemon=True)
         self._proc.start()
         child_conn.close()

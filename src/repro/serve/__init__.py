@@ -20,7 +20,14 @@ The interesting parts, each in its own module:
   shedding, single-flight coalescing of identical in-flight requests,
   introspection, clean SIGTERM shutdown;
 * :mod:`.client` — a small blocking client for tests, benchmarks and
-  scripts.
+  scripts; retries ``overloaded`` replies with bounded
+  backoff + jitter;
+* :mod:`.router` — fleet front end: consistent-hash routing on the
+  cache key over pooled pipelined shard connections, dead-shard
+  redispatch, fleet-wide stats aggregation;
+* :mod:`.fleet` — the fleet manager behind ``--shards N``: spawns and
+  supervises N shard daemons (restart-on-crash with backoff,
+  staggered SIGTERM drain) around one router.
 """
 
 from .cache import ArtifactCache, cache_key

@@ -1,6 +1,9 @@
-"""``python -m repro.serve`` — run the compile service daemon.
+"""``python -m repro.serve`` — run the compile service.
 
 Foreground process; logs one line on start, exits 0 on SIGTERM/SIGINT.
+Default is one daemon; ``--shards N`` boots fleet mode instead — N
+supervised shard daemons sharing the on-disk object store behind a
+consistent-hash router (see :mod:`repro.serve.fleet`).
 """
 
 from __future__ import annotations
@@ -11,28 +14,47 @@ import sys
 from .server import ServerConfig, run_server
 
 
-def _parse_args(argv=None) -> ServerConfig:
+def _parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
         description="async compile server with content-addressed artifact "
-                    "cache and crash-isolated workers")
+                    "cache and crash-isolated workers; --shards N runs a "
+                    "sharded fleet behind a consistent-hash router")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=7767,
-                        help="TCP port (default 7767)")
+                        help="TCP port (default 7767; 0 = ephemeral, "
+                             "see --port-file)")
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="fleet mode: run N shard daemons behind a "
+                             "router on --port (default 0 = single daemon)")
     parser.add_argument("--workers", type=int, default=2, metavar="N",
-                        help="forked compile workers (default 2)")
+                        help="forked compile workers per daemon "
+                             "(default 2)")
     parser.add_argument("--cache-dir", default="serve_cache",
                         help="artifact store directory; 'none' disables "
-                             "the on-disk tier (default serve_cache)")
+                             "the on-disk tier (default serve_cache; "
+                             "fleet shards share it)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="B",
+                        help="disk object-store budget; exceeding it "
+                             "triggers an mtime-LRU GC sweep (default "
+                             "unbounded)")
     parser.add_argument("--crash-dir", default="crash_reports",
                         help="where worker-crash bundles go")
     parser.add_argument("--max-pending", type=int, default=32, metavar="N",
                         help="compiles queued or running before the server "
-                             "sheds load (default 32)")
+                             "sheds load (default 32; per shard in fleet "
+                             "mode)")
     parser.add_argument("--request-timeout", type=float, default=120.0,
                         metavar="S",
                         help="per-compile wall-clock budget in seconds; "
                              "overruns kill the worker (default 120)")
+    parser.add_argument("--shard-name", default=None, metavar="NAME",
+                        help="identity echoed by ping/stats (set by the "
+                             "fleet manager)")
+    parser.add_argument("--port-file", default=None, metavar="PATH",
+                        help="write the bound port here once listening "
+                             "(for --port 0)")
     parser.add_argument("--no-native", action="store_true",
                         help="disable the native execution tier; 'run' "
                              "requests stop tiering at the VM")
@@ -46,19 +68,41 @@ def _parse_args(argv=None) -> ServerConfig:
                         metavar="N",
                         help="cumulative VM steps that mark a program hot "
                              "(default 100000)")
-    args = parser.parse_args(argv)
+    return parser.parse_args(argv)
+
+
+def _server_config(args: argparse.Namespace) -> ServerConfig:
     return ServerConfig(
         host=args.host, port=args.port, workers=args.workers,
         cache_dir=None if args.cache_dir == "none" else args.cache_dir,
         crash_dir=args.crash_dir, max_pending=args.max_pending,
         request_timeout=args.request_timeout,
+        shard_name=args.shard_name, port_file=args.port_file,
+        cache_max_bytes=args.cache_max_bytes,
         native=not args.no_native, native_dir=args.native_dir,
         tier_hot_requests=args.hot_requests,
         tier_hot_steps=args.hot_steps)
 
 
 def main(argv=None) -> int:
-    config = _parse_args(argv)
+    args = _parse_args(argv)
+    if args.shards > 0:
+        from .fleet import FleetConfig, run_fleet
+
+        if args.cache_dir == "none":
+            print("fleet mode needs a shared --cache-dir", file=sys.stderr)
+            return 2
+        run_fleet(FleetConfig(
+            host=args.host, port=args.port, shards=args.shards,
+            workers_per_shard=args.workers, cache_dir=args.cache_dir,
+            crash_dir=args.crash_dir, max_pending=args.max_pending,
+            request_timeout=args.request_timeout,
+            native=not args.no_native,
+            cache_max_bytes=args.cache_max_bytes,
+            port_file=args.port_file))
+        print("repro.serve: clean fleet shutdown", flush=True)
+        return 0
+    config = _server_config(args)
     print(f"repro.serve listening on {config.host}:{config.port} "
           f"({config.workers} workers, cache={config.cache_dir})",
           flush=True)

@@ -18,6 +18,15 @@ and a hit promotes the entry back into memory.
 The store is shared-nothing-safe: entries are immutable once written
 (content-addressed), so concurrent servers on one directory can only
 race to write identical bytes.
+
+Disk growth is bounded by an optional mtime-LRU sweep
+(``max_bytes``): every ``GC_PUT_INTERVAL`` writes the owning server
+scans the object store and unlinks the least-recently-used objects
+until usage falls under a low watermark.  Hits refresh an object's
+mtime, so hot entries survive.  The sweep is safe under concurrent
+shards sharing one store: deletes are single atomic ``unlink`` calls,
+a racing reader that loses simply takes a miss and recompiles, and a
+racing sweeper that loses an ``unlink`` ignores the ``ENOENT``.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import asdict, fields
 from pathlib import Path
 
@@ -110,17 +120,38 @@ def run_cache_key(request: dict) -> str:
         canonical_json(material).encode("utf-8")).hexdigest()
 
 
+# Disk GC cadence: one sweep per this many object writes.  A sweep is
+# a directory scan, so amortize it; the store can overshoot max_bytes
+# by at most GC_PUT_INTERVAL objects between sweeps.
+GC_PUT_INTERVAL = 16
+
+# Sweep down to this fraction of max_bytes so back-to-back puts don't
+# re-trigger a full scan each time.
+GC_LOW_WATERMARK = 0.8
+
+# Orphaned .tmp files (a writer died between write and rename) older
+# than this are reclaimed by the sweep.
+GC_STALE_TMP_SECONDS = 600.0
+
+
 class ArtifactCache:
     """In-memory LRU over an on-disk content-addressed object store."""
 
     def __init__(self, cache_dir: str | Path | None,
-                 memory_entries: int = 128):
+                 memory_entries: int = 128,
+                 max_bytes: int | None = None):
         self.root = None if cache_dir is None else Path(cache_dir)
         self.memory_entries = memory_entries
+        self.max_bytes = max_bytes
         self._memory: dict[str, dict] = {}  # insertion order = LRU order
         self.hits_memory = 0
         self.hits_disk = 0
         self.misses = 0
+        self.evictions = 0
+        self.evicted_bytes = 0
+        self.gc_sweeps = 0
+        # Sweep on the very first put, then every GC_PUT_INTERVAL.
+        self._puts_since_gc = GC_PUT_INTERVAL - 1
 
     def _object_path(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"
@@ -146,6 +177,10 @@ class ArtifactCache:
                 entry = None
             if entry is not None:
                 self.hits_disk += 1
+                try:  # LRU touch: a hit must survive the next GC sweep
+                    os.utime(path)
+                except OSError:
+                    pass  # concurrently evicted; the entry is in memory now
                 self._remember(key, entry)
                 return entry, "disk"
         self.misses += 1
@@ -160,6 +195,77 @@ class ArtifactCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(canonical_json(entry))
         os.replace(tmp, path)
+        if self.max_bytes is not None:
+            self._puts_since_gc += 1
+            if self._puts_since_gc >= GC_PUT_INTERVAL:
+                self.gc()
+
+    # -- disk eviction ------------------------------------------------------
+
+    def disk_usage(self) -> int:
+        """Bytes currently held by the on-disk object store."""
+        if self.root is None:
+            return 0
+        total = 0
+        for path in (self.root / "objects").glob("*/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass  # racing sweeper on a shared store
+        return total
+
+    def gc(self, max_bytes: int | None = None) -> dict:
+        """One mtime-LRU sweep; returns what it did.
+
+        Oldest objects go first until usage is under the low
+        watermark.  Every delete is one atomic ``unlink``; ``ENOENT``
+        (a concurrent shard swept the same file) is not an error.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        self._puts_since_gc = 0
+        if self.root is None or budget is None:
+            return {"evicted": 0, "evicted_bytes": 0, "disk_bytes": 0}
+        self.gc_sweeps += 1
+        now = time.time()
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in (self.root / "objects").glob("*/*"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            if path.name.endswith(".json"):
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            elif (".tmp." in path.name
+                  and now - stat.st_mtime > GC_STALE_TMP_SECONDS):
+                # A writer died between write and rename; reclaim.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        disk_bytes = total
+        evicted = evicted_bytes = 0
+        if total > budget:
+            target = int(budget * GC_LOW_WATERMARK)
+            entries.sort()  # oldest mtime first
+            for _, size, path in entries:
+                if total <= target:
+                    break
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    total -= size  # another shard beat us to it
+                    continue
+                except OSError:
+                    continue
+                total -= size
+                evicted += 1
+                evicted_bytes += size
+        self.evictions += evicted
+        self.evicted_bytes += evicted_bytes
+        return {"evicted": evicted, "evicted_bytes": evicted_bytes,
+                "disk_bytes": disk_bytes - evicted_bytes}
 
     def _remember(self, key: str, entry: dict) -> None:
         self._memory.pop(key, None)
@@ -177,4 +283,7 @@ class ArtifactCache:
             "hit_rate": (0.0 if not total
                          else round((self.hits_memory + self.hits_disk)
                                     / total, 4)),
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
+            "gc_sweeps": self.gc_sweeps,
         }

@@ -1,0 +1,195 @@
+"""CI smoke driver for fleet mode: ``python -m repro.serve.fleet_smoke``.
+
+Boots a real fleet (``python -m repro.serve --shards N`` subprocess),
+drives it with batched mixed compile/run traffic, SIGKILLs one shard
+in the middle of the run, and asserts the fleet contract:
+
+* every batch sub-reply is ``ok`` — **zero** client-visible failures,
+  including the batches in flight when the shard dies (the router
+  redispatches them to live shards);
+* artifacts are byte-identical to a direct in-process compile;
+* the fleet ``stats`` op reflects the kill: ``fleet.restarts >= 1``
+  and all shards back in the ring;
+* SIGTERM produces a staggered drain and a clean exit (status 0).
+
+Exit status 0 = contract holds.  Used by the ``fleet-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from ..programs.suite import ALL_PROGRAMS
+from .client import ServeClient
+from .worker import compile_request
+
+
+def _mixed_requests(count: int) -> list[dict]:
+    """Deterministic mixed traffic: compiles at two levels + runs.
+
+    Compiles cover the whole suite; run traffic sticks to the cheap
+    programs so the smoke exercises the run path without paying for
+    interp-tier heavyweights on small CI boxes.
+    """
+    cheap = {"pow", "ackermann", "nqueens", "sieve", "compose"}
+    pool: list[dict] = []
+    for program in ALL_PROGRAMS:
+        pool.append({"op": "compile", "source": program.source,
+                     "opt": "none"})
+        pool.append({"op": "compile", "source": program.source,
+                     "opt": "static"})
+        if program.name in cheap:
+            pool.append({"op": "run", "source": program.source,
+                         "entry": program.entry,
+                         "args": [list(program.test_args)]})
+    return [dict(pool[index % len(pool)]) for index in range(count)]
+
+
+def _wait_for_port(port_file: str, proc: subprocess.Popen,
+                   deadline: float) -> int:
+    while True:
+        if proc.poll() is not None:
+            raise SystemExit(f"fleet exited during startup "
+                             f"({proc.returncode})")
+        try:
+            return int(open(port_file).read())
+        except (OSError, ValueError):
+            if time.monotonic() > deadline:
+                raise SystemExit("fleet did not report a router port")
+            time.sleep(0.2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.fleet_smoke")
+    parser.add_argument("--shards", type=int, default=4, metavar="N")
+    parser.add_argument("--requests", type=int, default=200, metavar="N")
+    parser.add_argument("--batch-size", type=int, default=20, metavar="N")
+    parser.add_argument("--identity-checks", type=int, default=4,
+                        metavar="N")
+    args = parser.parse_args(argv)
+
+    tmp = tempfile.mkdtemp(prefix="fleet-smoke-")
+    port_file = os.path.join(tmp, "router.port")
+    fleet = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve",
+         "--shards", str(args.shards), "--port", "0",
+         "--port-file", port_file, "--workers", "1",
+         "--max-pending", "64", "--no-native",
+         "--cache-dir", os.path.join(tmp, "cache"),
+         "--crash-dir", os.path.join(tmp, "crashes")],
+        env={**os.environ, "PYTHONPATH": os.environ.get("PYTHONPATH", "")})
+    failures: list[str] = []
+    try:
+        port = _wait_for_port(port_file, fleet,
+                              time.monotonic() + 120.0)
+        client = ServeClient(port=port, timeout=300.0)
+
+        ping = client.ping()
+        if ping.get("role") != "router" or \
+                ping.get("shards_live") != args.shards:
+            failures.append(f"unexpected router ping: {ping}")
+
+        victim = None
+        stats = client.stats()
+        procs = stats["fleet"].get("shard_procs", {})
+        if procs:
+            victim = sorted(procs.values(),
+                            key=lambda p: p["port"] or 0)[0]["pid"]
+        if victim is None:
+            failures.append(f"no shard pids in fleet stats: {stats}")
+
+        requests = _mixed_requests(args.requests)
+        batches = [requests[i:i + args.batch_size]
+                   for i in range(0, len(requests), args.batch_size)]
+        kill_at = len(batches) // 2
+        done = failed = 0
+        for index, batch in enumerate(batches):
+            if index == kill_at and victim is not None:
+                os.kill(victim, signal.SIGKILL)
+                print(f"SIGKILLed shard pid {victim} before batch "
+                      f"{index}", flush=True)
+            replies, summary = client.batch(batch, request_id=index)
+            done += summary.get("replies", 0)
+            if summary.get("failed"):
+                failed += summary["failed"]
+                for sub_id, reply in replies.items():
+                    if not reply.get("ok"):
+                        failures.append(
+                            f"batch {index} sub {sub_id} failed: "
+                            f"{reply.get('error')}")
+        print(f"{done} batched sub-replies, {failed} failed", flush=True)
+        if failed:
+            failures.append(f"{failed} failed replies (want 0, the "
+                            f"router must redispatch)")
+
+        # Byte-identity through the fleet: routed compile == direct.
+        for index in range(args.identity_checks):
+            program = ALL_PROGRAMS[index % len(ALL_PROGRAMS)]
+            request = {"op": "compile", "source": program.source,
+                       "opt": "static"}
+            reply = client.request(dict(request))
+            if not reply.get("ok"):
+                failures.append(f"identity request failed: {reply}")
+                continue
+            direct = compile_request(dict(request))
+            for artifact in ("ir", "c", "bytecode"):
+                if reply["artifacts"].get(artifact) != \
+                        direct.get(artifact):
+                    failures.append(
+                        f"{program.name}: artifact {artifact!r} differs "
+                        f"between fleet and direct compile")
+        print(f"byte-identity verified on {args.identity_checks} "
+              f"request(s)", flush=True)
+
+        # The supervisor must have restarted the killed shard and the
+        # stats op must say so.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            stats = client.stats()
+            if stats["fleet"].get("restarts", 0) >= 1 and \
+                    stats["router"]["shards_live"] == args.shards:
+                break
+            time.sleep(0.5)
+        restarts = stats["fleet"].get("restarts", 0)
+        live = stats["router"]["shards_live"]
+        redispatches = stats["router"]["counters"].get("redispatches", 0)
+        print(f"restarts={restarts} shards_live={live} "
+              f"redispatches={redispatches}", flush=True)
+        if restarts < 1:
+            failures.append(f"fleet stats do not reflect the restart: "
+                            f"{stats['fleet']}")
+        if live != args.shards:
+            failures.append(f"{live}/{args.shards} shards live after "
+                            f"restart window")
+        client.close()
+    finally:
+        fleet.send_signal(signal.SIGTERM)
+        try:
+            exit_code = fleet.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            fleet.kill()
+            exit_code = None
+    if exit_code != 0:
+        failures.append(f"fleet exit status {exit_code} after SIGTERM "
+                        f"(want 0)")
+    else:
+        print("clean staggered SIGTERM shutdown")
+
+    if failures:
+        print("FLEET SMOKE FAILURES:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("fleet smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

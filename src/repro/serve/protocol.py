@@ -24,13 +24,27 @@ Requests
     ``native_state`` so clients can watch promotion happen.  Optional:
     ``options`` (pipeline overrides, as for compile), ``id``.
 
+``{"op": "batch", "requests": [{...}, ...]}``
+    One line carrying many sub-requests (``compile``/``run``/``ping``/
+    ``stats``; batches do not nest).  Sub-replies are *streamed back as
+    they complete*, each tagged with the sub-request's ``id`` (its index
+    in ``requests`` when absent) plus the batch's own ``id`` under
+    ``batch``; a final summary line ``{"ok": true, "batch_complete":
+    true, "replies": N, "failed": M}`` closes the batch.  Sub-requests
+    execute concurrently — a batch is the protocol's pipelining
+    primitive, and the fleet router fans its sub-requests out across
+    shards by cache-key affinity.
+
 ``{"op": "stats"}``
     Introspection: counters, latency histograms, cache rates,
     aggregated per-phase pipeline timings, per-tier execution counters
-    (``tiering``).
+    (``tiering``).  Fleet routers aggregate: per-shard stats plus
+    router counters and fleet-wide sums.
 
 ``{"op": "ping"}``
-    Liveness probe; replies ``{"ok": true, "pong": true}``.
+    Liveness probe; replies ``{"ok": true, "pong": true, "version":
+    ..., "pid": ..., "shard": ...}`` so routers and operators can tell
+    shards apart.
 
 Replies
 -------
@@ -56,6 +70,11 @@ import json
 # client buffer the server into the ground.
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
+# Sub-requests one batch line may carry.  Big enough that one
+# connection can ship a corpus, small enough that a single line cannot
+# fan out into unbounded concurrent work.
+MAX_BATCH_REQUESTS = 1024
+
 OPT_LEVELS = ("none", "static", "pgo")
 
 ERROR_CODES = (
@@ -65,6 +84,7 @@ ERROR_CODES = (
     "compile-error",    # the compiler rejected the program (worker fine)
     "worker-crash",     # the worker process died or hung; bundle written
     "overloaded",       # admission control shed the request
+    "unavailable",      # fleet router: no live shard could take this
     "shutting-down",    # server received SIGTERM mid-request
 )
 
@@ -164,6 +184,39 @@ def validate_compile_request(request: dict) -> dict:
                                 "'fault' must be an object with a 'mode'")
         normalized["fault"] = fault
     return normalized
+
+
+def validate_batch_request(request: dict) -> list[dict]:
+    """Check a batch envelope; returns its sub-requests, ids assigned.
+
+    Each sub-request must be a JSON object and must not itself be a
+    batch.  Sub-requests without an ``id`` get their index, so every
+    streamed sub-reply is attributable.  Deeper validation (source,
+    opt, options) happens when each sub-request is dispatched — a bad
+    sub-request yields a structured error *reply* for its id, never a
+    failed batch.
+    """
+    subs = request.get("requests")
+    if not (isinstance(subs, list) and subs):
+        raise ProtocolError("bad-request",
+                            "'requests' must be a non-empty list")
+    if len(subs) > MAX_BATCH_REQUESTS:
+        raise ProtocolError(
+            "bad-request",
+            f"batch of {len(subs)} exceeds {MAX_BATCH_REQUESTS} "
+            f"sub-requests")
+    out = []
+    for index, sub in enumerate(subs):
+        if not isinstance(sub, dict):
+            raise ProtocolError(
+                "bad-request",
+                f"batch sub-request {index} is not an object")
+        if sub.get("op") == "batch":
+            raise ProtocolError("bad-request", "batches do not nest")
+        sub = dict(sub)
+        sub.setdefault("id", index)
+        out.append(sub)
+    return out
 
 
 def validate_run_request(request: dict) -> dict:

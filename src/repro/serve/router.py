@@ -1,0 +1,758 @@
+"""Fleet front-end: consistent-hash routing over compile shards.
+
+The router terminates client connections, speaks the same NDJSON
+protocol as a single daemon, and forwards each request to one of N
+shard servers.  The routing key is the request's *cache key* — the
+same sha256 the shard itself derives (:mod:`repro.serve.cache`) — so
+a given compile or run always lands on the same shard.  That gives
+the fleet three properties for free:
+
+* **hot in-memory LRUs** — a shard only ever sees its own key range,
+  so its memory cache tier stays dense instead of N-way diluted;
+* **fleet-wide single-flight** — identical concurrent requests meet
+  on one shard and coalesce there; no cross-shard duplicate compiles;
+* **deterministic artifacts** — any shard computes the same bytes
+  (compiles are pure functions of the key material), so rebalancing
+  is always safe.
+
+Key affinity is a consistent hash (:class:`HashRing`, sha256 points,
+``REPLICAS`` virtual nodes per shard): when a shard dies only its arc
+of the ring moves, the rest of the key space keeps its warm shard.
+In-flight requests on a dying shard raise :class:`ShardDown`
+internally and are *redispatched* to the next live shard — safe
+because requests are pure — so a shard SIGKILL under load produces
+zero client-visible failures.
+
+Router->shard transport is a small pool of *pipelined* connections
+per shard (:class:`ShardLink`): many requests in flight per
+connection, tagged with router-assigned ids and matched to replies by
+id (the shard serves one connection's lines concurrently).  The
+``batch`` op is decomposed at the router: every sub-request routes by
+its own key, so one client line fans out across the whole fleet and
+the sub-replies stream back in completion order.
+
+``ping``/``stats`` are answered by the router itself; ``stats``
+aggregates — router counters, per-shard introspection, fleet-wide
+sums.  A health loop pings shards: live ones that stop answering are
+removed from the ring, known-but-down ones that answer again are
+re-added (the fleet manager also drives both transitions directly
+when it observes a shard process exit or restart).
+
+Standalone use against already-running daemons::
+
+    python -m repro.serve.router --port 7767 \\
+        --shard a=127.0.0.1:7768 --shard b=127.0.0.1:7769
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import bisect
+import hashlib
+import itertools
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+
+from .. import __version__
+from .cache import cache_key, run_cache_key
+from .metrics import Metrics
+from .protocol import (MAX_LINE_BYTES, ProtocolError, decode_line,
+                       encode_message, error_reply, validate_batch_request,
+                       validate_compile_request, validate_run_request)
+
+# Virtual nodes per shard on the ring.  96 points x sha256 keeps the
+# per-shard share of the key space within a few percent of uniform for
+# small fleets while add/remove stays O(replicas log n).
+REPLICAS = 96
+
+
+class ShardDown(Exception):
+    """The shard died (or its connection did) before replying."""
+
+
+class HashRing:
+    """Consistent hashing: key -> shard, minimal movement on change.
+
+    Each shard contributes ``replicas`` points at
+    ``sha256(f"{name}#{i}")``; a key maps to the first point clockwise
+    from ``sha256(key)``.  Removing a shard moves only the keys on its
+    own arcs; every other key keeps its (warm) shard.
+    """
+
+    def __init__(self, replicas: int = REPLICAS):
+        self.replicas = replicas
+        self._points: list[int] = []      # sorted hash positions
+        self._owners: list[str] = []      # shard name per position
+        self._members: set[str] = set()
+
+    @staticmethod
+    def _hash(material: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(material.encode("utf-8")).digest()[:8], "big")
+
+    @property
+    def members(self) -> frozenset:
+        return frozenset(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def add(self, name: str) -> None:
+        if name in self._members:
+            return
+        self._members.add(name)
+        for replica in range(self.replicas):
+            point = self._hash(f"{name}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, name)
+
+    def remove(self, name: str) -> None:
+        if name not in self._members:
+            return
+        self._members.discard(name)
+        keep = [(p, o) for p, o in zip(self._points, self._owners)
+                if o != name]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def lookup(self, key: str) -> str | None:
+        """The shard owning *key*, or ``None`` on an empty ring."""
+        if not self._points:
+            return None
+        index = bisect.bisect(self._points, self._hash(key))
+        if index == len(self._points):
+            index = 0  # wrap: past the last point -> first point
+        return self._owners[index]
+
+
+# ---------------------------------------------------------------------------
+# pooled, pipelined shard connections
+# ---------------------------------------------------------------------------
+
+
+class _Conn:
+    """One pipelined connection: many requests in flight, matched by id."""
+
+    def __init__(self):
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.pending: dict[str, asyncio.Future] = {}
+        self.reader_task: asyncio.Task | None = None
+        self.dead = False
+
+
+class ShardLink:
+    """The router's transport to one shard: a small connection pool.
+
+    Requests are tagged with router ids (``r<N>``) before they go on
+    the wire and matched back by that id, so any number can be in
+    flight per connection.  Connections are created lazily and
+    round-robined; any transport failure fails *all* pending requests
+    on that connection with :class:`ShardDown` (the router then
+    redispatches them — requests are pure).
+    """
+
+    _rids = itertools.count()
+
+    def __init__(self, name: str, host: str, port: int, *,
+                 conns: int = 2, timeout: float = 300.0):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.max_conns = max(1, conns)
+        self.timeout = timeout
+        self._conns: list[_Conn] = []
+        self._next = 0
+        self.closed = False
+
+    async def request(self, message: dict) -> dict:
+        """Forward one message; returns the shard's reply.
+
+        The caller's ``id`` is preserved: the wire carries a router id,
+        the reply comes back with the original (or none).
+        Raises :class:`ShardDown` on any transport failure and
+        :class:`asyncio.TimeoutError` if the shard sits on the request
+        past the link timeout.
+        """
+        if self.closed:
+            raise ShardDown(f"link to {self.name} is closed")
+        conn = await self._pick()
+        rid = f"r{next(self._rids)}"
+        had_id = "id" in message
+        client_id = message.get("id")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        conn.pending[rid] = future
+        try:
+            conn.writer.write(encode_message({**message, "id": rid}))
+            await conn.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            conn.pending.pop(rid, None)
+            self._kill_conn(conn, f"write failed: {exc}")
+            raise ShardDown(str(exc)) from exc
+        try:
+            reply = await asyncio.wait_for(future, self.timeout)
+        except asyncio.TimeoutError:
+            conn.pending.pop(rid, None)
+            raise
+        reply = dict(reply)
+        if had_id and client_id is not None:
+            reply["id"] = client_id
+        else:
+            reply.pop("id", None)
+        return reply
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def _pick(self) -> _Conn:
+        alive = [c for c in self._conns if not c.dead]
+        if len(alive) < self.max_conns:
+            conn = _Conn()
+            try:
+                conn.reader, conn.writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port,
+                                            limit=MAX_LINE_BYTES + 2),
+                    timeout=10.0)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                raise ShardDown(f"connect to {self.name} failed: {exc}") \
+                    from exc
+            conn.reader_task = asyncio.create_task(self._read_loop(conn))
+            self._conns.append(conn)
+            alive.append(conn)
+        self._next = (self._next + 1) % len(alive)
+        return alive[self._next]
+
+    async def _read_loop(self, conn: _Conn) -> None:
+        try:
+            while True:
+                line = await conn.reader.readline()
+                if not line:
+                    break
+                reply = decode_line(line)
+                future = conn.pending.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (ConnectionError, OSError, ProtocolError,
+                asyncio.LimitOverrunError, ValueError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._kill_conn(conn, "connection lost")
+
+    def _kill_conn(self, conn: _Conn, reason: str) -> None:
+        if conn.dead:
+            return
+        conn.dead = True
+        if conn in self._conns:
+            self._conns.remove(conn)
+        for future in conn.pending.values():
+            if not future.done():
+                future.set_exception(ShardDown(
+                    f"shard {self.name}: {reason}"))
+        conn.pending.clear()
+        if conn.writer is not None:
+            conn.writer.close()
+
+    def close(self) -> None:
+        self.closed = True
+        for conn in list(self._conns):
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+            self._kill_conn(conn, "link closed")
+
+
+# ---------------------------------------------------------------------------
+# the router
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardAddr:
+    name: str
+    host: str
+    port: int
+
+
+@dataclass
+class RouterConfig:
+    host: str = "127.0.0.1"
+    port: int = 7767
+    shards: list = field(default_factory=list)  # list[ShardAddr]
+    conns_per_shard: int = 2
+    # Router->shard budget per request; generous (the shard enforces
+    # its own request_timeout) so only a wedged shard trips it.
+    request_timeout: float = 300.0
+    # Health loop cadence; large values effectively disable it (the
+    # fleet manager drives membership directly in that case).
+    health_interval: float = 2.0
+    port_file: str | None = None
+
+
+class Router:
+    def __init__(self, config: RouterConfig | None = None):
+        self.config = config or RouterConfig()
+        self.metrics = Metrics()
+        self.ring = HashRing()
+        self._addrs: dict[str, ShardAddr] = {}
+        self._links: dict[str, ShardLink] = {}
+        self._health: dict[str, dict] = {}  # last ping identity per shard
+        self._server: asyncio.base_events.Server | None = None
+        self._health_task: asyncio.Task | None = None
+        self._stopping = asyncio.Event()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self.started = time.time()
+        # The fleet manager plugs in extra stats (restarts, shard
+        # process table) through this hook.
+        self.extra_stats = None
+        for addr in self.config.shards:
+            self.add_shard(addr.name, addr.host, addr.port)
+
+    # -- membership ---------------------------------------------------------
+
+    def add_shard(self, name: str, host: str, port: int) -> None:
+        """(Re-)register a shard and put it in rotation.
+
+        Safe to call with a live shard (no-op) or with a restarted
+        shard on a new port (link is replaced).  Links connect lazily,
+        so this is synchronous and callable from supervisor code.
+        """
+        addr = self._addrs.get(name)
+        if addr is not None and (addr.host, addr.port) != (host, port):
+            self._drop_link(name)
+        self._addrs[name] = ShardAddr(name, host, port)
+        if name not in self._links:
+            self._links[name] = ShardLink(
+                name, host, port, conns=self.config.conns_per_shard,
+                timeout=self.config.request_timeout)
+        if name not in self.ring:
+            self.ring.add(name)
+            self.metrics.bump("shard_up_events")
+
+    def note_shard_dead(self, name: str) -> None:
+        """Take a shard out of rotation (supervisor or failed request)."""
+        if name in self.ring:
+            self.ring.remove(name)
+            self.metrics.bump("shard_down_events")
+        self._drop_link(name)
+
+    def _drop_link(self, name: str) -> None:
+        link = self._links.pop(name, None)
+        if link is not None:
+            link.close()
+
+    def _link_for(self, name: str) -> ShardLink:
+        link = self._links.get(name)
+        if link is None:
+            addr = self._addrs[name]
+            link = self._links[name] = ShardLink(
+                name, addr.host, addr.port,
+                conns=self.config.conns_per_shard,
+                timeout=self.config.request_timeout)
+        return link
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_LINE_BYTES + 2)
+        if self.config.health_interval > 0:
+            self._health_task = asyncio.create_task(self._health_loop())
+        if self.config.port_file:
+            from pathlib import Path
+            target = Path(self.config.port_file)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp = target.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(str(self.port))
+            os.replace(tmp, target)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._health_task is not None:
+            self._health_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # In-process stops (tests, the fleet manager's own loop) must
+        # unblock clients parked on open connections.
+        for writer in list(self._connections):
+            writer.close()
+        for name in list(self._links):
+            self._drop_link(name)
+
+    async def run(self) -> None:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self._stopping.set)
+        try:
+            await self._stopping.wait()
+        finally:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(signum)
+            await self.stop()
+
+    # -- health -------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while not self._stopping.is_set():
+            await asyncio.sleep(self.config.health_interval)
+            for name in list(self._addrs):
+                await self._health_check(name)
+
+    async def _health_check(self, name: str) -> None:
+        """Ping one shard; drive ring membership from the answer."""
+        addr = self._addrs.get(name)
+        if addr is None:
+            return
+        in_ring = name in self.ring
+        try:
+            if in_ring:
+                reply = await asyncio.wait_for(
+                    self._link_for(name).ping(), timeout=5.0)
+            else:
+                # Down shard: probe on a throwaway link so a dead
+                # address can't wedge the pooled path.
+                probe = ShardLink(name, addr.host, addr.port, conns=1,
+                                  timeout=5.0)
+                try:
+                    reply = await asyncio.wait_for(probe.ping(),
+                                                   timeout=5.0)
+                finally:
+                    probe.close()
+        except (ShardDown, asyncio.TimeoutError):
+            if in_ring:
+                self.note_shard_dead(name)
+            return
+        if reply.get("pong"):
+            self._health[name] = {
+                "version": reply.get("version"),
+                "pid": reply.get("pid"),
+                "shard": reply.get("shard"),
+                "checked_at": round(time.time(), 3)}
+            if not in_ring:
+                self.add_shard(name, addr.host, addr.port)
+
+    # -- connections (same concurrent-line pattern as the shard server) ----
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        self._connections.add(writer)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    async with write_lock:
+                        await self._send(writer, error_reply(
+                            "oversized",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                    break
+                if not line or not line.endswith(b"\n"):
+                    break
+                if line.strip() == b"":
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    reply: dict) -> None:
+        writer.write(encode_message(reply))
+        await writer.drain()
+
+    async def _send_locked(self, writer, write_lock, reply: dict) -> None:
+        try:
+            async with write_lock:
+                await self._send(writer, reply)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def _serve_line(self, line: bytes, writer,
+                          write_lock: asyncio.Lock) -> None:
+        try:
+            message = decode_line(line)
+        except ProtocolError as exc:
+            self.metrics.bump("requests_total")
+            self.metrics.bump(f"errors_{exc.code}")
+            await self._send_locked(writer, write_lock, exc.as_reply(None))
+            return
+        if message.get("op") == "batch":
+            await self._serve_batch(message, writer, write_lock)
+            return
+        reply = await self._dispatch_message(message)
+        await self._send_locked(writer, write_lock, reply)
+
+    async def _serve_batch(self, message: dict, writer,
+                           write_lock: asyncio.Lock) -> None:
+        """Decompose a batch: each sub-request routes by its *own* key,
+        so one client line fans out across the fleet; sub-replies
+        stream back in completion order."""
+        self.metrics.bump("requests_total")
+        self.metrics.bump("batch_requests")
+        batch_id = message.get("id")
+        try:
+            subs = validate_batch_request(message)
+        except ProtocolError as exc:
+            self.metrics.bump(f"errors_{exc.code}")
+            await self._send_locked(writer, write_lock,
+                                    exc.as_reply(batch_id))
+            return
+
+        async def one(sub: dict) -> bool:
+            reply = await self._dispatch_message(sub)
+            reply.setdefault("id", sub["id"])
+            if batch_id is not None:
+                reply["batch"] = batch_id
+            await self._send_locked(writer, write_lock, reply)
+            return bool(reply.get("ok"))
+
+        oks = await asyncio.gather(*(one(sub) for sub in subs))
+        summary = {"ok": True, "batch_complete": True,
+                   "replies": len(oks), "failed": oks.count(False)}
+        if batch_id is not None:
+            summary["batch"] = batch_id
+            summary["id"] = batch_id
+        await self._send_locked(writer, write_lock, summary)
+
+    # -- routing ------------------------------------------------------------
+
+    async def _dispatch_message(self, message: dict) -> dict:
+        started = time.perf_counter()
+        self.metrics.bump("requests_total")
+        request_id = message.get("id")
+        try:
+            op = message.get("op")
+            if op == "ping":
+                return self._ping_reply(request_id)
+            if op == "stats":
+                return await self._stats_reply(request_id)
+            if op in ("compile", "run"):
+                key = self._routing_key(message)
+                return await self._forward(key, message, request_id)
+            if op == "batch":
+                raise ProtocolError("bad-request", "batches do not nest")
+            raise ProtocolError("bad-request",
+                                f"unknown op {op!r}; expected "
+                                f"'compile', 'run', 'batch', 'stats' or "
+                                f"'ping'")
+        except ProtocolError as exc:
+            self.metrics.bump(f"errors_{exc.code}")
+            return exc.as_reply(request_id)
+        finally:
+            self.metrics.observe("request", time.perf_counter() - started)
+
+    def _routing_key(self, message: dict) -> str:
+        """The shard-affinity key: exactly the shard's own cache key.
+
+        Validation happens here, *before* any shard sees the request —
+        a malformed request (unknown op, bad options field, ...) gets
+        the same structured ``bad-request`` reply routed clients would
+        get from a direct connection.
+        """
+        if message.get("op") == "compile":
+            request = validate_compile_request(message)
+            derive = cache_key
+        else:
+            request = validate_run_request(message)
+            derive = run_cache_key
+        try:
+            return derive(request)
+        except ValueError as exc:  # unknown OptimizeOptions field
+            raise ProtocolError("bad-request", str(exc)) from exc
+
+    async def _forward(self, key: str, message: dict, request_id) -> dict:
+        """Route by ring, forward, redispatch on shard death.
+
+        Every attempt re-consults the ring, so after a failure the key
+        lands on the next live shard.  Attempts are bounded by the
+        fleet size: once every shard has failed us the ring is empty
+        and the loop exits with ``unavailable``.
+        """
+        attempts = len(self.ring) + 1
+        for _ in range(attempts):
+            name = self.ring.lookup(key)
+            if name is None:
+                break
+            link = self._link_for(name)
+            try:
+                reply = await link.request(message)
+            except ShardDown:
+                self.note_shard_dead(name)
+                self.metrics.bump("redispatches")
+                continue
+            except asyncio.TimeoutError:
+                self.metrics.bump("shard_timeouts")
+                return error_reply(
+                    "unavailable",
+                    f"shard {name} did not answer within "
+                    f"{self.config.request_timeout}s", request_id=request_id)
+            self.metrics.bump("routed")
+            return reply
+        self.metrics.bump("errors_unavailable")
+        return error_reply("unavailable", "no live shard available",
+                           request_id=request_id)
+
+    # -- introspection ------------------------------------------------------
+
+    def _ping_reply(self, request_id) -> dict:
+        reply = {"ok": True, "pong": True, "role": "router",
+                 "version": __version__, "pid": os.getpid(),
+                 "shards_live": len(self.ring),
+                 "shards_known": len(self._addrs)}
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply
+
+    async def _stats_reply(self, request_id) -> dict:
+        """Fleet-wide stats: router counters + per-shard introspection
+        merged into fleet totals."""
+        names = sorted(self.ring.members)
+
+        async def shard_stats(name: str):
+            try:
+                return name, await asyncio.wait_for(
+                    self._link_for(name).request({"op": "stats"}),
+                    timeout=10.0)
+            except (ShardDown, asyncio.TimeoutError) as exc:
+                return name, {"ok": False, "error": str(exc)}
+
+        gathered = await asyncio.gather(*(shard_stats(n) for n in names))
+        shards = dict(gathered)
+        reply = {
+            "ok": True,
+            "role": "router",
+            "router": {
+                "uptime_s": round(time.time() - self.started, 3),
+                "shards_live": len(self.ring),
+                "shards_known": len(self._addrs),
+                "health": dict(self._health),
+                **self.metrics.snapshot(),
+            },
+            "shards": shards,
+            "fleet": _merge_fleet(shards),
+        }
+        if self.extra_stats is not None:
+            try:
+                reply["fleet"].update(self.extra_stats())
+            except Exception:
+                pass  # introspection must never take a request down
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply
+
+
+def _merge_fleet(shards: dict[str, dict]) -> dict:
+    """Sum per-shard stats into one fleet view."""
+    fleet = {"shards_reporting": 0, "workers": 0, "worker_crashes": 0,
+             "pending": 0, "counters": {}, "cache": {
+                 "hits_memory": 0, "hits_disk": 0, "misses": 0,
+                 "memory_entries": 0, "evictions": 0, "evicted_bytes": 0,
+                 "gc_sweeps": 0}}
+    for stats in shards.values():
+        if not stats.get("ok"):
+            continue
+        fleet["shards_reporting"] += 1
+        for key in ("workers", "worker_crashes", "pending"):
+            fleet[key] += stats.get(key, 0)
+        for name, value in (stats.get("counters") or {}).items():
+            if isinstance(value, (int, float)):
+                fleet["counters"][name] = \
+                    fleet["counters"].get(name, 0) + value
+        cache = stats.get("cache") or {}
+        for name in fleet["cache"]:
+            value = cache.get(name, 0)
+            if isinstance(value, (int, float)):
+                fleet["cache"][name] += value
+    hits = fleet["cache"]["hits_memory"] + fleet["cache"]["hits_disk"]
+    lookups = hits + fleet["cache"]["misses"]
+    fleet["cache"]["hit_rate"] = \
+        0.0 if not lookups else round(hits / lookups, 4)
+    return fleet
+
+
+# ---------------------------------------------------------------------------
+# standalone entry point: python -m repro.serve.router
+# ---------------------------------------------------------------------------
+
+
+def _parse_shard(spec: str, index: int) -> ShardAddr:
+    """``name=host:port`` or ``host:port`` (auto-named s<index>)."""
+    name, sep, rest = spec.partition("=")
+    if not sep:
+        name, rest = f"s{index}", spec
+    host, sep, port = rest.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"shard spec {spec!r} is not [name=]host:port")
+    return ShardAddr(name, host or "127.0.0.1", int(port))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.router",
+        description="consistent-hash front-end router over running "
+                    "compile daemons")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7767)
+    parser.add_argument("--shard", action="append", default=[],
+                        metavar="[NAME=]HOST:PORT", required=False,
+                        help="a shard daemon to route to (repeatable)")
+    parser.add_argument("--conns-per-shard", type=int, default=2,
+                        metavar="N")
+    parser.add_argument("--request-timeout", type=float, default=300.0,
+                        metavar="S")
+    parser.add_argument("--health-interval", type=float, default=2.0,
+                        metavar="S")
+    parser.add_argument("--port-file", default=None)
+    args = parser.parse_args(argv)
+    if not args.shard:
+        parser.error("at least one --shard is required")
+    shards = [_parse_shard(spec, index)
+              for index, spec in enumerate(args.shard)]
+    config = RouterConfig(
+        host=args.host, port=args.port, shards=shards,
+        conns_per_shard=args.conns_per_shard,
+        request_timeout=args.request_timeout,
+        health_interval=args.health_interval,
+        port_file=args.port_file)
+    print(f"repro.serve.router on {config.host}:{config.port} -> "
+          f"{', '.join(f'{s.name}@{s.host}:{s.port}' for s in shards)}",
+          flush=True)
+    asyncio.run(Router(config).run())
+    print("repro.serve.router: clean shutdown", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,11 @@
 """The asyncio compile server.
 
-One connection = one NDJSON request/reply stream.  The event loop only
-parses, routes and replies; every compile runs in a forked worker
+One connection = one NDJSON request/reply stream, *pipelined*: every
+incoming line is dispatched concurrently (replies may interleave in
+completion order, serialized by a per-connection write lock), and a
+``batch`` op carries many sub-requests on one line with sub-replies
+streamed back as they finish plus a trailing summary.  The event loop
+only parses, routes and replies; every compile runs in a forked worker
 (:class:`repro.core.pool.WorkerPool`) reached through a small thread
 executor, so the loop stays responsive while compiles grind and stays
 *alive* when a compile takes its whole process down.
@@ -40,18 +44,25 @@ so a restarted daemon re-promotes from a warm object cache.
 
 SIGTERM/SIGINT drain cleanly: the listener closes, queued requests get
 ``shutting-down`` replies, the pool is torn down, ``run()`` returns.
+
+In fleet mode (:mod:`repro.serve.fleet`) each shard is one of these
+servers: ``shard_name`` tags ``ping``/``stats`` replies, ``port_file``
+publishes the bound port for ``--port 0``, and ``cache_max_bytes``
+bounds the shared object store with an mtime-LRU sweep.
 """
 
 from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import os
 import signal
 import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from .. import __version__
 from ..core.pool import JobError, WorkerCrash, WorkerPool
 from ..native import (TierDecision, TieringManager, TieringPolicy,
                       native_available)
@@ -59,7 +70,8 @@ from .cache import ArtifactCache, cache_key, run_cache_key
 from .metrics import Metrics
 from .protocol import (MAX_LINE_BYTES, ProtocolError, decode_line,
                        encode_message, error_reply,
-                       validate_compile_request, validate_run_request)
+                       validate_batch_request, validate_compile_request,
+                       validate_run_request)
 from .worker import CompileHandler
 
 
@@ -70,6 +82,16 @@ class ServerConfig:
     workers: int = 2
     cache_dir: str | None = "serve_cache"
     crash_dir: str = "crash_reports"
+    # Identity in a fleet: echoed by ping/stats so routers and
+    # operators can tell shards apart.  None = standalone daemon.
+    shard_name: str | None = None
+    # When set, the bound port is written here after the listener is
+    # up (atomic write).  This is how the fleet manager discovers the
+    # port of a shard started with port=0.
+    port_file: str | None = None
+    # Disk object-store budget; exceeding it triggers an mtime-LRU GC
+    # sweep (see cache.ArtifactCache.gc).  None = unbounded.
+    cache_max_bytes: int | None = None
     # Admission control: queued-or-running compiles beyond this are shed.
     max_pending: int = 32
     # Per-request wall-clock budget inside the worker; overruns kill
@@ -103,11 +125,13 @@ class CompileServer:
         self.config = config or ServerConfig()
         self.metrics = Metrics()
         self.cache = ArtifactCache(self.config.cache_dir,
-                                   self.config.memory_cache_entries)
+                                   self.config.memory_cache_entries,
+                                   max_bytes=self.config.cache_max_bytes)
         self.pool: WorkerPool | None = None
         self._server: asyncio.base_events.Server | None = None
         self._executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._inflight: dict[str, asyncio.Future] = {}
+        self._connections: set[asyncio.StreamWriter] = set()
         self._pending = 0
         self._stopping = asyncio.Event()
         self.started = time.time()
@@ -135,6 +159,14 @@ class CompileServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port,
             limit=MAX_LINE_BYTES + 2)
+        if self.config.port_file:
+            # Atomic: the fleet manager polls for this file and must
+            # never read a half-written port number.
+            target = Path(self.config.port_file)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp = target.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(str(self.port))
+            os.replace(tmp, target)
 
     @property
     def port(self) -> int:
@@ -154,6 +186,11 @@ class CompileServer:
                 future.set_result(error_reply(
                     "shutting-down", "server is shutting down"))
         self._inflight.clear()
+        # Close accepted connections too: a process exit would close
+        # these sockets anyway, but an in-process stop (tests, embedded
+        # shards) must not leave peers blocked on a dead stream.
+        for writer in list(self._connections):
+            writer.close()
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
         if self.pool is not None:
@@ -176,6 +213,15 @@ class CompileServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        # One connection may have many requests in flight: every line
+        # becomes a task, replies are written (lock-serialized) as they
+        # complete.  That is what makes a pooled router->shard
+        # connection a pipeline instead of a turn-taking RPC channel —
+        # a cold compile no longer blocks the cache hits queued behind
+        # it.  Plain one-at-a-time clients see the old behavior.
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        self._connections.add(writer)
         try:
             while not self._stopping.is_set():
                 try:
@@ -183,26 +229,92 @@ class CompileServer:
                 except (asyncio.LimitOverrunError, ValueError):
                     # The line outgrew the stream limit; the framing is
                     # lost, so reply and drop the connection.
-                    await self._send(writer, error_reply(
-                        "oversized",
-                        f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                    async with write_lock:
+                        await self._send(writer, error_reply(
+                            "oversized",
+                            f"request line exceeds {MAX_LINE_BYTES} bytes"))
                     break
                 if not line or not line.endswith(b"\n"):
                     break  # EOF (possibly mid-request): just drop it.
                 if line.strip() == b"":
                     continue
-                reply = await self._dispatch(line)
-                await self._send(writer, reply)
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                # Drain in-flight replies before closing the stream; a
+                # disconnect mid-compile still runs the job to
+                # completion (the artifact lands in the cache) but the
+                # write fails silently below.
+                await asyncio.gather(*tasks, return_exceptions=True)
         except (ConnectionResetError, BrokenPipeError):
             pass  # peer vanished mid-reply; nothing to salvage
         except asyncio.CancelledError:
             pass  # server shutdown with this connection still open
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    async def _serve_line(self, line: bytes, writer: asyncio.StreamWriter,
+                          write_lock: asyncio.Lock) -> None:
+        try:
+            message = decode_line(line)
+        except ProtocolError as exc:
+            self.metrics.bump("requests_total")
+            self.metrics.bump(f"errors_{exc.code}")
+            await self._send_locked(writer, write_lock, exc.as_reply(None))
+            return
+        if message.get("op") == "batch":
+            await self._serve_batch(message, writer, write_lock)
+            return
+        reply = await self._dispatch_message(message)
+        await self._send_locked(writer, write_lock, reply)
+
+    async def _serve_batch(self, message: dict,
+                           writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock) -> None:
+        """One batch line: fan out, stream sub-replies, close with a
+        summary.  Sub-requests run concurrently; each reply leaves as
+        soon as its sub-request finishes."""
+        self.metrics.bump("requests_total")
+        self.metrics.bump("batch_requests")
+        batch_id = message.get("id")
+        try:
+            subs = validate_batch_request(message)
+        except ProtocolError as exc:
+            self.metrics.bump(f"errors_{exc.code}")
+            await self._send_locked(writer, write_lock,
+                                    exc.as_reply(batch_id))
+            return
+
+        async def one(sub: dict) -> bool:
+            reply = await self._dispatch_message(sub)
+            reply.setdefault("id", sub["id"])
+            if batch_id is not None:
+                reply["batch"] = batch_id
+            await self._send_locked(writer, write_lock, reply)
+            return bool(reply.get("ok"))
+
+        oks = await asyncio.gather(*(one(sub) for sub in subs))
+        summary = {"ok": True, "batch_complete": True,
+                   "replies": len(oks), "failed": oks.count(False)}
+        if batch_id is not None:
+            summary["batch"] = batch_id
+            summary["id"] = batch_id
+        await self._send_locked(writer, write_lock, summary)
+
+    async def _send_locked(self, writer: asyncio.StreamWriter,
+                           write_lock: asyncio.Lock, reply: dict) -> None:
+        try:
+            async with write_lock:
+                await self._send(writer, reply)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # peer vanished; the work itself already happened
 
     async def _send(self, writer: asyncio.StreamWriter,
                     reply: dict) -> None:
@@ -212,36 +324,55 @@ class CompileServer:
     # -- request routing ----------------------------------------------------
 
     async def _dispatch(self, line: bytes) -> dict:
-        started = time.perf_counter()
-        self.metrics.bump("requests_total")
-        request_id = None
+        """Decode one wire line and dispatch it (non-batch ops)."""
         try:
             message = decode_line(line)
-            request_id = message.get("id")
+        except ProtocolError as exc:
+            self.metrics.bump("requests_total")
+            self.metrics.bump(f"errors_{exc.code}")
+            return exc.as_reply(None)
+        return await self._dispatch_message(message)
+
+    async def _dispatch_message(self, message: dict) -> dict:
+        started = time.perf_counter()
+        self.metrics.bump("requests_total")
+        request_id = message.get("id")
+        try:
             op = message.get("op")
             if op == "ping":
-                return {"ok": True, "pong": True,
-                        **({"id": request_id} if request_id is not None
-                           else {})}
+                return self._ping_reply(request_id)
             if op == "stats":
                 return self._stats_reply(request_id)
             if op == "compile":
                 return await self._compile(message, request_id, started)
             if op == "run":
                 return await self._run(message, request_id, started)
+            if op == "batch":
+                raise ProtocolError("bad-request", "batches do not nest")
             raise ProtocolError("bad-request",
                                 f"unknown op {op!r}; expected "
-                                f"'compile', 'run', 'stats' or 'ping'")
+                                f"'compile', 'run', 'batch', 'stats' or "
+                                f"'ping'")
         except ProtocolError as exc:
             self.metrics.bump(f"errors_{exc.code}")
             return exc.as_reply(request_id)
         finally:
             self.metrics.observe("request", time.perf_counter() - started)
 
+    def _ping_reply(self, request_id) -> dict:
+        reply = {"ok": True, "pong": True, "version": __version__,
+                 "pid": os.getpid(), "shard": self.config.shard_name}
+        if request_id is not None:
+            reply["id"] = request_id
+        return reply
+
     def _stats_reply(self, request_id) -> dict:
         assert self.pool is not None
         reply = {
             "ok": True,
+            "shard": self.config.shard_name,
+            "version": __version__,
+            "pid": os.getpid(),
             "uptime_s": round(time.time() - self.started, 3),
             "workers": self.pool.size,
             "worker_crashes": self.pool.crashes,
